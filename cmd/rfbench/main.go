@@ -1,0 +1,161 @@
+// Command rfbench regenerates the paper's evaluation figures and the
+// repository's ablation studies at any scale.
+//
+// Usage:
+//
+//	rfbench [flags] <experiment>...
+//
+// Experiments: fig5, fig6a, fig6b, fig7a, fig7b, abl-prefetch, abl-buffer,
+// abl-clock, abl-banks, abl-mvcc, abl-pushdown, abl-index, abl-rmc,
+// abl-compress, abl-storage, or "all".
+//
+// Flags:
+//
+//	-rows N         micro-benchmark rows for fig5/fig6 (default 96000)
+//	-sizes list     comma-separated target-column MiB for fig7 (default 2,4,8,16)
+//	-paper-scale    run fig7 at the paper's sizes (2..128 MiB targets,
+//	                tables up to ~700 MB; needs several GB of RAM)
+//	-seed N         generator seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rfabric/internal/experiments"
+)
+
+func main() {
+	rows := flag.Int("rows", 96_000, "micro-benchmark rows for fig5/fig6")
+	sizes := flag.String("sizes", "2,4,8,16", "comma-separated target-column MiB for fig7")
+	paperScale := flag.Bool("paper-scale", false, "run fig7 at the paper's 2..128 MiB targets")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.MicroRows = *rows
+	opt.Seed = *seed
+	if *paperScale {
+		opt = experiments.PaperScaleOptions()
+		opt.Seed = *seed
+	} else if trimmed := strings.TrimSpace(*sizes); trimmed != "" {
+		opt.Fig7TargetMB = nil
+		for _, part := range strings.Split(trimmed, ",") {
+			mb, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || mb <= 0 {
+				fatalf("bad -sizes entry %q", part)
+			}
+			opt.Fig7TargetMB = append(opt.Fig7TargetMB, mb)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b",
+			"abl-prefetch", "abl-buffer", "abl-clock", "abl-banks",
+			"abl-mvcc", "abl-pushdown", "abl-index", "abl-rmc", "abl-compress", "abl-storage"}
+	}
+
+	for i, name := range args {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(name, opt); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func run(name string, opt experiments.Options) error {
+	switch name {
+	case "fig5":
+		r, err := experiments.Figure5(opt)
+		if err != nil {
+			return err
+		}
+		r.WriteTable(os.Stdout)
+		report(r.CheckShape())
+	case "fig6a", "fig6b":
+		r, err := experiments.Figure6(opt)
+		if err != nil {
+			return err
+		}
+		r.WriteTable(os.Stdout)
+		report(r.CheckShape())
+	case "fig7a":
+		return runFig7(opt, experiments.Q1)
+	case "fig7b":
+		return runFig7(opt, experiments.Q6)
+	case "abl-prefetch":
+		return runAblation(experiments.AblationPrefetchStreams(opt, []int{1, 2, 4, 8, 16}))
+	case "abl-buffer":
+		return runAblation(experiments.AblationFabricBuffer(opt, []int{64 << 10, 256 << 10, 1 << 20, 2 << 20, 8 << 20}))
+	case "abl-clock":
+		return runAblation(experiments.AblationFabricClock(opt, []int{1, 5, 15, 30}))
+	case "abl-banks":
+		return runAblation(experiments.AblationDRAMBanks(opt, []int{1, 2, 4, 8, 16}))
+	case "abl-mvcc":
+		return runAblation(experiments.AblationMVCC(opt, opt.MicroRows/2))
+	case "abl-pushdown":
+		return runAblation(experiments.AblationPushdown(opt, opt.MicroRows/2))
+	case "abl-index":
+		return runAblation(experiments.AblationIndex(opt, opt.MicroRows))
+	case "abl-rmc":
+		return runAblation(experiments.AblationRMC(opt, opt.MicroRows/2))
+	case "abl-compress":
+		r, err := experiments.AblationCompression(opt, opt.MicroRows/4)
+		if err != nil {
+			return err
+		}
+		r.WriteTable(os.Stdout)
+	case "abl-storage":
+		r, err := experiments.AblationStorage(opt, opt.MicroRows/4)
+		if err != nil {
+			return err
+		}
+		r.WriteTable(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, abl-*, or all)")
+	}
+	return nil
+}
+
+func runFig7(opt experiments.Options, q experiments.TPCHQuery) error {
+	r, err := experiments.Figure7(opt, q)
+	if err != nil {
+		return err
+	}
+	r.WriteTable(os.Stdout)
+	report(r.CheckShape())
+	return nil
+}
+
+func runAblation(r *experiments.AblationResult, err error) error {
+	if err != nil {
+		return err
+	}
+	r.WriteTable(os.Stdout)
+	return nil
+}
+
+func report(violations []string) {
+	if len(violations) == 0 {
+		fmt.Println("  shape: OK (matches the paper's qualitative claims)")
+		return
+	}
+	for _, v := range violations {
+		fmt.Println("  shape VIOLATION: " + v)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rfbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command rfgen generates TPC-H-style lineitem data as CSV, the same
+// deterministic population the benchmarks use, so results can be inspected
+// or loaded elsewhere.
+//
+// Usage:
+//
+//	rfgen [-rows N] [-seed N] [-o file]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rfabric/internal/sql"
+	"rfabric/internal/table"
+	"rfabric/internal/tpch"
+)
+
+func main() {
+	rows := flag.Int("rows", 10_000, "rows to generate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "-", "output file, - for stdout")
+	flag.Parse()
+
+	tbl, err := tpch.NewLineitem(*rows, *seed)
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	sch := tbl.Schema()
+	for c := 0; c < sch.NumColumns(); c++ {
+		if c > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprint(bw, sch.Column(c).Name)
+	}
+	fmt.Fprintln(bw)
+
+	for r := 0; r < tbl.NumRows(); r++ {
+		vals, err := table.DecodeRow(sch, tbl.RowPayload(r))
+		if err != nil {
+			fatalf("decode row %d: %v", r, err)
+		}
+		for c, v := range vals {
+			if c > 0 {
+				fmt.Fprint(bw, ",")
+			}
+			if sch.Column(c).Type.String() == "DATE" {
+				fmt.Fprint(bw, sql.FormatDate(int32(v.Int)))
+				continue
+			}
+			fmt.Fprint(bw, v.String())
+		}
+		fmt.Fprintln(bw)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rfgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command rfquery loads a TPC-H-style lineitem table into the simulated
+// platform and runs mini-SQL queries over it on any of the three execution
+// paths, printing results and the modeled cost side by side — a hands-on way
+// to see the fabric's effect on an ad-hoc query.
+//
+// Usage:
+//
+//	rfquery [-rows N] [-engine RM|ROW|COL|all] "SELECT ... FROM lineitem ..."
+//
+// With no query argument, rfquery runs a small demo set including TPC-H Q1
+// and Q6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"rfabric"
+	"rfabric/internal/tpch"
+)
+
+var demoQueries = []string{
+	"SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity < 5",
+	"SELECT SUM(l_extendedprice * l_discount) FROM lineitem " +
+		"WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' " +
+		"AND l_discount BETWEEN 0.049 AND 0.071 AND l_quantity < 24",
+	"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), " +
+		"SUM(l_extendedprice * (1 - l_discount)), COUNT(*) FROM lineitem " +
+		"WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag, l_linestatus",
+}
+
+func main() {
+	rows := flag.Int("rows", 50_000, "lineitem rows to generate")
+	engineFlag := flag.String("engine", "all", "execution path: RM, ROW, COL, AUTO, or all")
+	flag.Parse()
+
+	db, err := rfabric.Open(rfabric.DefaultConfig())
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	if _, err := db.CreateTable("lineitem", tpch.LineitemSchema(), *rows); err != nil {
+		fatalf("create: %v", err)
+	}
+	tbl, _ := db.Table("lineitem")
+	if err := tpch.Generate(tbl, *rows, 1); err != nil {
+		fatalf("generate: %v", err)
+	}
+	fmt.Printf("loaded lineitem: %d rows, %.1f MB row-oriented base data\n\n", tbl.NumRows(), float64(tbl.SizeBytes())/(1<<20))
+
+	queries := flag.Args()
+	if len(queries) == 0 {
+		queries = demoQueries
+	}
+
+	var kinds []rfabric.EngineKind
+	switch strings.ToUpper(*engineFlag) {
+	case "ALL":
+		kinds = []rfabric.EngineKind{rfabric.ROW, rfabric.COL, rfabric.RM}
+	case "RM":
+		kinds = []rfabric.EngineKind{rfabric.RM}
+	case "ROW":
+		kinds = []rfabric.EngineKind{rfabric.ROW}
+	case "COL":
+		kinds = []rfabric.EngineKind{rfabric.COL}
+	case "AUTO":
+		kinds = []rfabric.EngineKind{rfabric.AUTO}
+	default:
+		fatalf("unknown engine %q", *engineFlag)
+	}
+
+	for qi, query := range queries {
+		if qi > 0 {
+			fmt.Println()
+		}
+		fmt.Println("query:", query)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "engine\trows\tcycles\tbytes-from-DRAM\tbytes-to-CPU\tresult")
+		for _, kind := range kinds {
+			db.System().ResetState()
+			res, err := db.QueryOn(kind, query)
+			if err != nil {
+				fatalf("%s: %v", kind, err)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%s\n",
+				res.Engine, res.RowsPassed, res.Breakdown.TotalCycles,
+				res.Breakdown.BytesFromDRAM, res.Breakdown.BytesToCPU, summarize(res))
+		}
+		w.Flush()
+	}
+}
+
+func summarize(res *rfabric.Result) string {
+	switch {
+	case len(res.Groups) > 0:
+		parts := make([]string, 0, len(res.Groups))
+		for _, g := range res.Groups {
+			keys := make([]string, len(g.Key))
+			for i, k := range g.Key {
+				keys[i] = k.String()
+			}
+			parts = append(parts, strings.Join(keys, "/")+fmt.Sprintf("(%d)", g.Count))
+		}
+		return "groups: " + strings.Join(parts, " ")
+	case len(res.Aggs) > 0:
+		parts := make([]string, len(res.Aggs))
+		for i, v := range res.Aggs {
+			parts[i] = v.String()
+		}
+		return "aggs: " + strings.Join(parts, ", ")
+	default:
+		return fmt.Sprintf("checksum %#x", res.Checksum)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rfquery: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package rfabric
+
+import "rfabric/internal/compress"
+
+// Compression substrate (§III-D): the encodings that can — and the two that
+// cannot — serve the fabric's scattered accesses.
+type (
+	// Codec describes one implemented encoding and whether a value can be
+	// decoded from a computable offset (the fabric's requirement).
+	Codec = compress.Codec
+	// DictColumn is a dictionary-encoded fixed-width column.
+	DictColumn = compress.DictColumn
+	// DeltaColumn is a frame-of-reference bit-packed int64 column.
+	DeltaColumn = compress.DeltaColumn
+	// HuffmanBlob is canonical-Huffman data with a block index.
+	HuffmanBlob = compress.HuffmanBlob
+	// RLEColumn is a run-length encoded column (sequential decode only).
+	RLEColumn = compress.RLEColumn
+	// EncodedTable is a row table whose chosen columns are stored as
+	// dictionary codes and flow through the fabric as such (§III-D).
+	EncodedTable = compress.EncodedTable
+)
+
+// Codecs enumerates the implemented encodings with their fabric
+// compatibility.
+func Codecs() []Codec { return compress.Codecs() }
+
+// EncodeDict dictionary-encodes a dense fixed-width column.
+func EncodeDict(data []byte, width int) (*DictColumn, error) { return compress.EncodeDict(data, width) }
+
+// EncodeDelta frame-of-reference-encodes int64 values.
+func EncodeDelta(values []int64) *DeltaColumn { return compress.EncodeDelta(values) }
+
+// EncodeHuffman Huffman-codes data with the given block size.
+func EncodeHuffman(data []byte, blockLen int) (*HuffmanBlob, error) {
+	return compress.EncodeHuffman(data, blockLen)
+}
+
+// EncodeRLE run-length-encodes a dense fixed-width column.
+func EncodeRLE(data []byte, width int) (*RLEColumn, error) { return compress.EncodeRLE(data, width) }
+
+// EncodeTableDict rewrites a table with the given columns
+// dictionary-encoded; ephemeral views over the result ship codes.
+func EncodeTableDict(src *Table, cols []int, baseAddr int64) (*EncodedTable, error) {
+	return compress.EncodeTableDict(src, cols, baseAddr)
+}
+
+// EncodeLZ77 compresses data with the LZ-family contrast codec.
+func EncodeLZ77(data []byte) []byte { return compress.EncodeLZ77(data) }
+
+// DecodeLZ77 decompresses EncodeLZ77 output.
+func DecodeLZ77(enc []byte) ([]byte, error) { return compress.DecodeLZ77(enc) }

@@ -1,0 +1,260 @@
+package rfabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rfabric/internal/colstore"
+	"rfabric/internal/engine"
+	"rfabric/internal/index"
+	"rfabric/internal/sql"
+	"rfabric/internal/table"
+)
+
+// DB is the convenience façade a downstream application uses: a catalog of
+// row tables placed in one simulated system, queried through the mini-SQL
+// dialect. Queries run on the Relational Memory path by default — the
+// paper's thesis is that with the fabric present there is no reason to keep
+// a second layout — but the two baselines stay available for comparison.
+//
+// A DB is not safe for concurrent use; wrap MVCC tables in a TxnManager for
+// concurrent ingest (see the htap example).
+type DB struct {
+	sys    *System
+	tables map[string]*dbTable
+	plans  *planCache
+}
+
+type dbTable struct {
+	tbl      *Table
+	capacity int
+	col      *colstore.Store // lazily materialized columnar copy
+	idx      *index.BTree    // optional secondary index
+}
+
+// Open creates an empty database on a fresh simulated system.
+func Open(cfg Config) (*DB, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{sys: sys, tables: map[string]*dbTable{}}, nil
+}
+
+// System exposes the underlying simulated machine (for stats and the
+// lower-level APIs).
+func (db *DB) System() *System { return db.sys }
+
+// TableOption configures CreateTable.
+type TableOption func(*tableOpts)
+
+type tableOpts struct{ mvcc bool }
+
+// WithMVCC gives every row the two-timestamp MVCC header.
+func WithMVCC() TableOption { return func(o *tableOpts) { o.mvcc = true } }
+
+// CreateTable registers a new row table with room for capacity rows at a
+// fixed place in the simulated address space.
+func (db *DB) CreateTable(name string, schema *Schema, capacity int, opts ...TableOption) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("rfabric: table %q already exists", name)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("rfabric: capacity must be positive, got %d", capacity)
+	}
+	var o tableOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	stride := schema.RowBytes()
+	if o.mvcc {
+		stride += table.MVCCHeaderBytes
+	}
+	base := db.sys.Arena.Alloc(int64(capacity * stride))
+	tOpts := []table.Option{table.WithCapacity(capacity), table.WithBaseAddr(base)}
+	if o.mvcc {
+		tOpts = append(tOpts, table.WithMVCC())
+	}
+	tbl, err := table.New(name, schema, tOpts...)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = &dbTable{tbl: tbl, capacity: capacity}
+	return tbl, nil
+}
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("rfabric: unknown table %q", name)
+	}
+	return t.tbl, nil
+}
+
+// TableNames lists the catalog in sorted order.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert appends one row, respecting the table's reserved capacity (the
+// simulated address space behind it is fixed at creation).
+func (db *DB) Insert(name string, vals ...Value) error {
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("rfabric: unknown table %q", name)
+	}
+	if t.tbl.NumRows() >= t.capacity {
+		return fmt.Errorf("rfabric: table %q is at its reserved capacity of %d rows", name, t.capacity)
+	}
+	row, err := t.tbl.Append(1, vals...)
+	if err == nil {
+		t.col = nil // invalidate any columnar copy
+		if t.idx != nil {
+			if v, gerr := t.tbl.Get(row, t.idx.Column()); gerr == nil {
+				t.idx.Insert(db.sys.Hier, v.Int, row)
+			}
+		}
+	}
+	return err
+}
+
+// CreateIndex builds a B+tree over the named column and keeps it maintained
+// on future inserts. The AUTO engine prices it as an access path.
+func (db *DB) CreateIndex(tableName, column string) (*index.BTree, error) {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("rfabric: unknown table %q", tableName)
+	}
+	if t.idx != nil {
+		return nil, fmt.Errorf("rfabric: table %q already has an index", tableName)
+	}
+	col, ok := t.tbl.Schema().Lookup(column)
+	if !ok {
+		return nil, fmt.Errorf("rfabric: unknown column %q", column)
+	}
+	idx, err := index.Build(t.tbl, col, db.sys.Arena)
+	if err != nil {
+		return nil, err
+	}
+	t.idx = idx
+	return idx, nil
+}
+
+// EngineKind picks which execution path a query runs on.
+type EngineKind string
+
+// Execution paths.
+const (
+	// RM is the default: Relational Memory's ephemeral column groups.
+	RM EngineKind = "RM"
+	// ROW is the volcano-style baseline over the base data.
+	ROW EngineKind = "ROW"
+	// COL is the column-at-a-time baseline; the first COL query converts
+	// the table into a columnar copy (the duplication the paper removes).
+	COL EngineKind = "COL"
+	// AUTO runs the constructive optimizer (§III-B): it prices the access
+	// paths with the model's cost formulas and takes the cheapest. A
+	// columnar copy is considered only if one already exists.
+	AUTO EngineKind = "AUTO"
+)
+
+// Query parses, plans, and executes the statement on the RM path.
+func (db *DB) Query(query string) (*Result, error) {
+	return db.QueryOn(RM, query)
+}
+
+// QueryOn parses, plans, and executes the statement on the chosen path.
+func (db *DB) QueryOn(kind EngineKind, query string) (*Result, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := db.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("rfabric: unknown table %q", st.Table)
+	}
+	q, err := sql.Plan(st, t.tbl.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return db.execute(kind, t, q)
+}
+
+// Execute runs an already-built logical query on the chosen path.
+func (db *DB) Execute(kind EngineKind, tableName string, q Query) (*Result, error) {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("rfabric: unknown table %q", tableName)
+	}
+	return db.execute(kind, t, q)
+}
+
+func (db *DB) execute(kind EngineKind, t *dbTable, q Query) (*Result, error) {
+	switch kind {
+	case AUTO:
+		opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: t.col, Index: t.idx}
+		plan, err := opt.Choose(q)
+		if err != nil {
+			return nil, err
+		}
+		return db.execute(EngineKind(plan.Chosen), t, q)
+	case "IDX":
+		if t.idx == nil {
+			return nil, errors.New("rfabric: no index on this table")
+		}
+		e := &engine.IndexEngine{Tbl: t.tbl, Sys: db.sys, Idx: t.idx}
+		return e.Execute(q)
+	case RM:
+		e := &engine.RMEngine{Tbl: t.tbl, Sys: db.sys}
+		return e.Execute(q)
+	case ROW:
+		e := &engine.RowEngine{Tbl: t.tbl, Sys: db.sys}
+		return e.Execute(q)
+	case COL:
+		if t.col == nil {
+			store, err := colstore.FromTable(t.tbl, db.sys.Arena)
+			if err != nil {
+				return nil, err
+			}
+			t.col = store
+		}
+		e := &engine.ColEngine{Store: t.col, Sys: db.sys}
+		return e.Execute(q)
+	default:
+		return nil, errors.New("rfabric: unknown engine kind " + string(kind))
+	}
+}
+
+// Configure builds an ephemeral view of the named columns over a registered
+// table — the Fig. 3 API surface for callers that want the packed bytes
+// rather than query results.
+func (db *DB) Configure(tableName string, columns []string, opts ...ViewOption) (*Ephemeral, error) {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("rfabric: unknown table %q", tableName)
+	}
+	geom, err := NewGeometryByName(t.tbl.Schema(), columns...)
+	if err != nil {
+		return nil, err
+	}
+	return db.sys.Fab.Configure(t.tbl, geom, opts...)
+}
+
+// CompileSQL exposes the parser/planner for callers driving engines
+// directly.
+func CompileSQL(query string, schema *Schema) (Query, error) {
+	return sql.Compile(query, schema)
+}
+
+// ParseDate converts 'YYYY-MM-DD' into the day number DATE columns store.
+func ParseDate(s string) (int32, error) { return sql.ParseDate(s) }
+
+// FormatDate renders a DATE day number as 'YYYY-MM-DD'.
+func FormatDate(day int32) string { return sql.FormatDate(day) }

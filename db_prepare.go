@@ -1,0 +1,92 @@
+package rfabric
+
+import (
+	"fmt"
+
+	"rfabric/internal/sql"
+)
+
+// Plan caching. §III-B observes that with the fabric there are no buffered
+// data layouts to manage, so the evaluation engine "can buffer more code
+// fragments and reuse previously compiled code fragments more aggressively".
+// Compilation here is parse+plan; a Prepared statement is the reusable
+// fragment, and the DB keeps a cache keyed by query text so repeated ad-hoc
+// queries reuse their fragments automatically.
+
+// CompileCycles is the modeled cost of compiling one query fragment
+// (parse, resolve, plan) — charged once per distinct query text.
+const CompileCycles = 25_000
+
+// Prepared is a compiled query fragment bound to a table.
+type Prepared struct {
+	db    *DB
+	table string
+	query Query
+	text  string
+}
+
+// PlanCacheStats reports fragment-cache behaviour.
+type PlanCacheStats struct {
+	Hits     uint64
+	Misses   uint64
+	Resident int
+	// CompileCyclesSpent is the total modeled compilation time; a cache hit
+	// avoids CompileCycles of it.
+	CompileCyclesSpent uint64
+}
+
+type planCache struct {
+	frags map[string]*Prepared
+	stats PlanCacheStats
+}
+
+// Prepare compiles the statement (or fetches its cached fragment) and
+// returns the reusable Prepared.
+func (db *DB) Prepare(query string) (*Prepared, error) {
+	if db.plans == nil {
+		db.plans = &planCache{frags: map[string]*Prepared{}}
+	}
+	if p, ok := db.plans.frags[query]; ok {
+		db.plans.stats.Hits++
+		return p, nil
+	}
+	db.plans.stats.Misses++
+	db.plans.stats.CompileCyclesSpent += CompileCycles
+
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := db.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("rfabric: unknown table %q", st.Table)
+	}
+	q, err := sql.Plan(st, t.tbl.Schema())
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{db: db, table: st.Table, query: q, text: query}
+	db.plans.frags[query] = p
+	db.plans.stats.Resident = len(db.plans.frags)
+	return p, nil
+}
+
+// Run executes the fragment on the chosen path.
+func (p *Prepared) Run(kind EngineKind) (*Result, error) {
+	t, ok := p.db.tables[p.table]
+	if !ok {
+		return nil, fmt.Errorf("rfabric: table %q dropped since preparation", p.table)
+	}
+	return p.db.execute(kind, t, p.query)
+}
+
+// Text returns the source text of the fragment.
+func (p *Prepared) Text() string { return p.text }
+
+// PlanCache returns the fragment-cache statistics.
+func (db *DB) PlanCache() PlanCacheStats {
+	if db.plans == nil {
+		return PlanCacheStats{}
+	}
+	return db.plans.stats
+}

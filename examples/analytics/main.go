@@ -1,0 +1,123 @@
+// Analytics runs the paper's two practical queries — TPC-H Q1 (CPU-bound
+// pricing summary) and Q6 (data-movement-bound revenue forecast) — over a
+// sales-lineitem table on all three execution paths, printing the modeled
+// cost breakdowns behind Figure 7: Q1 is nearly layout-insensitive, Q6 is
+// where the fabric's transparent transformation pays off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rfabric"
+)
+
+const rows = 60_000
+
+func main() {
+	schema, err := rfabric.NewSchema(
+		rfabric.Column{Name: "orderkey", Type: rfabric.Int64, Width: 8},
+		rfabric.Column{Name: "partkey", Type: rfabric.Int64, Width: 8},
+		rfabric.Column{Name: "quantity", Type: rfabric.Float64, Width: 8},
+		rfabric.Column{Name: "extendedprice", Type: rfabric.Float64, Width: 8},
+		rfabric.Column{Name: "discount", Type: rfabric.Float64, Width: 8},
+		rfabric.Column{Name: "tax", Type: rfabric.Float64, Width: 8},
+		rfabric.Column{Name: "returnflag", Type: rfabric.Char, Width: 1},
+		rfabric.Column{Name: "linestatus", Type: rfabric.Char, Width: 1},
+		rfabric.Column{Name: "shipdate", Type: rfabric.Date, Width: 4},
+		rfabric.Column{Name: "comment", Type: rfabric.Char, Width: 26},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := rfabric.Open(rfabric.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.CreateTable("sales", schema, rows); err != nil {
+		log.Fatal(err)
+	}
+	if err := load(db); err != nil {
+		log.Fatal(err)
+	}
+	tbl, _ := db.Table("sales")
+	fmt.Printf("sales: %d rows, %.1f MB row-oriented base data\n", tbl.NumRows(), float64(tbl.SizeBytes())/(1<<20))
+
+	q1 := "SELECT returnflag, linestatus, SUM(quantity), SUM(extendedprice), " +
+		"SUM(extendedprice * (1 - discount)), SUM(extendedprice * (1 - discount) * (1 + tax)), " +
+		"AVG(quantity), COUNT(*) FROM sales WHERE shipdate <= DATE '1998-09-02' " +
+		"GROUP BY returnflag, linestatus"
+	q6 := "SELECT SUM(extendedprice * discount) FROM sales " +
+		"WHERE shipdate >= DATE '1994-01-01' AND shipdate < DATE '1995-01-01' " +
+		"AND discount BETWEEN 0.049 AND 0.071 AND quantity < 24"
+
+	for _, q := range []struct{ name, sql string }{{"Q1 (pricing summary, CPU-bound)", q1}, {"Q6 (revenue forecast, movement-bound)", q6}} {
+		fmt.Printf("\n=== %s ===\n", q.name)
+		var base uint64
+		for _, kind := range []rfabric.EngineKind{rfabric.ROW, rfabric.COL, rfabric.RM} {
+			db.System().ResetState()
+			res, err := db.QueryOn(kind, q.sql)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == 0 {
+				base = res.Breakdown.TotalCycles
+			}
+			fmt.Printf("%-4s cycles=%-10d (%.2fx ROW)  compute=%-9d memStall=%-9d bytesDRAM=%-9d bytesToCPU=%d\n",
+				res.Engine, res.Breakdown.TotalCycles,
+				float64(res.Breakdown.TotalCycles)/float64(base),
+				res.Breakdown.ComputeCycles, res.Breakdown.MemDemandCycles,
+				res.Breakdown.BytesFromDRAM, res.Breakdown.BytesToCPU)
+			if len(res.Groups) > 0 {
+				for _, g := range res.Groups {
+					fmt.Printf("      %s/%s: count=%d sum_qty=%s\n", g.Key[0], g.Key[1], g.Count, g.Aggs[0])
+				}
+			}
+			if len(res.Aggs) > 0 && len(res.Groups) == 0 {
+				fmt.Printf("      revenue=%s over %d qualifying rows\n", res.Aggs[0], res.RowsPassed)
+			}
+		}
+	}
+}
+
+// load populates the sales table with TPC-H-like distributions.
+func load(db *rfabric.DB) error {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		shipLo = 8035  // 1992-01-01
+		shipHi = 10440 // 1998-08-02
+		cutoff = 9298  // 1995-06-17
+	)
+	for i := 0; i < rows; i++ {
+		qty := float64(rng.Intn(50) + 1)
+		price := qty * (900 + float64(rng.Intn(2000))*10)
+		ship := int32(shipLo + rng.Intn(shipHi-shipLo))
+		rf, ls := "N", "O"
+		if int(ship) <= cutoff {
+			ls = "F"
+			if rng.Intn(2) == 0 {
+				rf = "R"
+			} else {
+				rf = "A"
+			}
+		}
+		err := db.Insert("sales",
+			rfabric.I64(int64(i/4+1)),
+			rfabric.I64(int64(rng.Intn(200000)+1)),
+			rfabric.F64(qty),
+			rfabric.F64(price),
+			rfabric.F64(float64(rng.Intn(11))/100),
+			rfabric.F64(float64(rng.Intn(9))/100),
+			rfabric.Str(rf),
+			rfabric.Str(ls),
+			rfabric.DateV(ship),
+			rfabric.Str("transparent transformation"),
+		)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package rfabric
+
+import (
+	"rfabric/internal/colstore"
+	"rfabric/internal/engine"
+	"rfabric/internal/index"
+	"rfabric/internal/shard"
+)
+
+// Joins (§III-B's full query engine over the same base data).
+type (
+	// JoinInput describes one side of an equi-join.
+	JoinInput = engine.JoinInput
+	// JoinResult is a join outcome with its modeled cost.
+	JoinResult = engine.JoinResult
+)
+
+// HashJoinRow joins two row tables tuple-at-a-time (left probes, right
+// builds).
+func HashJoinRow(sys *System, left, right *Table, l, r JoinInput) (*JoinResult, error) {
+	return engine.HashJoinRow(sys, left, right, l, r)
+}
+
+// HashJoinRM joins two tables through ephemeral views: each side's needed
+// columns are packed and shipped by the fabric.
+func HashJoinRM(sys *System, left, right *Table, l, r JoinInput) (*JoinResult, error) {
+	return engine.HashJoinRM(sys, left, right, l, r)
+}
+
+// HashJoinCol joins two columnar copies.
+func HashJoinCol(sys *System, left, right *colstore.Store, l, r JoinInput) (*JoinResult, error) {
+	return engine.HashJoinCol(sys, left, right, l, r)
+}
+
+// Sharding (§III-A: horizontal partitioning composed with the fabric).
+type (
+	// ShardedTable is a range-sharded table over fabric-equipped nodes.
+	ShardedTable = shard.Table
+	// ShardedResult is a merged sharded-query outcome.
+	ShardedResult = shard.Result
+)
+
+// NewShardedTable creates len(bounds)+1 shards on keyCol, each with its own
+// simulated system.
+func NewShardedTable(name string, schema *Schema, keyCol int, bounds []int64, capacityPerShard int, cfg Config) (*ShardedTable, error) {
+	return shard.New(name, schema, keyCol, bounds, capacityPerShard, cfg)
+}
+
+// Indexes (§III-A's residual role: point queries and small ranges).
+type (
+	// BTree is a B+tree over a numeric column of a row table.
+	BTree = index.BTree
+)
+
+// BuildIndex bulk-loads a B+tree over column col of tbl; node addresses
+// come from the system's arena so traversals are cost-modeled.
+func BuildIndex(sys *System, tbl *Table, col int) (*BTree, error) {
+	return index.Build(tbl, col, sys.Arena)
+}

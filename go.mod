@@ -1,0 +1,3 @@
+module rfabric
+
+go 1.22

@@ -1,0 +1,172 @@
+package colstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rfabric/internal/dram"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+func testTable(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	sch := geometry.MustSchema(
+		geometry.Column{Name: "id", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "name", Type: geometry.Char, Width: 7},
+		geometry.Column{Name: "qty", Type: geometry.Int32, Width: 4},
+	)
+	tbl := table.MustNew("t", sch, table.WithCapacity(rows))
+	rng := rand.New(rand.NewSource(5))
+	for r := 0; r < rows; r++ {
+		tbl.MustAppend(0,
+			table.I64(rng.Int63()),
+			table.Str(string(rune('a'+r%26))),
+			table.I32(rng.Int31()),
+		)
+	}
+	return tbl
+}
+
+func TestFromTableValues(t *testing.T) {
+	tbl := testTable(t, 100)
+	arena := dram.MustArena(0, 64)
+	s, err := FromTable(tbl, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 100 {
+		t.Fatalf("rows = %d", s.NumRows())
+	}
+	for r := 0; r < 100; r++ {
+		for c := 0; c < 3; c++ {
+			got, err := s.Get(r, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tbl.MustGet(r, c)) {
+				t.Errorf("row %d col %d: %s != %s", r, c, got, tbl.MustGet(r, c))
+			}
+		}
+	}
+}
+
+func TestFromTableDropsMVCCHeaders(t *testing.T) {
+	sch := geometry.MustSchema(geometry.Column{Name: "id", Type: geometry.Int64, Width: 8})
+	tbl := table.MustNew("t", sch, table.WithMVCC())
+	tbl.MustAppend(5, table.I64(42))
+	arena := dram.MustArena(0, 64)
+	s, err := FromTable(tbl, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SizeBytes(); got != 8 {
+		t.Errorf("columnar copy is %d bytes, want 8 (header dropped)", got)
+	}
+	v, err := s.Get(0, 0)
+	if err != nil || v.Int != 42 {
+		t.Errorf("Get = %v, %v", v, err)
+	}
+}
+
+func TestAddressesDisjointAndStaggered(t *testing.T) {
+	tbl := testTable(t, 512)
+	arena := dram.MustArena(0, 64)
+	s, err := FromTable(tbl, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := dram.MustNew(dram.DefaultConfig())
+	banks := map[int]bool{}
+	var prevEnd int64 = -1
+	for c := 0; c < 3; c++ {
+		start := s.ColumnAddr(c)
+		if start <= prevEnd {
+			t.Errorf("column %d range overlaps previous", c)
+		}
+		prevEnd = start + int64(len(s.ColumnData(c)))
+		banks[mem.BankOf(start)] = true
+	}
+	if len(banks) < 2 {
+		t.Errorf("column bases share a bank phase (%d distinct banks)", len(banks))
+	}
+}
+
+func TestValueAddr(t *testing.T) {
+	tbl := testTable(t, 10)
+	arena := dram.MustArena(0, 64)
+	s, _ := FromTable(tbl, arena)
+	if got, want := s.ValueAddr(2, 3), s.ColumnAddr(2)+12; got != want {
+		t.Errorf("ValueAddr = %d, want %d", got, want)
+	}
+}
+
+func TestGetBounds(t *testing.T) {
+	tbl := testTable(t, 5)
+	arena := dram.MustArena(0, 64)
+	s, _ := FromTable(tbl, arena)
+	if _, err := s.Get(5, 0); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := s.Get(0, 3); err == nil {
+		t.Error("column out of range accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	arena := dram.MustArena(0, 64)
+	if _, err := FromTable(nil, arena); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := FromTable(testTable(t, 1), nil); err == nil {
+		t.Error("nil arena accepted")
+	}
+}
+
+func TestSizeBytesMatchesTablePayload(t *testing.T) {
+	tbl := testTable(t, 64)
+	arena := dram.MustArena(0, 64)
+	s, _ := FromTable(tbl, arena)
+	if got, want := s.SizeBytes(), 64*tbl.Schema().RowBytes(); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+}
+
+// TestColumnDataProperty: the dense array of each column equals the
+// concatenation of that column's bytes across rows.
+func TestColumnDataProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(100) + 1
+		sch := geometry.MustSchema(
+			geometry.Column{Name: "a", Type: geometry.Int32, Width: 4},
+			geometry.Column{Name: "b", Type: geometry.Float64, Width: 8},
+		)
+		tbl := table.MustNew("t", sch, table.WithCapacity(rows))
+		for r := 0; r < rows; r++ {
+			tbl.MustAppend(0, table.I32(rng.Int31()), table.F64(rng.Float64()))
+		}
+		arena := dram.MustArena(0, 64)
+		s, err := FromTable(tbl, arena)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < 2; c++ {
+			w := sch.Column(c).Width
+			var want []byte
+			for r := 0; r < rows; r++ {
+				p := tbl.RowPayload(r)
+				want = append(want, p[sch.Offset(c):sch.Offset(c)+w]...)
+			}
+			if !bytes.Equal(s.ColumnData(c), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package compress implements the encodings the paper discusses in its
+// compression section (§III-D). Relational Fabric stores base data
+// row-oriented and gathers scattered per-row byte ranges, so a scheme is
+// fabric-compatible only if a single value can be decoded from a fixed,
+// computable location: dictionary, frame-of-reference delta, and
+// (block-wise) Huffman qualify. Run-length and LZ-family encodings require
+// sequential decode state and are implemented here as the contrast cases
+// the paper calls out — their codecs work, but they cannot serve scattered
+// accesses.
+package compress
+
+// Codec describes one implemented encoding and its fabric compatibility.
+type Codec struct {
+	Name string
+	// RandomAccess reports whether a value (or at worst its small block)
+	// can be decoded from a computable offset — the property the fabric's
+	// gather engine needs (§III-D).
+	RandomAccess bool
+	// Reason is the one-line justification recorded in the docs.
+	Reason string
+}
+
+// Codecs enumerates the implemented encodings, in the order §III-D
+// discusses them.
+func Codecs() []Codec {
+	return []Codec{
+		{Name: "dictionary", RandomAccess: true, Reason: "fixed-width codes index a dictionary; any row's code sits at row*codeWidth"},
+		{Name: "delta", RandomAccess: true, Reason: "frame-of-reference blocks hold fixed-width packed deltas; block and bit offset are computable"},
+		{Name: "huffman", RandomAccess: true, Reason: "canonical codes with a block index; a block is decoded to reach a value"},
+		{Name: "rle", RandomAccess: false, Reason: "run boundaries depend on the data; locating row i requires scanning runs"},
+		{Name: "lz77", RandomAccess: false, Reason: "back-references need the full decode window; only sequential decompression"},
+	}
+}

@@ -1,0 +1,373 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecsCatalog(t *testing.T) {
+	codecs := Codecs()
+	if len(codecs) != 5 {
+		t.Fatalf("got %d codecs, want 5", len(codecs))
+	}
+	wantRandom := map[string]bool{
+		"dictionary": true, "delta": true, "huffman": true,
+		"rle": false, "lz77": false,
+	}
+	for _, c := range codecs {
+		want, ok := wantRandom[c.Name]
+		if !ok {
+			t.Errorf("unexpected codec %q", c.Name)
+			continue
+		}
+		if c.RandomAccess != want {
+			t.Errorf("%s.RandomAccess = %v, want %v", c.Name, c.RandomAccess, want)
+		}
+		if c.Reason == "" {
+			t.Errorf("%s has no documented reason", c.Name)
+		}
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	values := []string{"AIR", "SEA", "ROAD", "AIR", "AIR", "SEA"}
+	var data []byte
+	for _, v := range values {
+		cell := make([]byte, 4)
+		copy(cell, v)
+		data = append(data, cell...)
+	}
+	d, err := EncodeDict(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cardinality() != 3 {
+		t.Errorf("cardinality = %d, want 3", d.Cardinality())
+	}
+	if d.CodeWidth() != 1 {
+		t.Errorf("code width = %d, want 1", d.CodeWidth())
+	}
+	if !d.Equal(data) {
+		t.Error("round trip failed")
+	}
+	v, err := d.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v[:3]) != "AIR" {
+		t.Errorf("At(3) = %q", v)
+	}
+	if _, err := d.At(6); err == nil {
+		t.Error("out-of-range At accepted")
+	}
+}
+
+func TestDictCodeWidthGrowth(t *testing.T) {
+	// 300 distinct 2-byte values forces 2-byte codes.
+	var data []byte
+	for i := 0; i < 300; i++ {
+		data = append(data, byte(i), byte(i>>8))
+	}
+	d, err := EncodeDict(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CodeWidth() != 2 {
+		t.Errorf("code width = %d, want 2 for 300 distinct values", d.CodeWidth())
+	}
+	if !d.Equal(data) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestDictValidation(t *testing.T) {
+	if _, err := EncodeDict([]byte{1, 2, 3}, 2); err == nil {
+		t.Error("misaligned data accepted")
+	}
+	if _, err := EncodeDict(nil, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+// TestDictRoundTripProperty: encode/decode is identity and At(i) matches
+// the original cell, for random columns.
+func TestDictRoundTripProperty(t *testing.T) {
+	check := func(seed int64, widthSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := int(widthSel%8) + 1
+		rows := rng.Intn(300) + 1
+		distinct := rng.Intn(20) + 1
+		pool := make([][]byte, distinct)
+		for i := range pool {
+			pool[i] = make([]byte, width)
+			rng.Read(pool[i])
+		}
+		var data []byte
+		for r := 0; r < rows; r++ {
+			data = append(data, pool[rng.Intn(distinct)]...)
+		}
+		d, err := EncodeDict(data, width)
+		if err != nil {
+			return false
+		}
+		if !d.Equal(data) {
+			return false
+		}
+		r := rng.Intn(rows)
+		v, err := d.At(r)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(v, data[r*width:(r+1)*width])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	values := []int64{100, 101, 99, 150, 100, 100, 250}
+	d := EncodeDelta(values)
+	got := d.DecodeAll()
+	for i, v := range values {
+		if got[i] != v {
+			t.Errorf("DecodeAll[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+	if _, err := d.At(len(values)); err == nil {
+		t.Error("out-of-range At accepted")
+	}
+}
+
+func TestDeltaCompressesNarrowRanges(t *testing.T) {
+	values := make([]int64, 10_000)
+	for i := range values {
+		values[i] = 1_000_000_000 + int64(i%16)
+	}
+	d := EncodeDelta(values)
+	if raw := len(values) * 8; d.EncodedSize() >= raw/4 {
+		t.Errorf("narrow-range data compressed to %d of %d bytes; expected > 4x", d.EncodedSize(), raw)
+	}
+}
+
+// TestDeltaRoundTripProperty covers negative values, constants, and wide
+// ranges (including values needing all 64 bits of delta).
+func TestDeltaRoundTripProperty(t *testing.T) {
+	check := func(values []int64) bool {
+		if len(values) == 0 {
+			return true
+		}
+		d := EncodeDelta(values)
+		if d.Rows() != len(values) {
+			return false
+		}
+		got := d.DecodeAll()
+		for i := range values {
+			if got[i] != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog, the dog sleeps")
+	hb, err := EncodeHuffman(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hb.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip failed: %q", got)
+	}
+	// Block random access.
+	blk, err := hb.DecodeBlock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blk, data[32:48]) {
+		t.Errorf("DecodeBlock(2) = %q, want %q", blk, data[32:48])
+	}
+	if _, err := hb.DecodeBlock(99); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+}
+
+func TestHuffmanDegenerateInputs(t *testing.T) {
+	// Empty input.
+	hb, err := EncodeHuffman(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := hb.DecodeAll(); err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v, %v", got, err)
+	}
+	// Single-symbol input (degenerate tree).
+	one := bytes.Repeat([]byte{'x'}, 100)
+	hb2, err := EncodeHuffman(one, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hb2.DecodeAll()
+	if err != nil || !bytes.Equal(got, one) {
+		t.Errorf("single-symbol round trip failed: %v", err)
+	}
+	if _, err := EncodeHuffman(one, 0); err == nil {
+		t.Error("zero block length accepted")
+	}
+}
+
+func TestHuffmanCompressesSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 50_000)
+	for i := range data {
+		// Heavy skew: mostly 'a', some 'b'..'e'.
+		if rng.Intn(10) == 0 {
+			data[i] = byte('b' + rng.Intn(4))
+		} else {
+			data[i] = 'a'
+		}
+	}
+	hb, err := EncodeHuffman(data, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.EncodedSize() >= len(data)/2 {
+		t.Errorf("skewed data compressed to %d of %d bytes", hb.EncodedSize(), len(data))
+	}
+}
+
+// TestHuffmanRoundTripProperty: arbitrary byte strings survive.
+func TestHuffmanRoundTripProperty(t *testing.T) {
+	check := func(data []byte, blockSel uint8) bool {
+		block := int(blockSel%64) + 1
+		hb, err := EncodeHuffman(data, block)
+		if err != nil {
+			return false
+		}
+		got, err := hb.DecodeAll()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	data := []byte{1, 1, 1, 2, 2, 3, 1, 1}
+	c, err := EncodeRLE(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs() != 4 {
+		t.Errorf("runs = %d, want 4", c.Runs())
+	}
+	if !bytes.Equal(c.DecodeAll(), data) {
+		t.Error("round trip failed")
+	}
+	for i, want := range data {
+		v, err := c.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v[0] != want {
+			t.Errorf("At(%d) = %d, want %d", i, v[0], want)
+		}
+	}
+	if _, err := c.At(8); err == nil {
+		t.Error("out-of-range At accepted")
+	}
+}
+
+// TestRLERoundTripProperty with multi-byte values.
+func TestRLERoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := rng.Intn(6) + 1
+		runs := rng.Intn(20) + 1
+		var data []byte
+		for r := 0; r < runs; r++ {
+			v := make([]byte, width)
+			rng.Read(v)
+			repeat := rng.Intn(10) + 1
+			for k := 0; k < repeat; k++ {
+				data = append(data, v...)
+			}
+		}
+		c, err := EncodeRLE(data, width)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(c.DecodeAll(), data) {
+			return false
+		}
+		r := rng.Intn(c.Rows())
+		v, err := c.At(r)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(v, data[r*width:(r+1)*width])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLZ77RoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("relational fabric "), 64)
+	enc := EncodeLZ77(data)
+	if len(enc) >= len(data)/2 {
+		t.Errorf("repetitive data compressed to %d of %d bytes", len(enc), len(data))
+	}
+	got, err := DecodeLZ77(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestLZ77RejectsCorruptStreams(t *testing.T) {
+	bad := [][]byte{
+		{0x02},             // unknown opcode
+		{0x00, 5, 1, 2},    // literals truncated
+		{0x01, 0, 0, 0},    // zero distance
+		{0x01, 10, 0, 0},   // distance beyond output
+		{0x01, 1},          // match header truncated
+		{0x00},             // literal header truncated
+		{0x00, 0, 0x01, 5}, // valid empty literal then bad match
+	}
+	for i, enc := range bad {
+		if _, err := DecodeLZ77(enc); err == nil {
+			t.Errorf("corrupt stream %d accepted", i)
+		}
+	}
+}
+
+// TestLZ77RoundTripProperty: arbitrary data survives, including
+// incompressible noise.
+func TestLZ77RoundTripProperty(t *testing.T) {
+	check := func(data []byte) bool {
+		got, err := DecodeLZ77(EncodeLZ77(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

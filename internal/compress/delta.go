@@ -1,0 +1,107 @@
+package compress
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// deltaBlockLen is the frame size of the frame-of-reference encoding.
+const deltaBlockLen = 128
+
+// DeltaColumn is a frame-of-reference (FOR) encoding of int64 values:
+// each 128-value block stores its minimum and bit-packed offsets from it.
+// Both the block and the bit position of any value are computable from the
+// row number, so the encoding is fabric-compatible (§III-D).
+type DeltaColumn struct {
+	rows   int
+	mins   []int64
+	widths []uint8 // bits per packed offset, per block
+	packed [][]byte
+}
+
+// EncodeDelta frame-of-reference-encodes the values.
+func EncodeDelta(values []int64) *DeltaColumn {
+	d := &DeltaColumn{rows: len(values)}
+	for start := 0; start < len(values); start += deltaBlockLen {
+		end := start + deltaBlockLen
+		if end > len(values) {
+			end = len(values)
+		}
+		block := values[start:end]
+		min := block[0]
+		for _, v := range block {
+			if v < min {
+				min = v
+			}
+		}
+		var maxDelta uint64
+		for _, v := range block {
+			if dlt := uint64(v - min); dlt > maxDelta {
+				maxDelta = dlt
+			}
+		}
+		width := uint8(bits.Len64(maxDelta))
+		packed := make([]byte, (len(block)*int(width)+7)/8)
+		for i, v := range block {
+			packBits(packed, i*int(width), uint64(v-min), int(width))
+		}
+		d.mins = append(d.mins, min)
+		d.widths = append(d.widths, width)
+		d.packed = append(d.packed, packed)
+	}
+	return d
+}
+
+// packBits writes the low `width` bits of v at bit offset off.
+func packBits(dst []byte, off int, v uint64, width int) {
+	for i := 0; i < width; i++ {
+		if v&(1<<uint(i)) != 0 {
+			dst[(off+i)/8] |= 1 << uint((off+i)%8)
+		}
+	}
+}
+
+// unpackBits reads `width` bits at bit offset off.
+func unpackBits(src []byte, off, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if src[(off+i)/8]&(1<<uint((off+i)%8)) != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Rows returns the number of encoded values.
+func (d *DeltaColumn) Rows() int { return d.rows }
+
+// EncodedSize returns total encoded bytes.
+func (d *DeltaColumn) EncodedSize() int {
+	n := len(d.mins) * 9 // min + width per block
+	for _, p := range d.packed {
+		n += len(p)
+	}
+	return n
+}
+
+// At decodes the value at row r — a computable block + bit offset, no
+// sequential state.
+func (d *DeltaColumn) At(r int) (int64, error) {
+	if r < 0 || r >= d.rows {
+		return 0, fmt.Errorf("compress: row %d out of range [0,%d)", r, d.rows)
+	}
+	b := r / deltaBlockLen
+	i := r % deltaBlockLen
+	w := int(d.widths[b])
+	return d.mins[b] + int64(unpackBits(d.packed[b], i*w, w)), nil
+}
+
+// DecodeAll reconstructs all values.
+func (d *DeltaColumn) DecodeAll() []int64 {
+	out := make([]int64, d.rows)
+	for r := range out {
+		v, _ := d.At(r)
+		out[r] = v
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// EncodedTable is a row table whose chosen columns are stored as fixed-width
+// dictionary codes instead of their raw values. Because codes are
+// fixed-width and positionally addressable, the fabric gathers and ships
+// them like any other column (§III-D: dictionary encoding "can be used in
+// row-oriented data, and hence ... can benefit any groups of columns
+// requested by ephemeral columns"); the consumer decodes shipped codes
+// against the (cache-resident) dictionaries. The physical rows shrink, so
+// both the fabric's gathers and the baselines' scans move fewer bytes.
+type EncodedTable struct {
+	// Table is the re-encoded physical table. Encoded columns keep their
+	// names but become INT code columns.
+	Table *table.Table
+	// Dicts maps column index -> dictionary for the encoded columns.
+	Dicts map[int]*DictColumn
+
+	src *geometry.Schema
+}
+
+// EncodeTableDict rewrites src with the given columns dictionary-encoded.
+// The new table is placed at baseAddr (use an arena to obtain one).
+func EncodeTableDict(src *table.Table, cols []int, baseAddr int64) (*EncodedTable, error) {
+	if src == nil {
+		return nil, errors.New("compress: nil table")
+	}
+	if src.HasMVCC() {
+		return nil, errors.New("compress: MVCC tables cannot be re-encoded in place")
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("compress: no columns to encode")
+	}
+	sch := src.Schema()
+	toEncode := map[int]bool{}
+	for _, c := range cols {
+		if c < 0 || c >= sch.NumColumns() {
+			return nil, fmt.Errorf("compress: column %d out of range", c)
+		}
+		if toEncode[c] {
+			return nil, fmt.Errorf("compress: column %d listed twice", c)
+		}
+		toEncode[c] = true
+	}
+
+	// Build dictionaries from the dense column data.
+	dicts := map[int]*DictColumn{}
+	for c := range toEncode {
+		w := sch.Column(c).Width
+		raw := make([]byte, 0, src.NumRows()*w)
+		for r := 0; r < src.NumRows(); r++ {
+			p := src.RowPayload(r)
+			raw = append(raw, p[sch.Offset(c):sch.Offset(c)+w]...)
+		}
+		d, err := EncodeDict(raw, w)
+		if err != nil {
+			return nil, fmt.Errorf("compress: column %q: %w", sch.Column(c).Name, err)
+		}
+		dicts[c] = d
+	}
+
+	// New schema: encoded columns become INT codes.
+	defs := make([]geometry.Column, sch.NumColumns())
+	for c := 0; c < sch.NumColumns(); c++ {
+		defs[c] = sch.Column(c)
+		if toEncode[c] {
+			defs[c] = geometry.Column{Name: sch.Column(c).Name, Type: geometry.Int32, Width: 4}
+		}
+	}
+	encSchema, err := geometry.NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := table.New(src.Name()+".dict", encSchema,
+		table.WithCapacity(src.NumRows()), table.WithBaseAddr(baseAddr))
+	if err != nil {
+		return nil, err
+	}
+
+	// Re-encode every row.
+	vals := make([]table.Value, sch.NumColumns())
+	for r := 0; r < src.NumRows(); r++ {
+		for c := 0; c < sch.NumColumns(); c++ {
+			v, err := src.Get(r, c)
+			if err != nil {
+				return nil, err
+			}
+			if !toEncode[c] {
+				vals[c] = v
+				continue
+			}
+			d := dicts[c]
+			code := getCode(d.codes[r*d.codeWidth:], d.codeWidth)
+			vals[c] = table.I32(int32(code))
+		}
+		if _, err := enc.Append(0, vals...); err != nil {
+			return nil, err
+		}
+	}
+	return &EncodedTable{Table: enc, Dicts: dicts, src: sch}, nil
+}
+
+// Decode maps a shipped value back to its original form: codes of encoded
+// columns are resolved through the dictionary, everything else passes
+// through.
+func (e *EncodedTable) Decode(col int, v table.Value) (table.Value, error) {
+	d, ok := e.Dicts[col]
+	if !ok {
+		return v, nil
+	}
+	raw := d.dict
+	id := int(v.Int)
+	if id < 0 || (id+1)*d.width > len(raw) {
+		return table.Value{}, fmt.Errorf("compress: code %d out of dictionary range", id)
+	}
+	return table.DecodeColumn(e.src.Column(col), raw[id*d.width:(id+1)*d.width]), nil
+}
+
+// SavedBytesPerRow reports how much narrower each physical row became.
+func (e *EncodedTable) SavedBytesPerRow() int {
+	saved := 0
+	for c, d := range e.Dicts {
+		saved += e.src.Column(c).Width - 4
+		_ = d
+	}
+	return saved
+}
+
+// DictionaryBytes is the total resident dictionary footprint the consumer
+// keeps warm.
+func (e *EncodedTable) DictionaryBytes() int {
+	total := 0
+	for _, d := range e.Dicts {
+		total += len(d.dict)
+	}
+	return total
+}

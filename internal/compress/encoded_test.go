@@ -1,0 +1,138 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"rfabric/internal/dram"
+	"rfabric/internal/engine"
+	"rfabric/internal/fabric"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+func encodedFixture(t *testing.T, rows int) (*table.Table, *EncodedTable, *engine.System) {
+	t.Helper()
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	sch := geometry.MustSchema(
+		geometry.Column{Name: "id", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "mode", Type: geometry.Char, Width: 10},
+		geometry.Column{Name: "qty", Type: geometry.Int32, Width: 4},
+		geometry.Column{Name: "note", Type: geometry.Char, Width: 24},
+	)
+	src := table.MustNew("t", sch, table.WithCapacity(rows),
+		table.WithBaseAddr(sys.Arena.Alloc(int64(rows*sch.RowBytes()))))
+	modes := []string{"AIR", "RAIL", "SHIP", "TRUCK"}
+	notes := []string{"carefully packed", "quick deposits", "final requests"}
+	rng := rand.New(rand.NewSource(31))
+	for r := 0; r < rows; r++ {
+		src.MustAppend(0,
+			table.I64(int64(r)),
+			table.Str(modes[rng.Intn(len(modes))]),
+			table.I32(rng.Int31n(100)),
+			table.Str(notes[rng.Intn(len(notes))]),
+		)
+	}
+	enc, err := EncodeTableDict(src, []int{1, 3}, sys.Arena.Alloc(int64(rows*sch.RowBytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, enc, sys
+}
+
+func TestEncodedTableDecodesToOriginal(t *testing.T) {
+	src, enc, _ := encodedFixture(t, 500)
+	for r := 0; r < src.NumRows(); r++ {
+		for c := 0; c < src.Schema().NumColumns(); c++ {
+			code, err := enc.Table.Get(r, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := enc.Decode(c, code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := src.Get(r, c)
+			if !got.Equal(want) {
+				t.Fatalf("row %d col %d: %s != %s", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodedTableShrinksRows(t *testing.T) {
+	src, enc, _ := encodedFixture(t, 100)
+	if enc.SavedBytesPerRow() != (10-4)+(24-4) {
+		t.Errorf("SavedBytesPerRow = %d", enc.SavedBytesPerRow())
+	}
+	if got, want := enc.Table.Schema().RowBytes(), src.Schema().RowBytes()-26; got != want {
+		t.Errorf("encoded row bytes = %d, want %d", got, want)
+	}
+	if enc.DictionaryBytes() == 0 {
+		t.Error("no dictionary footprint")
+	}
+}
+
+// TestEphemeralViewOverEncodedColumns is the §III-D integration: the fabric
+// ships dictionary codes instead of wide strings, moving far fewer bytes
+// for the same logical result.
+func TestEphemeralViewOverEncodedColumns(t *testing.T) {
+	src, enc, sys := encodedFixture(t, 4000)
+
+	scan := func(tbl *table.Table, cols ...int) (*fabric.Ephemeral, uint64) {
+		geom := geometry.MustGeometry(tbl.Schema(), cols...)
+		ev, err := sys.Fab.Configure(tbl, geom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := sys.Fab.Stats().BytesShipped
+		ev.Materialize()
+		return ev, sys.Fab.Stats().BytesShipped - before
+	}
+
+	// Project the two string columns raw vs encoded.
+	_, rawShipped := scan(src, 1, 3)
+	evEnc, encShipped := scan(enc.Table, 1, 3)
+	if encShipped*3 > rawShipped {
+		t.Errorf("encoded view shipped %d bytes vs raw %d — expected > 3x reduction", encShipped, rawShipped)
+	}
+
+	// And the shipped codes decode to the original values.
+	packed := evEnc.Materialize()
+	pw := evEnc.PackedWidth()
+	for r := 0; r < 20; r++ {
+		row := packed[r*pw : (r+1)*pw]
+		codeMode := table.DecodeColumn(enc.Table.Schema().Column(1), row[0:4])
+		mode, err := enc.Decode(1, codeMode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := src.Get(r, 1)
+		if !mode.Equal(want) {
+			t.Fatalf("row %d decoded mode %s, want %s", r, mode, want)
+		}
+	}
+}
+
+func TestEncodeTableValidation(t *testing.T) {
+	sch := geometry.MustSchema(geometry.Column{Name: "a", Type: geometry.Int64, Width: 8})
+	arena := dram.MustArena(0, 64)
+	plain := table.MustNew("t", sch)
+	plain.MustAppend(0, table.I64(1))
+	if _, err := EncodeTableDict(plain, nil, arena.Alloc(64)); err == nil {
+		t.Error("empty column list accepted")
+	}
+	if _, err := EncodeTableDict(plain, []int{5}, arena.Alloc(64)); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := EncodeTableDict(plain, []int{0, 0}, arena.Alloc(64)); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	mv := table.MustNew("m", sch, table.WithMVCC())
+	if _, err := EncodeTableDict(mv, []int{0}, arena.Alloc(64)); err == nil {
+		t.Error("MVCC table accepted")
+	}
+	if _, err := EncodeTableDict(nil, []int{0}, 0); err == nil {
+		t.Error("nil table accepted")
+	}
+}

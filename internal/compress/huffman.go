@@ -1,0 +1,223 @@
+package compress
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// HuffmanBlob is canonical-Huffman-coded data with a block index: the input
+// is coded in fixed-size blocks whose bit offsets are recorded, so a single
+// block can be decoded without touching the rest — the granularity at which
+// the fabric can serve scattered accesses over Huffman data (§III-D).
+type HuffmanBlob struct {
+	blockLen   int // input bytes per block
+	size       int // original length
+	codeLens   [256]uint8
+	bits       []byte
+	blockBits  []int // starting bit of each block
+	haveSymbol [256]bool
+}
+
+type huffNode struct {
+	sym         int // -1 for internal
+	count       uint64
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int            { return len(h) }
+func (h huffHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// EncodeHuffman codes data with blockLen input bytes per indexed block.
+func EncodeHuffman(data []byte, blockLen int) (*HuffmanBlob, error) {
+	if blockLen <= 0 {
+		return nil, fmt.Errorf("compress: non-positive huffman block length %d", blockLen)
+	}
+	hb := &HuffmanBlob{blockLen: blockLen, size: len(data)}
+	if len(data) == 0 {
+		return hb, nil
+	}
+
+	var counts [256]uint64
+	for _, b := range data {
+		counts[b]++
+		hb.haveSymbol[b] = true
+	}
+
+	// Build the tree and derive code lengths.
+	h := &huffHeap{}
+	heap.Init(h)
+	for s, c := range counts {
+		if c > 0 {
+			heap.Push(h, &huffNode{sym: s, count: c})
+		}
+	}
+	if h.Len() == 1 {
+		// Degenerate single-symbol input: give it a 1-bit code.
+		hb.codeLens[(*h)[0].sym] = 1
+	} else {
+		for h.Len() > 1 {
+			a := heap.Pop(h).(*huffNode)
+			b := heap.Pop(h).(*huffNode)
+			heap.Push(h, &huffNode{sym: -1, count: a.count + b.count, left: a, right: b})
+		}
+		assignLens(heap.Pop(h).(*huffNode), 0, &hb.codeLens)
+	}
+
+	codes := canonicalCodes(hb.codeLens)
+
+	// Encode block by block, recording bit offsets.
+	bitPos := 0
+	for start := 0; start < len(data); start += blockLen {
+		hb.blockBits = append(hb.blockBits, bitPos)
+		end := start + blockLen
+		if end > len(data) {
+			end = len(data)
+		}
+		for _, b := range data[start:end] {
+			l := int(hb.codeLens[b])
+			c := codes[b]
+			need := (bitPos + l + 7) / 8
+			for len(hb.bits) < need {
+				hb.bits = append(hb.bits, 0)
+			}
+			// Canonical codes are written MSB-first.
+			for i := l - 1; i >= 0; i-- {
+				if c&(1<<uint(i)) != 0 {
+					hb.bits[bitPos/8] |= 1 << uint(7-bitPos%8)
+				}
+				bitPos++
+			}
+		}
+	}
+	return hb, nil
+}
+
+func assignLens(n *huffNode, depth uint8, lens *[256]uint8) {
+	if n.sym >= 0 {
+		if depth == 0 {
+			depth = 1
+		}
+		lens[n.sym] = depth
+		return
+	}
+	assignLens(n.left, depth+1, lens)
+	assignLens(n.right, depth+1, lens)
+}
+
+// canonicalCodes derives canonical codes from code lengths.
+func canonicalCodes(lens [256]uint8) [256]uint32 {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var order []sl
+	for s, l := range lens {
+		if l > 0 {
+			order = append(order, sl{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	var codes [256]uint32
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, e := range order {
+		code <<= uint(e.l - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.l
+	}
+	return codes
+}
+
+// Size returns the original byte length.
+func (hb *HuffmanBlob) Size() int { return hb.size }
+
+// Blocks returns how many indexed blocks the blob holds.
+func (hb *HuffmanBlob) Blocks() int { return len(hb.blockBits) }
+
+// EncodedSize returns the coded bytes plus index overhead.
+func (hb *HuffmanBlob) EncodedSize() int {
+	return len(hb.bits) + len(hb.blockBits)*4 + 256
+}
+
+// DecodeBlock decodes block b (the random-access unit).
+func (hb *HuffmanBlob) DecodeBlock(b int) ([]byte, error) {
+	if b < 0 || b >= len(hb.blockBits) {
+		return nil, fmt.Errorf("compress: block %d out of range [0,%d)", b, len(hb.blockBits))
+	}
+	start := b * hb.blockLen
+	end := start + hb.blockLen
+	if end > hb.size {
+		end = hb.size
+	}
+	return hb.decode(hb.blockBits[b], end-start)
+}
+
+// DecodeAll reconstructs the original input.
+func (hb *HuffmanBlob) DecodeAll() ([]byte, error) {
+	if hb.size == 0 {
+		return nil, nil
+	}
+	out := make([]byte, 0, hb.size)
+	for b := 0; b < hb.Blocks(); b++ {
+		blk, err := hb.DecodeBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// decode reads n symbols starting at bit offset.
+func (hb *HuffmanBlob) decode(bitPos, n int) ([]byte, error) {
+	codes := canonicalCodes(hb.codeLens)
+	// Build a (length, code) → symbol map; fine for 256 symbols.
+	type key struct {
+		l uint8
+		c uint32
+	}
+	bySym := make(map[key]byte, 256)
+	for s := 0; s < 256; s++ {
+		if hb.codeLens[s] > 0 {
+			bySym[key{hb.codeLens[s], codes[s]}] = byte(s)
+		}
+	}
+	out := make([]byte, 0, n)
+	var cur uint32
+	var curLen uint8
+	for len(out) < n {
+		if bitPos >= len(hb.bits)*8 {
+			return nil, errors.New("compress: huffman stream truncated")
+		}
+		cur = cur<<1 | uint32((hb.bits[bitPos/8]>>uint(7-bitPos%8))&1)
+		curLen++
+		bitPos++
+		if s, ok := bySym[key{curLen, cur}]; ok {
+			out = append(out, s)
+			cur, curLen = 0, 0
+		}
+		if curLen > 32 {
+			return nil, errors.New("compress: huffman code longer than 32 bits")
+		}
+	}
+	return out, nil
+}

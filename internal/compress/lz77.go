@@ -1,0 +1,116 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// LZ77 is a small sliding-window compressor in the LZ family the paper says
+// row stores frequently use but which "require fully decompressing your
+// data before you can access separate columns" (§III-D). Back-references
+// reach up to lzWindow bytes back, so nothing short of sequential decode
+// reconstructs an arbitrary offset.
+const (
+	lzWindow   = 4096
+	lzMinMatch = 4
+	lzMaxMatch = 255 + lzMinMatch
+)
+
+// EncodeLZ77 compresses data. The format is a sequence of ops:
+// 0x00 <len:1> <literals...> or 0x01 <dist:2> <len:1>.
+func EncodeLZ77(data []byte) []byte {
+	var out []byte
+	var lits []byte
+	flushLits := func() {
+		for len(lits) > 0 {
+			n := len(lits)
+			if n > 255 {
+				n = 255
+			}
+			out = append(out, 0x00, byte(n))
+			out = append(out, lits[:n]...)
+			lits = lits[n:]
+		}
+	}
+
+	// Hash-chain-free greedy matcher: scan a bounded window. Fine for the
+	// sizes the tests and benches use; clarity over speed.
+	i := 0
+	for i < len(data) {
+		bestLen, bestDist := 0, 0
+		lo := i - lzWindow
+		if lo < 0 {
+			lo = 0
+		}
+		maxLen := len(data) - i
+		if maxLen > lzMaxMatch {
+			maxLen = lzMaxMatch
+		}
+		if maxLen >= lzMinMatch {
+			for j := lo; j < i; j++ {
+				if data[j] != data[i] {
+					continue
+				}
+				l := 0
+				for l < maxLen && data[j+l] == data[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestDist = l, i-j
+					if l == maxLen {
+						break
+					}
+				}
+			}
+		}
+		if bestLen >= lzMinMatch {
+			flushLits()
+			var d [2]byte
+			binary.LittleEndian.PutUint16(d[:], uint16(bestDist))
+			out = append(out, 0x01, d[0], d[1], byte(bestLen-lzMinMatch))
+			i += bestLen
+			continue
+		}
+		lits = append(lits, data[i])
+		i++
+	}
+	flushLits()
+	return out
+}
+
+// DecodeLZ77 decompresses a buffer produced by EncodeLZ77.
+func DecodeLZ77(enc []byte) ([]byte, error) {
+	var out []byte
+	i := 0
+	for i < len(enc) {
+		switch enc[i] {
+		case 0x00:
+			if i+2 > len(enc) {
+				return nil, errors.New("compress: lz77 literal header truncated")
+			}
+			n := int(enc[i+1])
+			if i+2+n > len(enc) {
+				return nil, errors.New("compress: lz77 literals truncated")
+			}
+			out = append(out, enc[i+2:i+2+n]...)
+			i += 2 + n
+		case 0x01:
+			if i+4 > len(enc) {
+				return nil, errors.New("compress: lz77 match truncated")
+			}
+			dist := int(binary.LittleEndian.Uint16(enc[i+1 : i+3]))
+			length := int(enc[i+3]) + lzMinMatch
+			if dist <= 0 || dist > len(out) {
+				return nil, fmt.Errorf("compress: lz77 bad distance %d at output %d", dist, len(out))
+			}
+			for k := 0; k < length; k++ {
+				out = append(out, out[len(out)-dist])
+			}
+			i += 4
+		default:
+			return nil, fmt.Errorf("compress: lz77 bad opcode %#x at %d", enc[i], i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// RLEColumn is a run-length encoding of fixed-width values. Locating row r
+// requires walking the runs (or a search over cumulative counts) — the data-
+// dependent layout that makes RLE unusable for the fabric's computed-offset
+// gathers "out of the box" (§III-D).
+type RLEColumn struct {
+	width int
+	runs  []rleRun
+	rows  int
+}
+
+type rleRun struct {
+	value []byte
+	count int
+	// cum is the number of rows before this run, kept so tests can show
+	// that even "random access" needs a search, not an offset computation.
+	cum int
+}
+
+// EncodeRLE run-length-encodes a dense column of fixed-width values.
+func EncodeRLE(data []byte, width int) (*RLEColumn, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("compress: non-positive value width %d", width)
+	}
+	if len(data)%width != 0 {
+		return nil, fmt.Errorf("compress: data length %d not a multiple of width %d", len(data), width)
+	}
+	c := &RLEColumn{width: width, rows: len(data) / width}
+	for r := 0; r < c.rows; r++ {
+		v := data[r*width : (r+1)*width]
+		if n := len(c.runs); n > 0 && bytes.Equal(c.runs[n-1].value, v) {
+			c.runs[n-1].count++
+			continue
+		}
+		val := make([]byte, width)
+		copy(val, v)
+		c.runs = append(c.runs, rleRun{value: val, count: 1, cum: r})
+	}
+	return c, nil
+}
+
+// Rows returns the number of encoded values.
+func (c *RLEColumn) Rows() int { return c.rows }
+
+// Runs returns the number of runs.
+func (c *RLEColumn) Runs() int { return len(c.runs) }
+
+// EncodedSize returns total encoded bytes (value + count per run).
+func (c *RLEColumn) EncodedSize() int { return len(c.runs) * (c.width + 4) }
+
+// At locates row r by binary search over run boundaries. It works, but the
+// position depends on the data — no fixed stride a gather engine could be
+// programmed with.
+func (c *RLEColumn) At(r int) ([]byte, error) {
+	if r < 0 || r >= c.rows {
+		return nil, fmt.Errorf("compress: row %d out of range [0,%d)", r, c.rows)
+	}
+	lo, hi := 0, len(c.runs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.runs[mid].cum <= r {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	out := make([]byte, c.width)
+	copy(out, c.runs[lo].value)
+	return out, nil
+}
+
+// DecodeAll reconstructs the original dense column.
+func (c *RLEColumn) DecodeAll() []byte {
+	out := make([]byte, 0, c.rows*c.width)
+	for _, run := range c.runs {
+		for i := 0; i < run.count; i++ {
+			out = append(out, run.value...)
+		}
+	}
+	return out
+}

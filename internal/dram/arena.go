@@ -1,0 +1,51 @@
+package dram
+
+import "fmt"
+
+// Arena hands out disjoint simulated address ranges. Tables, column arrays,
+// and fabric delivery buffers each allocate their range from one arena so
+// that the cache simulation sees them as distinct physical objects that can
+// conflict in sets, exactly like separately allocated buffers on the real
+// platform. The arena manages addresses only; the owning structures hold
+// their own bytes.
+type Arena struct {
+	next  int64
+	align int64
+}
+
+// NewArena starts allocating at base with the given power-of-two alignment.
+func NewArena(base, align int64) (*Arena, error) {
+	if align <= 0 || align&(align-1) != 0 {
+		return nil, fmt.Errorf("dram: arena alignment must be a positive power of two, got %d", align)
+	}
+	if base < 0 {
+		return nil, fmt.Errorf("dram: negative arena base %d", base)
+	}
+	return &Arena{next: alignUp(base, align), align: align}, nil
+}
+
+// MustArena is NewArena panicking on error.
+func MustArena(base, align int64) *Arena {
+	a, err := NewArena(base, align)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func alignUp(v, a int64) int64 {
+	return (v + a - 1) &^ (a - 1)
+}
+
+// Alloc reserves size bytes and returns the base address of the range.
+func (a *Arena) Alloc(size int64) int64 {
+	if size < 0 {
+		panic(fmt.Sprintf("dram: negative allocation %d", size))
+	}
+	addr := a.next
+	a.next = alignUp(a.next+size, a.align)
+	return addr
+}
+
+// Next returns the next address the arena would hand out.
+func (a *Arena) Next() int64 { return a.next }

@@ -1,0 +1,85 @@
+package dram
+
+// GatherReq asks for Bytes bytes starting at Addr. The module rounds the
+// request outward to burst boundaries; the requester pays for every burst
+// the range touches.
+type GatherReq struct {
+	Addr  int64
+	Bytes int
+}
+
+// GatherBatch serves a set of fine-grained reads issued simultaneously by a
+// near-data requester. Unlike the line-granularity Access path, gathers move
+// only the bursts covering each requested range — this is the fabric's
+// data-movement advantage. Bursts to distinct banks overlap; the returned
+// cost is the busiest bank's total cycles, with the whole batch capped below
+// by the module bandwidth.
+//
+// Row-buffer state is shared with the CPU path: a gather that lands in a row
+// the CPU just opened hits, and vice versa.
+func (m *Module) GatherBatch(reqs []GatherReq) uint64 {
+	if len(reqs) == 0 {
+		return 0
+	}
+	burst := int64(m.cfg.BurstBytes)
+	perBank := make(map[int]uint64, m.cfg.Banks)
+	var bytes uint64
+	for _, r := range reqs {
+		if r.Bytes <= 0 {
+			continue
+		}
+		first := r.Addr &^ (burst - 1)
+		last := (r.Addr + int64(r.Bytes) - 1) &^ (burst - 1)
+		for a := first; a <= last; a += burst {
+			bank := m.bankOf(a)
+			row := m.rowOf(a)
+			// Unlike the CPU's demand path, the gather engine keeps every
+			// bank's command queue full, so each burst costs the bank its
+			// occupancy (transfer time, plus the activate penalty on a row
+			// change), not the full CAS latency — requests to an open row
+			// pipeline at burst rate.
+			cost := uint64(m.cfg.BurstCycles)
+			if m.openRow[bank] == row {
+				m.stats.RowHits++
+			} else {
+				m.stats.RowMisses++
+				m.openRow[bank] = row
+				cost += uint64(m.cfg.RowMissCycles - m.cfg.RowHitCycles)
+			}
+			perBank[bank] += cost
+			m.stats.Accesses++
+			bytes += uint64(m.cfg.BurstBytes)
+		}
+	}
+	var critical uint64
+	for _, c := range perBank {
+		if c > critical {
+			critical = c
+		}
+	}
+	if floor := m.FabricOccupancyCycles(bytes); floor > critical {
+		critical = floor
+	}
+	m.stats.BytesRead += bytes
+	m.stats.GatherBytes += bytes
+	m.stats.Cycles += critical
+	m.stats.BatchCycles += critical
+	m.stats.BatchedReqs += uint64(len(reqs))
+	m.stats.BatchesTotal++
+	return critical
+}
+
+// OccupancyCycles converts a byte count into the minimum cycles one CPU
+// port needs to move it at peak bandwidth.
+func (m *Module) OccupancyCycles(bytes uint64) uint64 {
+	return uint64(float64(bytes)/m.cfg.BandwidthBytesPerCycle + 0.5)
+}
+
+// FabricOccupancyCycles is OccupancyCycles across the fabric's aggregated
+// ports.
+func (m *Module) FabricOccupancyCycles(bytes uint64) uint64 {
+	return uint64(float64(bytes)/(m.cfg.BandwidthBytesPerCycle*float64(m.cfg.FabricPorts)) + 0.5)
+}
+
+// BurstBytes returns the finest transfer granularity.
+func (m *Module) BurstBytes() int { return m.cfg.BurstBytes }

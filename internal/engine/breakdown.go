@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"rfabric/internal/cache"
+	"rfabric/internal/dram"
+)
+
+// demandBreakdown assembles the cost model for a pure CPU-demand-path run
+// (ROW and COL engines): execution time is the demand path (compute plus
+// the memory latency the hierarchy exposed), floored by the DRAM occupancy
+// of every byte the run moved (demand fills plus prefetch traffic). The
+// floor captures that no amount of latency overlap can stream data faster
+// than the memory module's bandwidth.
+func demandBreakdown(sys *System, memStart dram.Stats, hierStart cache.Stats, compute uint64) Breakdown {
+	memNow := sys.Mem.Stats()
+	hierNow := sys.Hier.Stats()
+	b := Breakdown{
+		ComputeCycles:   compute,
+		MemDemandCycles: hierNow.Cycles - hierStart.Cycles,
+		BytesFromDRAM:   memNow.BytesRead - memStart.BytesRead,
+		BytesToCPU:      hierNow.BytesFromDRAM - hierStart.BytesFromDRAM,
+	}
+	demand := b.ComputeCycles + b.MemDemandCycles
+	floor := sys.Mem.OccupancyCycles(b.BytesFromDRAM)
+	if demand >= floor {
+		b.TotalCycles = demand
+	} else {
+		b.TotalCycles = floor
+	}
+	return b
+}
+
+// pipelineBreakdown assembles the cost model for the RM engine: the
+// producer/consumer pipeline total (already summed per chunk by the caller)
+// floored by DRAM occupancy. The fabric's gathers ride its aggregated ports
+// while the consumer's demand traffic rides the CPU port; the two streams
+// flow concurrently, so the floor is the larger of the per-port occupancies.
+// Packed lines delivered to the CPU are an on-chip transfer and consume no
+// DRAM bandwidth.
+func pipelineBreakdown(sys *System, memStart dram.Stats, hierStart cache.Stats, compute, pipeline, producer, shipped uint64) Breakdown {
+	memNow := sys.Mem.Stats()
+	hierNow := sys.Hier.Stats()
+	b := Breakdown{
+		ComputeCycles:   compute,
+		MemDemandCycles: hierNow.Cycles - hierStart.Cycles,
+		ProducerCycles:  producer,
+		BytesFromDRAM:   memNow.BytesRead - memStart.BytesRead,
+		BytesToCPU:      shipped,
+	}
+	gathered := memNow.GatherBytes - memStart.GatherBytes
+	if gathered > b.BytesFromDRAM {
+		gathered = b.BytesFromDRAM
+	}
+	cpuBytes := b.BytesFromDRAM - gathered
+	floor := sys.Mem.FabricOccupancyCycles(gathered)
+	if f := sys.Mem.OccupancyCycles(cpuBytes); f > floor {
+		floor = f
+	}
+	b.TotalCycles = pipeline
+	if floor > b.TotalCycles {
+		b.TotalCycles = floor
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"errors"
+
+	"rfabric/internal/colstore"
+	"rfabric/internal/table"
+)
+
+// ColEngine executes queries column-at-a-time over a materialized columnar
+// copy — the paper's COL baseline (§V). Selection runs as full-column
+// passes that narrow a row-id vector; consumption then reconstructs tuples
+// by reading every consumed column at each qualifying row id. That
+// reconstruction is the layout's Achilles' heel: it reads the consumed
+// arrays in interleaved row-major order, so once a query touches more
+// parallel streams than the prefetcher tracks (> 4 on the paper's
+// platform), the gathers degrade to demand misses.
+type ColEngine struct {
+	Store *colstore.Store
+	Sys   *System
+}
+
+// Name implements Executor.
+func (e *ColEngine) Name() string { return "COL" }
+
+// Execute runs q and returns its result with the modeled cost.
+func (e *ColEngine) Execute(q Query) (*Result, error) {
+	if e.Store == nil || e.Sys == nil {
+		return nil, errors.New("engine: ColEngine needs a column store and a system")
+	}
+	sch := e.Store.Schema()
+	if err := q.Validate(sch); err != nil {
+		return nil, err
+	}
+	if q.Snapshot != nil {
+		// The columnar copy is a point-in-time conversion; it has no
+		// version headers. This limitation is part of what the paper's
+		// design removes.
+		return nil, errors.New("engine: columnar copy does not support MVCC snapshots")
+	}
+
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	var compute uint64
+	cons := newConsumer(q, sch, &compute)
+
+	rows := e.Store.NumRows()
+
+	// Selection: one full-column pass per predicate, MonetDB-style — each
+	// pass streams the entire column (dense, prefetch-friendly) and
+	// materializes a full-length match bitmap, which the next pass ANDs
+	// into. This is the materialized-intermediate discipline of true
+	// column-at-a-time processing; it trades extra value touches for
+	// perfectly sequential access.
+	var bitmap []bool
+	var bitmapAddr int64
+	if len(q.Selection) > 0 {
+		// The match bitmap is itself a memory-resident intermediate; every
+		// pass streams it alongside the predicate column.
+		bitmapAddr = e.Sys.Arena.Alloc(int64(rows))
+	}
+	for pi, p := range q.Selection {
+		col := p.Col
+		w := sch.Column(col).Width
+		data := e.Store.ColumnData(col)
+		if pi == 0 {
+			// The first pass only writes the bitmap (streaming store); later
+			// passes read-modify-write it and pay the load.
+			bitmap = make([]bool, rows)
+			for r := 0; r < rows; r++ {
+				e.Sys.Hier.Load(e.Store.ValueAddr(col, r))
+				compute += VectorOpCycles + MaterializeCycles
+				bitmap[r] = p.Eval(table.DecodeColumn(sch.Column(col), data[r*w:]))
+			}
+			continue
+		}
+		for r := 0; r < rows; r++ {
+			e.Sys.Hier.Load(e.Store.ValueAddr(col, r))
+			e.Sys.Hier.Load(bitmapAddr + int64(r))
+			compute += VectorOpCycles + MaterializeCycles
+			if bitmap[r] {
+				bitmap[r] = p.Eval(table.DecodeColumn(sch.Column(col), data[r*w:]))
+			}
+		}
+	}
+	sel := make([]int, 0, rows)
+	if bitmap == nil {
+		for r := 0; r < rows; r++ {
+			sel = append(sel, r)
+		}
+	} else {
+		for r, ok := range bitmap {
+			if ok {
+				sel = append(sel, r)
+			}
+		}
+		compute += uint64(len(sel) * MaterializeCycles)
+	}
+
+	// Tuple reconstruction + consumption: for each qualifying row id, read
+	// every consumed column. The loads interleave across the consumed
+	// arrays in row-major order — the strided multi-stream pattern that
+	// exhausts the prefetcher when more than Streams columns are touched.
+	consumed := q.consumedColumns()
+	numCols := sch.NumColumns()
+	vals := make([]table.Value, numCols)
+	fetchedAt := make([]int64, numCols)
+	for i := range fetchedAt {
+		fetchedAt[i] = -1
+	}
+	var epoch int64
+
+	for _, r := range sel {
+		epoch++
+		row := r
+		fetch := func(col int) table.Value {
+			if fetchedAt[col] == epoch {
+				return vals[col]
+			}
+			w := sch.Column(col).Width
+			e.Sys.Hier.Load(e.Store.ValueAddr(col, row))
+			compute += VectorOpCycles
+			v := table.DecodeColumn(sch.Column(col), e.Store.ColumnData(col)[row*w:])
+			vals[col] = v
+			fetchedAt[col] = epoch
+			return v
+		}
+		// Touch consumed columns in declared order so the access pattern is
+		// deterministic row-major interleaving.
+		for _, c := range consumed {
+			fetch(c)
+		}
+		cons.consumeRow(fetch)
+	}
+
+	res := cons.finish(e.Name(), int64(rows))
+	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	return res, nil
+}

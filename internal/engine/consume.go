@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// hashValue folds one projected value into the order-insensitive checksum.
+// The encoding is canonical (type-directed), so all engines produce the same
+// hash for the same logical value regardless of physical layout.
+func hashValue(col int, v table.Value) uint64 {
+	h := uint64(fnvOffset)
+	mix8 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * uint(i))) & 0xff
+			h *= fnvPrime
+		}
+	}
+	mix8(uint64(col))
+	switch v.Type {
+	case geometry.Float64:
+		mix8(math.Float64bits(v.Float))
+	case geometry.Char:
+		for _, b := range v.Bytes {
+			if b == 0 {
+				break
+			}
+			h ^= uint64(b)
+			h *= fnvPrime
+		}
+	default:
+		mix8(uint64(v.Int))
+	}
+	return h
+}
+
+// aggAcc folds rows for one AggTerm. Numeric results are kept in float64 so
+// every engine (and the fabric pushdown) reports comparable values.
+type aggAcc struct {
+	term  AggTerm
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	any   bool
+}
+
+func (a *aggAcc) add(x float64) {
+	a.count++
+	a.sum += x
+	if !a.any || x < a.min {
+		a.min = x
+	}
+	if !a.any || x > a.max {
+		a.max = x
+	}
+	a.any = true
+}
+
+func (a *aggAcc) result() table.Value {
+	switch a.term.Kind {
+	case expr.Count:
+		return table.I64(a.count)
+	case expr.Sum:
+		return table.F64(a.sum)
+	case expr.Avg:
+		if a.count == 0 {
+			return table.F64(0)
+		}
+		return table.F64(a.sum / float64(a.count))
+	case expr.Min:
+		return table.F64(a.min)
+	case expr.Max:
+		return table.F64(a.max)
+	default:
+		panic(fmt.Sprintf("engine: unknown aggregate kind %d", uint8(a.term.Kind)))
+	}
+}
+
+type groupState struct {
+	key   []table.Value
+	accs  []aggAcc
+	count int64
+}
+
+// consumer folds qualifying rows into the query's output shape and charges
+// consumption CPU cycles to the engine's compute counter.
+type consumer struct {
+	q       Query
+	schema  *geometry.Schema
+	compute *uint64
+
+	rowsPassed int64
+	checksum   uint64
+	accs       []aggAcc
+	groups     map[string]*groupState
+	keyBuf     []byte
+}
+
+func newConsumer(q Query, schema *geometry.Schema, compute *uint64) *consumer {
+	c := &consumer{q: q, schema: schema, compute: compute}
+	if len(q.Aggregates) > 0 && len(q.GroupBy) == 0 {
+		c.accs = make([]aggAcc, len(q.Aggregates))
+		for i := range c.accs {
+			c.accs[i].term = q.Aggregates[i]
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		c.groups = make(map[string]*groupState)
+	}
+	return c
+}
+
+// consumeRow folds one qualifying row. fetch returns the (already loaded and
+// charged) value of a schema column; the consumer charges only its own
+// folding work.
+func (c *consumer) consumeRow(fetch func(col int) table.Value) {
+	c.rowsPassed++
+	if len(c.q.Aggregates) == 0 {
+		for _, col := range c.q.Projection {
+			c.checksum += hashValue(col, fetch(col))
+			*c.compute += ChecksumCycles
+		}
+		return
+	}
+
+	var accs []aggAcc
+	if c.groups == nil {
+		accs = c.accs
+	} else {
+		c.keyBuf = c.keyBuf[:0]
+		keyVals := make([]table.Value, len(c.q.GroupBy))
+		for i, col := range c.q.GroupBy {
+			v := fetch(col)
+			keyVals[i] = v
+			c.keyBuf = appendKey(c.keyBuf, v)
+		}
+		*c.compute += HashGroupCycles
+		g, ok := c.groups[string(c.keyBuf)]
+		if !ok {
+			g = &groupState{key: keyVals, accs: make([]aggAcc, len(c.q.Aggregates))}
+			for i := range g.accs {
+				g.accs[i].term = c.q.Aggregates[i]
+			}
+			c.groups[string(c.keyBuf)] = g
+		}
+		g.count++
+		accs = g.accs
+	}
+
+	for i := range accs {
+		t := &accs[i]
+		*c.compute += AggAddCycles
+		if t.term.Arg == nil {
+			t.count++
+			continue
+		}
+		*c.compute += uint64(t.term.Arg.Ops() * ScalarOpCycles)
+		t.add(t.term.Arg.EvalF(fetch))
+	}
+}
+
+func appendKey(dst []byte, v table.Value) []byte {
+	switch v.Type {
+	case geometry.Float64:
+		bits := math.Float64bits(v.Float)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(bits>>(8*uint(i))))
+		}
+	case geometry.Char:
+		for _, b := range v.Bytes {
+			if b == 0 {
+				break
+			}
+			dst = append(dst, b)
+		}
+		dst = append(dst, 0xff) // separator
+	default:
+		u := uint64(v.Int)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(u>>(8*uint(i))))
+		}
+	}
+	return dst
+}
+
+// finish assembles the result shape (without the cost breakdown).
+func (c *consumer) finish(engineName string, rowsScanned int64) *Result {
+	r := &Result{
+		Engine:      engineName,
+		RowsScanned: rowsScanned,
+		RowsPassed:  c.rowsPassed,
+		Checksum:    c.checksum,
+	}
+	if c.accs != nil {
+		r.Aggs = make([]table.Value, len(c.accs))
+		for i := range c.accs {
+			r.Aggs[i] = c.accs[i].result()
+		}
+	}
+	if c.groups != nil {
+		for _, g := range c.groups {
+			row := GroupRow{Key: g.key, Count: g.count, Aggs: make([]table.Value, len(g.accs))}
+			for i := range g.accs {
+				row.Aggs[i] = g.accs[i].result()
+			}
+			r.Groups = append(r.Groups, row)
+		}
+		sortGroups(r.Groups)
+	}
+	return r
+}

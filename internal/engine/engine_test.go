@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"rfabric/internal/colstore"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// testFixture builds a System, a populated row table, and its columnar copy.
+type testFixture struct {
+	sys   *System
+	tbl   *table.Table
+	store *colstore.Store
+}
+
+func wideSchema(t *testing.T, cols int) *geometry.Schema {
+	t.Helper()
+	defs := make([]geometry.Column, cols)
+	for i := range defs {
+		defs[i] = geometry.Column{Name: colName(i), Type: geometry.Int32, Width: 4}
+	}
+	return geometry.MustSchema(defs...)
+}
+
+func colName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func newFixture(t *testing.T, cols, rows int, mvcc bool) *testFixture {
+	t.Helper()
+	sys := MustSystem(DefaultSystemConfig())
+	sch := wideSchema(t, cols)
+	var opts []table.Option
+	if mvcc {
+		opts = append(opts, table.WithMVCC())
+	}
+	tbl := table.MustNew("t", sch, opts...)
+	rng := rand.New(rand.NewSource(42))
+	for r := 0; r < rows; r++ {
+		vals := make([]table.Value, cols)
+		for c := range vals {
+			vals[c] = table.I32(int32(rng.Intn(1000)))
+		}
+		tbl.MustAppend(1, vals...)
+	}
+	// Place the table, then the column arrays, in the simulated space.
+	base := sys.Arena.Alloc(int64(tbl.SizeBytes()))
+	tbl2 := relocate(t, tbl, base)
+	store, err := colstore.FromTable(tbl2, sys.Arena)
+	if err != nil {
+		t.Fatalf("colstore.FromTable: %v", err)
+	}
+	return &testFixture{sys: sys, tbl: tbl2, store: store}
+}
+
+// relocate rebuilds the table at the given base address. Tables take their
+// base address at construction; fixtures allocate after load for simplicity.
+func relocate(t *testing.T, src *table.Table, base int64) *table.Table {
+	t.Helper()
+	var opts []table.Option
+	if src.HasMVCC() {
+		opts = append(opts, table.WithMVCC())
+	}
+	opts = append(opts, table.WithBaseAddr(base), table.WithCapacity(src.NumRows()))
+	dst := table.MustNew(src.Name(), src.Schema(), opts...)
+	for r := 0; r < src.NumRows(); r++ {
+		b, _ := src.Timestamps(r)
+		if _, err := dst.AppendRaw(b, src.RowPayload(r)); err != nil {
+			t.Fatalf("AppendRaw: %v", err)
+		}
+	}
+	return dst
+}
+
+func engines(f *testFixture) []Executor {
+	return []Executor{
+		&RowEngine{Tbl: f.tbl, Sys: f.sys},
+		&ColEngine{Store: f.store, Sys: f.sys},
+		&RMEngine{Tbl: f.tbl, Sys: f.sys},
+		&RMEngine{Tbl: f.tbl, Sys: f.sys, PushSelection: true},
+	}
+}
+
+func mustExec(t *testing.T, e Executor, q Query) *Result {
+	t.Helper()
+	r, err := e.Execute(q)
+	if err != nil {
+		t.Fatalf("%s.Execute: %v", e.Name(), err)
+	}
+	return r
+}
+
+func TestEnginesAgreeOnProjectionScan(t *testing.T) {
+	f := newFixture(t, 16, 3000, false)
+	for _, proj := range [][]int{{0}, {3, 7}, {0, 5, 10, 15}, {1, 2, 3, 4, 5, 6, 7, 8}} {
+		q := Query{Projection: proj}
+		ref := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, q)
+		if ref.RowsPassed != 3000 {
+			t.Fatalf("projection %v: ROW passed %d rows, want 3000", proj, ref.RowsPassed)
+		}
+		for _, e := range engines(f) {
+			f.sys.ResetState()
+			got := mustExec(t, e, q)
+			if err := got.EquivalentTo(ref, 0); err != nil {
+				t.Errorf("projection %v: %s disagrees with ROW: %v", proj, e.Name(), err)
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeOnSelection(t *testing.T) {
+	f := newFixture(t, 16, 3000, false)
+	q := Query{
+		Projection: []int{2, 9},
+		Selection: expr.Conjunction{
+			{Col: 4, Op: expr.Lt, Operand: table.I32(500)},
+			{Col: 11, Op: expr.Ge, Operand: table.I32(250)},
+		},
+	}
+	ref := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, q)
+	if ref.RowsPassed == 0 || ref.RowsPassed == ref.RowsScanned {
+		t.Fatalf("selection not selective: %d of %d", ref.RowsPassed, ref.RowsScanned)
+	}
+	for _, e := range engines(f) {
+		f.sys.ResetState()
+		got := mustExec(t, e, q)
+		if err := got.EquivalentTo(ref, 0); err != nil {
+			t.Errorf("%s disagrees with ROW: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestEnginesAgreeOnAggregation(t *testing.T) {
+	f := newFixture(t, 8, 2000, false)
+	q := Query{
+		Selection: expr.Conjunction{{Col: 0, Op: expr.Lt, Operand: table.I32(700)}},
+		Aggregates: []AggTerm{
+			{Kind: expr.Count},
+			{Kind: expr.Sum, Arg: expr.ColRef{Col: 3}},
+			{Kind: expr.Min, Arg: expr.ColRef{Col: 5}},
+			{Kind: expr.Max, Arg: expr.ColRef{Col: 5}},
+			{Kind: expr.Sum, Arg: expr.Binary{Op: expr.Mul, L: expr.ColRef{Col: 1}, R: expr.ColRef{Col: 2}}},
+		},
+	}
+	ref := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, q)
+	for _, e := range engines(f) {
+		f.sys.ResetState()
+		got := mustExec(t, e, q)
+		if err := got.EquivalentTo(ref, 1e-9); err != nil {
+			t.Errorf("%s disagrees with ROW: %v", e.Name(), err)
+		}
+	}
+	// Pushed aggregation must agree too (plain-column terms only).
+	qPlain := Query{
+		Selection:  q.Selection,
+		Aggregates: []AggTerm{{Kind: expr.Count}, {Kind: expr.Sum, Arg: expr.ColRef{Col: 3}}},
+	}
+	refPlain := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, qPlain)
+	f.sys.ResetState()
+	push := mustExec(t, &RMEngine{Tbl: f.tbl, Sys: f.sys, PushSelection: true, PushAggregation: true}, qPlain)
+	if err := push.EquivalentTo(refPlain, 1e-9); err != nil {
+		t.Errorf("pushed aggregation disagrees with ROW: %v", err)
+	}
+}
+
+func TestEnginesAgreeOnGroupBy(t *testing.T) {
+	f := newFixture(t, 8, 2000, false)
+	// Group by a low-cardinality derived column: col0 % buckets is not
+	// expressible, so group directly on a column with many repeats by
+	// bucketing at load time — instead, group on col 7 which has 1000
+	// distinct values; correctness matters more than cardinality here.
+	q := Query{
+		GroupBy: []int{7},
+		Aggregates: []AggTerm{
+			{Kind: expr.Count},
+			{Kind: expr.Sum, Arg: expr.ColRef{Col: 1}},
+			{Kind: expr.Avg, Arg: expr.ColRef{Col: 2}},
+		},
+	}
+	ref := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, q)
+	if len(ref.Groups) < 2 {
+		t.Fatalf("expected multiple groups, got %d", len(ref.Groups))
+	}
+	for _, e := range engines(f) {
+		f.sys.ResetState()
+		got := mustExec(t, e, q)
+		if err := got.EquivalentTo(ref, 1e-9); err != nil {
+			t.Errorf("%s disagrees with ROW: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestRMSnapshotMatchesRowSnapshot(t *testing.T) {
+	f := newFixture(t, 6, 500, true)
+	// End some versions and add newer ones at ts=5.
+	for r := 0; r < 500; r += 3 {
+		if err := f.tbl.SetEndTS(r, 5); err != nil {
+			t.Fatalf("SetEndTS: %v", err)
+		}
+	}
+	for r := 0; r < 50; r++ {
+		f.tbl.MustAppend(5,
+			table.I32(1), table.I32(2), table.I32(3), table.I32(4), table.I32(5), table.I32(6))
+	}
+
+	for _, ts := range []uint64{1, 4, 5, 10} {
+		snap := ts
+		q := Query{Projection: []int{0, 2}, Snapshot: &snap}
+		ref := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, q)
+		f.sys.ResetState()
+		rm := mustExec(t, &RMEngine{Tbl: f.tbl, Sys: f.sys}, q)
+		if err := rm.EquivalentTo(ref, 0); err != nil {
+			t.Errorf("snapshot %d: RM disagrees with ROW: %v", ts, err)
+		}
+	}
+}
+
+func TestColEngineRejectsSnapshot(t *testing.T) {
+	f := newFixture(t, 4, 10, false)
+	ts := uint64(1)
+	if _, err := (&ColEngine{Store: f.store, Sys: f.sys}).Execute(Query{Projection: []int{0}, Snapshot: &ts}); err == nil {
+		t.Fatal("ColEngine accepted a snapshot query over a point-in-time copy")
+	}
+}
+
+func TestBreakdownSanity(t *testing.T) {
+	f := newFixture(t, 16, 5000, false)
+	q := Query{Projection: []int{0, 8}}
+
+	row := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, q)
+	f.sys.ResetState()
+	rm := mustExec(t, &RMEngine{Tbl: f.tbl, Sys: f.sys}, q)
+
+	if row.Breakdown.TotalCycles == 0 || rm.Breakdown.TotalCycles == 0 {
+		t.Fatal("zero modeled time")
+	}
+	if rm.Breakdown.BytesToCPU >= row.Breakdown.BytesToCPU {
+		t.Errorf("RM shipped %d bytes to CPU, ROW %d — fabric should ship less",
+			rm.Breakdown.BytesToCPU, row.Breakdown.BytesToCPU)
+	}
+	if rm.Breakdown.TotalCycles >= row.Breakdown.TotalCycles {
+		t.Errorf("RM total %d >= ROW total %d — RM should beat ROW on a 2-of-16-column scan",
+			rm.Breakdown.TotalCycles, row.Breakdown.TotalCycles)
+	}
+}

@@ -1,0 +1,17 @@
+package engine
+
+// Executor is the common face of the three execution paths. All executors
+// of the same logical data produce equivalent Results; only their Breakdown
+// differs.
+type Executor interface {
+	// Name returns the engine's short label (ROW, COL, RM).
+	Name() string
+	// Execute runs the query and returns its result with the modeled cost.
+	Execute(q Query) (*Result, error)
+}
+
+var (
+	_ Executor = (*RowEngine)(nil)
+	_ Executor = (*ColEngine)(nil)
+	_ Executor = (*RMEngine)(nil)
+)

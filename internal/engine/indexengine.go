@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/index"
+	"rfabric/internal/table"
+)
+
+// IndexEngine executes queries whose selection pins the indexed column:
+// the B+tree yields candidate rows, the remaining predicates and the
+// projection are evaluated row-wise on just those rows. This is the
+// paper's residual role for indexes (§III-A) turned into an access path the
+// constructive optimizer can price against the fabric.
+type IndexEngine struct {
+	Tbl *table.Table
+	Sys *System
+	Idx *index.BTree
+}
+
+// Name implements Executor.
+func (e *IndexEngine) Name() string { return "IDX" }
+
+// indexBounds extracts the [lo, hi] range the selection imposes on the
+// indexed column; ok is false when the selection does not constrain it.
+func indexBounds(sel expr.Conjunction, col int) (lo, hi int64, ok bool) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	for _, p := range sel {
+		if p.Col != col {
+			continue
+		}
+		v := p.Operand.Int
+		switch p.Op {
+		case expr.Eq:
+			if v > lo {
+				lo = v
+			}
+			if v < hi {
+				hi = v
+			}
+			ok = true
+		case expr.Ge:
+			if v > lo {
+				lo = v
+			}
+			ok = true
+		case expr.Gt:
+			if v+1 > lo {
+				lo = v + 1
+			}
+			ok = true
+		case expr.Le:
+			if v < hi {
+				hi = v
+			}
+			ok = true
+		case expr.Lt:
+			if v-1 < hi {
+				hi = v - 1
+			}
+			ok = true
+		}
+	}
+	return lo, hi, ok
+}
+
+// Execute runs q through the index. It fails when the selection does not
+// constrain the indexed column — the optimizer never routes such queries
+// here.
+func (e *IndexEngine) Execute(q Query) (*Result, error) {
+	if e.Tbl == nil || e.Sys == nil || e.Idx == nil {
+		return nil, errors.New("engine: IndexEngine needs a table, a system, and an index")
+	}
+	sch := e.Tbl.Schema()
+	if err := q.Validate(sch); err != nil {
+		return nil, err
+	}
+	if q.Snapshot != nil && !e.Tbl.HasMVCC() {
+		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
+	}
+	lo, hi, ok := indexBounds(q.Selection, e.Idx.Column())
+	if !ok {
+		return nil, fmt.Errorf("engine: selection does not constrain indexed column %q",
+			sch.Column(e.Idx.Column()).Name)
+	}
+
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	var compute uint64
+	cons := newConsumer(q, sch, &compute)
+
+	candidates := e.Idx.Range(e.Sys.Hier, lo, hi)
+
+	numCols := sch.NumColumns()
+	vals := make([]table.Value, numCols)
+	fetchedAt := make([]int64, numCols)
+	for i := range fetchedAt {
+		fetchedAt[i] = -1
+	}
+	var epoch int64
+
+	for _, r := range candidates {
+		epoch++
+		if e.Tbl.HasMVCC() {
+			e.Sys.Hier.Load(e.Tbl.RowAddr(r))
+			if q.Snapshot != nil {
+				compute += TSCheckSoftwareCycles
+				if !e.Tbl.VisibleAt(r, *q.Snapshot) {
+					continue
+				}
+			}
+		}
+		payload := e.Tbl.RowPayload(r)
+		row := r
+		fetch := func(col int) table.Value {
+			if fetchedAt[col] == epoch {
+				return vals[col]
+			}
+			e.Sys.Hier.Load(e.Tbl.ColumnAddr(row, col))
+			compute += ExtractCycles
+			v := table.DecodeColumn(sch.Column(col), payload[sch.Offset(col):])
+			vals[col] = v
+			fetchedAt[col] = epoch
+			return v
+		}
+		// Residual predicates (the index already enforced the key range,
+		// but equal-column predicates may be tighter than [lo,hi] alone —
+		// re-check everything for correctness).
+		pass := true
+		for _, p := range q.Selection {
+			compute += PredEvalCycles
+			if !p.Eval(fetch(p.Col)) {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		cons.consumeRow(fetch)
+	}
+
+	res := cons.finish(e.Name(), int64(len(candidates)))
+	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	return res, nil
+}
+
+// estimateIDX prices the index path for the optimizer: tree descent plus a
+// scattered fetch per candidate row.
+func (o *Optimizer) estimateIDX(q Query) Estimate {
+	if o.Index == nil {
+		return Estimate{Engine: "IDX", Available: false, Reason: "no index exists on this table"}
+	}
+	if _, _, ok := indexBounds(q.Selection, o.Index.Column()); !ok {
+		return Estimate{Engine: "IDX", Available: false,
+			Reason: "selection does not constrain the indexed column"}
+	}
+	cfg := o.Sys.Cfg
+	n := float64(o.Tbl.NumRows())
+
+	// The index's own statistics give a far better candidate estimate than
+	// the generic heuristics: equality hits entries/distinct rows; a range
+	// hits its fraction of the key span.
+	lo, hi, _ := indexBounds(q.Selection, o.Index.Column())
+	min, max := o.Index.KeyRange()
+	if lo < min {
+		lo = min
+	}
+	if hi > max {
+		hi = max
+	}
+	var candidates float64
+	switch {
+	case lo > hi:
+		candidates = 0
+	case lo == hi:
+		candidates = float64(o.Index.Entries()) / float64(maxi(o.Index.DistinctKeys(), 1))
+	default:
+		span := float64(max-min) + 1
+		candidates = float64(o.Index.Entries()) * (float64(hi-lo) + 1) / span
+	}
+	sel := candidates / maxf(n, 1)
+
+	// Descent: height * ~3 node lines, mostly L2-resident after warmup;
+	// price them as L2 hits.
+	cost := float64(o.Index.Height()*3) * float64(cfg.Cache.L2.HitCycles)
+	cost += candidates / 64 * 3 * float64(cfg.Cache.L2.HitCycles)
+	// Scattered row fetches: unclustered, so charge an overlapped miss per
+	// candidate row plus per-column extraction and consumption.
+	perRow := float64(cfg.Cache.OverlapMissCycles + cfg.Cache.L2.HitCycles)
+	perRow += float64(len(q.consumedColumns())+len(q.Selection)) * (ExtractCycles + PredEvalCycles)
+	cost += candidates * perRow
+	cost += candidates * consumeCostPerRow(q)
+	return Estimate{Engine: "IDX", Cycles: cost, Selectivity: sel, Available: true}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

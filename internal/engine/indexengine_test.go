@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"testing"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/index"
+	"rfabric/internal/table"
+)
+
+func newIndexedFixture(t *testing.T, rows int) (*testFixture, *index.BTree) {
+	t.Helper()
+	f := newFixture(t, 8, rows, false)
+	idx, err := index.Build(f.tbl, 0, f.sys.Arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, idx
+}
+
+func TestIndexEngineMatchesRowEngine(t *testing.T) {
+	f, idx := newIndexedFixture(t, 4000)
+	queries := []Query{
+		{Projection: []int{3, 5}, Selection: expr.Conjunction{{Col: 0, Op: expr.Eq, Operand: table.I32(500)}}},
+		{Projection: []int{1}, Selection: expr.Conjunction{
+			{Col: 0, Op: expr.Ge, Operand: table.I32(100)},
+			{Col: 0, Op: expr.Lt, Operand: table.I32(140)},
+		}},
+		{Projection: []int{1}, Selection: expr.Conjunction{
+			{Col: 0, Op: expr.Le, Operand: table.I32(50)},
+			{Col: 4, Op: expr.Gt, Operand: table.I32(300)}, // residual predicate
+		}},
+		{Selection: expr.Conjunction{{Col: 0, Op: expr.Lt, Operand: table.I32(200)}},
+			Aggregates: []AggTerm{{Kind: expr.Count}, {Kind: expr.Sum, Arg: expr.ColRef{Col: 2}}}},
+	}
+	for i, q := range queries {
+		f.sys.ResetState()
+		ref := mustExec(t, &RowEngine{Tbl: f.tbl, Sys: f.sys}, q)
+		f.sys.ResetState()
+		got := mustExec(t, &IndexEngine{Tbl: f.tbl, Sys: f.sys, Idx: idx}, q)
+		if err := got.EquivalentTo(ref, 1e-9); err != nil {
+			t.Errorf("query %d: IDX diverges from ROW: %v", i, err)
+		}
+	}
+}
+
+func TestIndexEngineRequiresIndexedPredicate(t *testing.T) {
+	f, idx := newIndexedFixture(t, 100)
+	e := &IndexEngine{Tbl: f.tbl, Sys: f.sys, Idx: idx}
+	if _, err := e.Execute(Query{Projection: []int{1}}); err == nil {
+		t.Error("unconstrained query accepted")
+	}
+	if _, err := e.Execute(Query{Projection: []int{1},
+		Selection: expr.Conjunction{{Col: 3, Op: expr.Eq, Operand: table.I32(1)}}}); err == nil {
+		t.Error("query constraining a different column accepted")
+	}
+}
+
+func TestIndexEngineBeatsScanOnPointQueries(t *testing.T) {
+	f, idx := newIndexedFixture(t, 30_000)
+	q := Query{Projection: []int{3}, Selection: expr.Conjunction{{Col: 0, Op: expr.Eq, Operand: table.I32(123)}}}
+	f.sys.ResetState()
+	viaIndex := mustExec(t, &IndexEngine{Tbl: f.tbl, Sys: f.sys, Idx: idx}, q)
+	f.sys.ResetState()
+	viaScan := mustExec(t, &RMEngine{Tbl: f.tbl, Sys: f.sys}, q)
+	if viaIndex.Breakdown.TotalCycles*10 > viaScan.Breakdown.TotalCycles {
+		t.Errorf("index path (%d cycles) not clearly below the scan (%d)",
+			viaIndex.Breakdown.TotalCycles, viaScan.Breakdown.TotalCycles)
+	}
+}
+
+func TestOptimizerRoutesPointQueriesToIndex(t *testing.T) {
+	f, idx := newIndexedFixture(t, 30_000)
+	opt := &Optimizer{Tbl: f.tbl, Sys: f.sys, Store: f.store, Index: idx}
+
+	point := Query{Projection: []int{3}, Selection: expr.Conjunction{{Col: 0, Op: expr.Eq, Operand: table.I32(7)}}}
+	plan, err := opt.Choose(point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Chosen != "IDX" {
+		t.Errorf("point query routed to %s (%s)", plan.Chosen, plan)
+	}
+
+	// A full scan must not use the index.
+	scan := Query{Projection: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+	plan, err = opt.Choose(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Chosen == "IDX" {
+		t.Errorf("full scan routed to the index (%s)", plan)
+	}
+}

@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"rfabric/internal/colstore"
+	"rfabric/internal/expr"
+	"rfabric/internal/fabric"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// Join support. The paper's evaluation stops at single-table scans, but its
+// architecture section envisions a full query engine over the fabric
+// (§III-B: a "novel full-fledged hybrid query engine ... working on the
+// same base data"). This file provides the equi-hash-join each execution
+// path needs for that: build on the right input, probe with the left, with
+// every byte of both inputs flowing through the path's native access
+// method — volcano row fetches, columnar arrays, or ephemeral views.
+
+// JoinInput describes one side of an equi-join.
+type JoinInput struct {
+	// On is the equality column (schema index of this side's table).
+	On int
+	// Projection is the columns this side contributes to the output.
+	Projection []int
+	// Selection filters this side before the join.
+	Selection expr.Conjunction
+	// Snapshot applies MVCC visibility (tables with headers only).
+	Snapshot *uint64
+}
+
+// Validate checks the input against its schema.
+func (in JoinInput) Validate(s *geometry.Schema) error {
+	if in.On < 0 || in.On >= s.NumColumns() {
+		return fmt.Errorf("engine: join column %d out of range [0,%d)", in.On, s.NumColumns())
+	}
+	switch s.Column(in.On).Type {
+	case geometry.Char:
+		return errors.New("engine: joins on CHAR columns are not supported")
+	}
+	if len(in.Projection) == 0 {
+		return errors.New("engine: join side projects nothing")
+	}
+	for _, c := range in.Projection {
+		if c < 0 || c >= s.NumColumns() {
+			return fmt.Errorf("engine: join projection column %d out of range", c)
+		}
+	}
+	return in.Selection.Validate(s)
+}
+
+// neededColumns returns the side's touched columns: join key, projection,
+// selection.
+func (in JoinInput) neededColumns() []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(c int) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	add(in.On)
+	for _, c := range in.Projection {
+		add(c)
+	}
+	for _, c := range in.Selection.Columns() {
+		add(c)
+	}
+	return out
+}
+
+// JoinResult is the outcome of one join execution.
+type JoinResult struct {
+	Engine string
+	// Matches is the join cardinality.
+	Matches int64
+	// Checksum is an order-insensitive fold over every output pair's
+	// projected values; all engines produce the same value for the same
+	// logical result.
+	Checksum  uint64
+	Breakdown Breakdown
+}
+
+// Join cost constants (CPU cycles).
+const (
+	// HashBuildCycles is charged per build-side row inserted.
+	HashBuildCycles = 16
+	// HashProbeCycles is charged per probe-side lookup.
+	HashProbeCycles = 10
+)
+
+// joinRow is one build-side entry: the key and the side's projected hash.
+type joinRow struct {
+	hash uint64
+}
+
+// rowReader abstracts how an execution path surfaces qualifying rows of one
+// input: it invokes yield with a fetcher over the side's schema for every
+// row that passes selection and visibility.
+type rowReader func(yield func(fetch func(col int) table.Value)) error
+
+// runJoin executes build+probe given the two sides' readers.
+func runJoin(name string, left, right JoinInput, readLeft, readRight rowReader, compute *uint64) (*JoinResult, error) {
+
+	// Build on the right.
+	build := make(map[int64][]joinRow)
+	err := readRight(func(fetch func(col int) table.Value) {
+		*compute += HashBuildCycles
+		key := fetch(right.On).Int
+		var h uint64
+		for _, c := range right.Projection {
+			h += hashValue(c+1024, fetch(c)) // offset right columns' ids
+		}
+		build[key] = append(build[key], joinRow{hash: h})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Probe with the left.
+	res := &JoinResult{Engine: name}
+	err = readLeft(func(fetch func(col int) table.Value) {
+		*compute += HashProbeCycles
+		key := fetch(left.On).Int
+		entries, ok := build[key]
+		if !ok {
+			return
+		}
+		var lh uint64
+		for _, c := range left.Projection {
+			lh += hashValue(c, fetch(c))
+		}
+		for _, e := range entries {
+			res.Matches++
+			res.Checksum += mix64(lh) + mix64(e.hash)
+			*compute += ChecksumCycles
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// mix64 is a finalizer so pair checksums don't cancel across pairs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// HashJoinRow runs the join tuple-at-a-time over two row tables.
+func HashJoinRow(sys *System, leftTbl, rightTbl *table.Table, left, right JoinInput) (*JoinResult, error) {
+	if err := validateJoin(sys, leftTbl, rightTbl, left, right); err != nil {
+		return nil, err
+	}
+	memStart := sys.Mem.Stats()
+	hierStart := sys.Hier.Stats()
+	var compute uint64
+
+	reader := func(tbl *table.Table, in JoinInput) rowReader {
+		return func(yield func(fetch func(col int) table.Value)) error {
+			sch := tbl.Schema()
+			for r := 0; r < tbl.NumRows(); r++ {
+				compute += VolcanoNextCycles
+				if tbl.HasMVCC() {
+					sys.Hier.Load(tbl.RowAddr(r))
+					if in.Snapshot != nil {
+						compute += TSCheckSoftwareCycles
+						if !tbl.VisibleAt(r, *in.Snapshot) {
+							continue
+						}
+					}
+				}
+				payload := tbl.RowPayload(r)
+				row := r
+				fetch := func(col int) table.Value {
+					sys.Hier.Load(tbl.ColumnAddr(row, col))
+					compute += ExtractCycles
+					return table.DecodeColumn(sch.Column(col), payload[sch.Offset(col):])
+				}
+				pass := true
+				for _, p := range in.Selection {
+					compute += PredEvalCycles
+					if !p.Eval(fetch(p.Col)) {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					yield(fetch)
+				}
+			}
+			return nil
+		}
+	}
+
+	res, err := runJoin("ROW", left, right, reader(leftTbl, left), reader(rightTbl, right), &compute)
+	if err != nil {
+		return nil, err
+	}
+	res.Breakdown = demandBreakdown(sys, memStart, hierStart, compute)
+	return res, nil
+}
+
+// HashJoinCol runs the join over two columnar copies.
+func HashJoinCol(sys *System, leftStore, rightStore *colstore.Store, left, right JoinInput) (*JoinResult, error) {
+	if sys == nil || leftStore == nil || rightStore == nil {
+		return nil, errors.New("engine: HashJoinCol needs a system and two stores")
+	}
+	if left.Snapshot != nil || right.Snapshot != nil {
+		return nil, errors.New("engine: columnar copies do not support MVCC snapshots")
+	}
+	if err := left.Validate(leftStore.Schema()); err != nil {
+		return nil, err
+	}
+	if err := right.Validate(rightStore.Schema()); err != nil {
+		return nil, err
+	}
+	memStart := sys.Mem.Stats()
+	hierStart := sys.Hier.Stats()
+	var compute uint64
+
+	reader := func(store *colstore.Store, in JoinInput) rowReader {
+		return func(yield func(fetch func(col int) table.Value)) error {
+			sch := store.Schema()
+			for r := 0; r < store.NumRows(); r++ {
+				row := r
+				fetch := func(col int) table.Value {
+					w := sch.Column(col).Width
+					sys.Hier.Load(store.ValueAddr(col, row))
+					compute += VectorOpCycles
+					return table.DecodeColumn(sch.Column(col), store.ColumnData(col)[row*w:])
+				}
+				pass := true
+				for _, p := range in.Selection {
+					compute += VectorOpCycles
+					if !p.Eval(fetch(p.Col)) {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					yield(fetch)
+				}
+			}
+			return nil
+		}
+	}
+
+	res, err := runJoin("COL", left, right, reader(leftStore, left), reader(rightStore, right), &compute)
+	if err != nil {
+		return nil, err
+	}
+	res.Breakdown = demandBreakdown(sys, memStart, hierStart, compute)
+	return res, nil
+}
+
+// HashJoinRM runs the join over two ephemeral views: each side's needed
+// columns are packed and shipped by the fabric, and the CPU builds/probes
+// over dense data — the paper's "same base data, any processing layout".
+func HashJoinRM(sys *System, leftTbl, rightTbl *table.Table, left, right JoinInput) (*JoinResult, error) {
+	if err := validateJoin(sys, leftTbl, rightTbl, left, right); err != nil {
+		return nil, err
+	}
+	memStart := sys.Mem.Stats()
+	hierStart := sys.Hier.Stats()
+	fabStart := sys.Fab.Stats()
+	var compute uint64
+	var pipeline, producer uint64
+
+	reader := func(tbl *table.Table, in JoinInput) (rowReader, error) {
+		geom, err := geometry.NewGeometry(tbl.Schema(), in.neededColumns()...)
+		if err != nil {
+			return nil, err
+		}
+		var opts []fabric.ViewOption
+		if in.Snapshot != nil {
+			opts = append(opts, fabric.WithSnapshot(*in.Snapshot))
+		}
+		if len(in.Selection) > 0 {
+			opts = append(opts, fabric.WithSelection(in.Selection))
+		}
+		ev, err := sys.Fab.Configure(tbl, geom, opts...)
+		if err != nil {
+			return nil, err
+		}
+		sch := tbl.Schema()
+		packed := ev.PackedWidth()
+		offs := map[int]int{}
+		for i, c := range geom.Columns() {
+			offs[c] = geom.PackedOffset(i)
+		}
+		lineBytes := int64(sys.Hier.LineBytes())
+		return func(yield func(fetch func(col int) table.Value)) error {
+			ev.Reset()
+			for {
+				before := sys.Hier.Stats().Cycles
+				computeBefore := compute
+				ch, ok := ev.Next()
+				if !ok {
+					return nil
+				}
+				lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
+				for i := 0; i < lines; i++ {
+					sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
+				}
+				for r := 0; r < ch.Rows; r++ {
+					row := r
+					fetch := func(col int) table.Value {
+						off := offs[col]
+						w := sch.Column(col).Width
+						sys.Hier.Load(ch.BaseAddr + int64(row*packed+off))
+						compute += VectorOpCycles
+						return table.DecodeColumn(sch.Column(col), ch.Data[row*packed+off:row*packed+off+w])
+					}
+					yield(fetch)
+				}
+				consumer := (sys.Hier.Stats().Cycles - before) + (compute - computeBefore)
+				producer += ch.ProducerCycles
+				if ch.ProducerCycles > consumer {
+					pipeline += ch.ProducerCycles
+				} else {
+					pipeline += consumer
+				}
+			}
+		}, nil
+	}
+
+	readLeft, err := reader(leftTbl, left)
+	if err != nil {
+		return nil, err
+	}
+	readRight, err := reader(rightTbl, right)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runJoin("RM", left, right, readLeft, readRight, &compute)
+	if err != nil {
+		return nil, err
+	}
+	shipped := sys.Fab.Stats().BytesShipped - fabStart.BytesShipped
+	res.Breakdown = pipelineBreakdown(sys, memStart, hierStart, compute, pipeline, producer, shipped)
+	return res, nil
+}
+
+func validateJoin(sys *System, leftTbl, rightTbl *table.Table, left, right JoinInput) error {
+	if sys == nil || leftTbl == nil || rightTbl == nil {
+		return errors.New("engine: join needs a system and two tables")
+	}
+	if err := left.Validate(leftTbl.Schema()); err != nil {
+		return fmt.Errorf("left: %w", err)
+	}
+	if err := right.Validate(rightTbl.Schema()); err != nil {
+		return fmt.Errorf("right: %w", err)
+	}
+	if left.Snapshot != nil && !leftTbl.HasMVCC() {
+		return errors.New("engine: left snapshot over a table without MVCC")
+	}
+	if right.Snapshot != nil && !rightTbl.HasMVCC() {
+		return errors.New("engine: right snapshot over a table without MVCC")
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rfabric/internal/colstore"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/index"
+	"rfabric/internal/table"
+)
+
+// The paper argues Relational Fabric turns query optimization from a
+// combinatorial search over materialized layouts into *construction*: since
+// any geometry is available on demand, the optimizer merely prices the
+// access paths and takes the cheapest (§III-B "instead of solving a
+// combinatorial problem, we can now construct the fastest solution"). This
+// file implements that constructive optimizer: closed-form cost formulas
+// derived from the performance model, evaluated without executing anything.
+
+// Estimate is one access path's predicted cost.
+type Estimate struct {
+	Engine string
+	// Cycles is the predicted modeled execution time.
+	Cycles float64
+	// Selectivity is the fraction of rows assumed to survive selection.
+	Selectivity float64
+	// Available reports whether the path can run (e.g. COL needs an
+	// existing columnar copy; it is the layout duplication the fabric
+	// removes, so the optimizer never asks for one to be built).
+	Available bool
+	// Reason explains unavailability.
+	Reason string
+}
+
+// Plan is the optimizer's decision.
+type Plan struct {
+	Chosen    string
+	Estimates []Estimate // sorted by predicted cycles, available paths first
+}
+
+// estimateSelectivity applies the classic textbook heuristics: equality
+// selects 10 %, a range predicate a third, conjuncts multiply, floored so a
+// plan never assumes a free scan.
+func estimateSelectivity(q Query) float64 {
+	sel := 1.0
+	for _, p := range q.Selection {
+		switch p.Op {
+		case expr.Eq:
+			sel *= 0.1
+		case expr.Ne:
+			sel *= 0.9
+		default: // range comparisons
+			sel *= 1.0 / 3.0
+		}
+	}
+	if sel < 0.005 {
+		sel = 0.005
+	}
+	return sel
+}
+
+// consumeCostPerRow prices the consumer work shared by every engine:
+// checksum folding or aggregation, including group hashing.
+func consumeCostPerRow(q Query) float64 {
+	if len(q.Aggregates) == 0 {
+		return float64(len(q.Projection) * ChecksumCycles)
+	}
+	c := 0.0
+	if len(q.GroupBy) > 0 {
+		c += HashGroupCycles
+	}
+	for _, a := range q.Aggregates {
+		c += AggAddCycles
+		if a.Arg != nil {
+			c += float64(a.Arg.Ops() * ScalarOpCycles)
+		}
+	}
+	return c
+}
+
+// Optimizer prices access paths for one table on one system configuration.
+type Optimizer struct {
+	Tbl *table.Table
+	Sys *System
+	// Store is the columnar copy, if one happens to exist.
+	Store *colstore.Store
+	// Index is a B+tree over one of the table's columns, if one exists.
+	Index *index.BTree
+}
+
+// Choose prices every path and returns the constructed plan.
+func (o *Optimizer) Choose(q Query) (*Plan, error) {
+	if o.Tbl == nil || o.Sys == nil {
+		return nil, errors.New("engine: optimizer needs a table and a system")
+	}
+	if err := q.Validate(o.Tbl.Schema()); err != nil {
+		return nil, err
+	}
+	ests := []Estimate{
+		o.estimateROW(q),
+		o.estimateCOL(q),
+		o.estimateRM(q),
+		o.estimateIDX(q),
+	}
+	sort.Slice(ests, func(i, j int) bool {
+		if ests[i].Available != ests[j].Available {
+			return ests[i].Available
+		}
+		return ests[i].Cycles < ests[j].Cycles
+	})
+	if !ests[0].Available {
+		return nil, errors.New("engine: no access path available")
+	}
+	return &Plan{Chosen: ests[0].Engine, Estimates: ests}, nil
+}
+
+func (o *Optimizer) estimateROW(q Query) Estimate {
+	cfg := o.Sys.Cfg
+	n := float64(o.Tbl.NumRows())
+	sel := estimateSelectivity(q)
+	lineBytes := float64(cfg.Cache.L1.LineBytes)
+	rowStride := float64(o.Tbl.RowStride())
+
+	// CPU: volcano overhead, predicate evaluation, per-column extraction on
+	// survivors, consumption.
+	cpu := n * VolcanoNextCycles
+	cpu += n * float64(len(q.Selection)) * (PredEvalCycles + ExtractCycles + float64(cfg.Cache.L1.HitCycles))
+	consumed := float64(len(q.consumedColumns()))
+	cpu += n * sel * consumed * (ExtractCycles + float64(cfg.Cache.L1.HitCycles))
+	cpu += n * sel * consumeCostPerRow(q)
+	if o.Tbl.HasMVCC() {
+		cpu += n * TSCheckSoftwareCycles
+	}
+
+	// Memory: the scan streams the whole heap; the prefetcher covers the
+	// single stream, so line transitions cost ~an L2 hit.
+	linesPerRow := rowStride / lineBytes
+	mem := n * linesPerRow * float64(cfg.Cache.L2.HitCycles)
+
+	floor := n * rowStride / cfg.DRAM.BandwidthBytesPerCycle
+	return Estimate{Engine: "ROW", Cycles: maxf(cpu+mem, floor), Selectivity: sel, Available: true}
+}
+
+func (o *Optimizer) estimateCOL(q Query) Estimate {
+	if o.Store == nil {
+		return Estimate{Engine: "COL", Available: false,
+			Reason: "no columnar copy exists (the duplication Relational Fabric removes)"}
+	}
+	if q.Snapshot != nil {
+		return Estimate{Engine: "COL", Available: false, Reason: "columnar copy has no version history"}
+	}
+	sch := o.Store.Schema()
+	cfg := o.Sys.Cfg
+	n := float64(o.Store.NumRows())
+	sel := estimateSelectivity(q)
+	lineBytes := float64(cfg.Cache.L1.LineBytes)
+
+	// Selection: full-column passes with bitmap intermediates.
+	cpu := 0.0
+	var bytesTouched float64
+	for i, p := range q.Selection {
+		w := float64(sch.Column(p.Col).Width)
+		cpu += n * (VectorOpCycles + MaterializeCycles + float64(cfg.Cache.L1.HitCycles))
+		cpu += n * (w / lineBytes) * float64(cfg.Cache.L2.HitCycles) // prefetched stream
+		bytesTouched += n * w
+		if i > 0 {
+			cpu += n * float64(cfg.Cache.L1.HitCycles) // bitmap read-modify-write
+		}
+	}
+
+	// Reconstruction: row-major gather across consumed arrays on survivors.
+	consumed := q.consumedColumns()
+	streams := len(consumed)
+	perLine := float64(cfg.Cache.L2.HitCycles) // covered by prefetch
+	if streams > cfg.Cache.Prefetch.Streams {
+		perLine = float64(cfg.Cache.OverlapMissCycles + cfg.Cache.L2.HitCycles)
+	}
+	for _, c := range consumed {
+		w := float64(sch.Column(c).Width)
+		cpu += n * sel * (VectorOpCycles + float64(cfg.Cache.L1.HitCycles))
+		cpu += n * sel * (w / lineBytes) * perLine
+		bytesTouched += n * sel * w
+	}
+	cpu += n * sel * consumeCostPerRow(q)
+
+	floor := bytesTouched / cfg.DRAM.BandwidthBytesPerCycle
+	return Estimate{Engine: "COL", Cycles: maxf(cpu, floor), Selectivity: sel, Available: true}
+}
+
+func (o *Optimizer) estimateRM(q Query) Estimate {
+	sch := o.Tbl.Schema()
+	cfg := o.Sys.Cfg
+	n := float64(o.Tbl.NumRows())
+	sel := estimateSelectivity(q)
+	lineBytes := float64(cfg.Cache.L1.LineBytes)
+
+	geom, err := geometry.NewGeometry(sch, q.NeededColumns()...)
+	if err != nil {
+		return Estimate{Engine: "RM", Available: false, Reason: err.Error()}
+	}
+	gatherPerRow := estimateGatherBytes(o.Tbl, geom, cfg.DRAM.BurstBytes)
+
+	// Producer: datapath row/beat rate plus refill handshakes, floored by
+	// fabric-port bandwidth.
+	ratio := float64(cfg.Fabric.ClockRatio)
+	rowRate := n / float64(cfg.Fabric.RowsPerCycle) * ratio
+	beatRate := n * gatherPerRow / float64(cfg.Fabric.BeatBytes) * ratio
+	producer := maxf(rowRate, beatRate)
+	packed := float64(geom.PackedWidth())
+	chunks := n * packed / float64(cfg.Fabric.BufferBytes)
+	producer += (chunks + 1) * float64(cfg.Fabric.RefillCycles)
+	fabricFloor := n * gatherPerRow / (cfg.DRAM.BandwidthBytesPerCycle * float64(cfg.DRAM.FabricPorts))
+
+	// Consumer: vectorized over packed rows; selection short-circuits on
+	// the first failing predicate (assume ~1.3 evaluated on average when
+	// selective), survivors consume.
+	evalPerRow := float64(len(q.Selection))
+	if evalPerRow > 1 && sel < 0.5 {
+		evalPerRow = 1.3
+	}
+	consumer := n * evalPerRow * (2*VectorOpCycles + float64(cfg.Cache.L1.HitCycles))
+	consumer += n * sel * float64(len(q.consumedColumns())) * (VectorOpCycles + float64(cfg.Cache.L1.HitCycles))
+	consumer += n * sel * consumeCostPerRow(q)
+	consumer += n * packed / lineBytes * float64(cfg.Cache.L2.HitCycles+cfg.Cache.FabricHitCycles)
+
+	cycles := maxf(maxf(producer, consumer), fabricFloor)
+	return Estimate{Engine: "RM", Cycles: cycles, Selectivity: sel, Available: true}
+}
+
+// estimateGatherBytes mirrors the fabric's stride coalescing to predict
+// burst-rounded bytes per row.
+func estimateGatherBytes(tbl *table.Table, geom *geometry.Geometry, burst int) float64 {
+	payloadOff := 0
+	if tbl.HasMVCC() {
+		payloadOff = table.MVCCHeaderBytes
+	}
+	sch := tbl.Schema()
+	type rng struct{ off, w int }
+	var ranges []rng
+	if tbl.HasMVCC() {
+		ranges = append(ranges, rng{0, table.MVCCHeaderBytes})
+	}
+	cols := append([]int(nil), geom.Columns()...)
+	sort.Ints(cols)
+	for _, c := range cols {
+		ranges = append(ranges, rng{payloadOff + sch.Offset(c), sch.Column(c).Width})
+	}
+	var merged []rng
+	for _, r := range ranges {
+		if n := len(merged); n > 0 && r.off-(merged[n-1].off+merged[n-1].w) < burst {
+			merged[n-1].w = r.off + r.w - merged[n-1].off
+			continue
+		}
+		merged = append(merged, r)
+	}
+	total := 0
+	for _, r := range merged {
+		first := r.off &^ (burst - 1)
+		last := (r.off + r.w - 1) &^ (burst - 1)
+		total += last - first + burst
+	}
+	return float64(total)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the plan for diagnostics.
+func (p *Plan) String() string {
+	s := "plan: " + p.Chosen
+	for _, e := range p.Estimates {
+		if e.Available {
+			s += fmt.Sprintf(" | %s≈%.0f", e.Engine, e.Cycles)
+		} else {
+			s += fmt.Sprintf(" | %s(unavailable)", e.Engine)
+		}
+	}
+	return s
+}

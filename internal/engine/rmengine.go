@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/fabric"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// RMEngine executes queries over Relational Memory: it configures an
+// ephemeral view of exactly the columns the query needs and consumes the
+// packed chunks the fabric delivers. The consumer is vectorized — the packed
+// layout is precisely the "optimal layout" the paper argues every query
+// should see (§II).
+type RMEngine struct {
+	Tbl *table.Table
+	Sys *System
+
+	// PushSelection evaluates the query's predicates inside the fabric
+	// (§IV-B); only qualifying rows are shipped. When false the predicates
+	// run vectorized on the CPU over packed data, matching the paper's
+	// projection-only prototype (§V).
+	PushSelection bool
+	// PushAggregation computes plain-column aggregates inside the fabric
+	// and ships only the results (§IV-B). Derived aggregate expressions
+	// always run on the CPU.
+	PushAggregation bool
+}
+
+// Name implements Executor.
+func (e *RMEngine) Name() string { return "RM" }
+
+// Execute runs q and returns its result with the modeled cost.
+func (e *RMEngine) Execute(q Query) (*Result, error) {
+	if e.Tbl == nil || e.Sys == nil {
+		return nil, errors.New("engine: RMEngine needs a table and a system")
+	}
+	sch := e.Tbl.Schema()
+	if err := q.Validate(sch); err != nil {
+		return nil, err
+	}
+	if q.Snapshot != nil && !e.Tbl.HasMVCC() {
+		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
+	}
+
+	geom, err := geometry.NewGeometry(sch, q.NeededColumns()...)
+	if err != nil {
+		return nil, err
+	}
+	var opts []fabric.ViewOption
+	if q.Snapshot != nil {
+		opts = append(opts, fabric.WithSnapshot(*q.Snapshot))
+	}
+	if e.PushSelection && len(q.Selection) > 0 {
+		opts = append(opts, fabric.WithSelection(q.Selection))
+	}
+	ev, err := e.Sys.Fab.Configure(e.Tbl, geom, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	if e.PushAggregation && len(q.GroupBy) == 0 && len(q.Aggregates) > 0 && e.PushSelection {
+		if specs, ok := pushableAggs(q.Aggregates); ok {
+			return e.executePushedAggregation(q, ev, specs)
+		}
+	}
+	return e.executeConsume(q, ev, geom)
+}
+
+// pushableAggs converts aggregate terms to fabric specs when every term is
+// COUNT(*) or a plain-column aggregate — the only shapes simple enough for
+// the hardware.
+func pushableAggs(terms []AggTerm) ([]expr.AggSpec, bool) {
+	specs := make([]expr.AggSpec, len(terms))
+	for i, t := range terms {
+		if t.Arg == nil {
+			specs[i] = expr.AggSpec{Kind: expr.Count}
+			continue
+		}
+		ref, ok := t.Arg.(expr.ColRef)
+		if !ok {
+			return nil, false
+		}
+		specs[i] = expr.AggSpec{Kind: t.Kind, Col: ref.Col}
+	}
+	return specs, true
+}
+
+// executePushedAggregation ships only the aggregate results to the CPU.
+func (e *RMEngine) executePushedAggregation(q Query, ev *fabric.Ephemeral, specs []expr.AggSpec) (*Result, error) {
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	agg, err := ev.Aggregate(specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Engine:      e.Name(),
+		RowsScanned: int64(agg.RowsScanned),
+		RowsPassed:  int64(agg.RowsQualified),
+		Aggs:        make([]table.Value, len(agg.Values)),
+	}
+	for i, v := range agg.Values {
+		res.Aggs[i] = normalizeAggValue(q.Aggregates[i].Kind, v)
+	}
+	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, 0, agg.ProducerCycles, agg.ProducerCycles, uint64(len(agg.Values)*8))
+	return res, nil
+}
+
+// normalizeAggValue converts fabric integer aggregates to the float64
+// convention the software engines report, keeping COUNT integral.
+func normalizeAggValue(kind expr.AggKind, v table.Value) table.Value {
+	if kind == expr.Count {
+		return v
+	}
+	if v.Type == geometry.Float64 {
+		return v
+	}
+	return table.F64(float64(v.Int))
+}
+
+// executeConsume runs the chunked producer/consumer pipeline.
+func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.Geometry) (*Result, error) {
+	sch := e.Tbl.Schema()
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	fabStart := e.Sys.Fab.Stats()
+
+	var compute uint64
+	cons := newConsumer(q, sch, &compute)
+
+	// Packed-layout accessors.
+	packed := ev.PackedWidth()
+	lineBytes := int64(e.Sys.Hier.LineBytes())
+	offs := make(map[int]int, geom.NumColumns())
+	for i, c := range geom.Columns() {
+		offs[c] = geom.PackedOffset(i)
+	}
+
+	selectOnCPU := !e.PushSelection && len(q.Selection) > 0
+
+	// Per-row lazily fetched value cache over the packed layout,
+	// epoch-invalidated — packed rows are accessed exactly like Fig. 3's
+	// cg[i].field: row-wise over a dense single stream.
+	numCols := sch.NumColumns()
+	vals := make([]table.Value, numCols)
+	fetchedAt := make([]int64, numCols)
+	for i := range fetchedAt {
+		fetchedAt[i] = -1
+	}
+	var epoch int64
+
+	var pipeline, producer uint64
+	var scanned int64
+
+	ev.Reset()
+	for {
+		hierBefore := e.Sys.Hier.Stats().Cycles
+		computeBefore := compute
+
+		ch, ok := ev.Next()
+		if !ok {
+			break
+		}
+		scanned += int64(ch.SourceRows)
+
+		// The fabric delivers the chunk's packed lines toward the CPU.
+		lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
+		for i := 0; i < lines; i++ {
+			e.Sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
+		}
+
+		for r := 0; r < ch.Rows; r++ {
+			epoch++
+			row := r
+			fetch := func(col int) table.Value {
+				if fetchedAt[col] == epoch {
+					return vals[col]
+				}
+				off := offs[col]
+				w := sch.Column(col).Width
+				e.Sys.Hier.Load(ch.BaseAddr + int64(row*packed+off))
+				compute += VectorOpCycles
+				v := table.DecodeColumn(sch.Column(col), ch.Data[row*packed+off:row*packed+off+w])
+				vals[col] = v
+				fetchedAt[col] = epoch
+				return v
+			}
+			if selectOnCPU {
+				pass := true
+				for _, p := range q.Selection {
+					compute += VectorOpCycles
+					if !p.Eval(fetch(p.Col)) {
+						pass = false
+						break
+					}
+				}
+				if !pass {
+					continue
+				}
+			}
+			cons.consumeRow(fetch)
+		}
+
+		consumer := (e.Sys.Hier.Stats().Cycles - hierBefore) + (compute - computeBefore)
+		producer += ch.ProducerCycles
+		if ch.ProducerCycles > consumer {
+			pipeline += ch.ProducerCycles
+		} else {
+			pipeline += consumer
+		}
+	}
+
+	res := cons.finish(e.Name(), scanned)
+	shipped := e.Sys.Fab.Stats().BytesShipped - fabStart.BytesShipped
+	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, compute, pipeline, producer, shipped)
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"rfabric/internal/table"
+)
+
+// RowEngine executes queries tuple-at-a-time over the row-oriented base
+// table — the paper's ROW baseline. Every row pulls its full cache line(s)
+// through the hierarchy whether or not the query needs the other attributes,
+// which is precisely the pollution Relational Memory removes.
+type RowEngine struct {
+	Tbl *table.Table
+	Sys *System
+}
+
+// Name implements Executor.
+func (e *RowEngine) Name() string { return "ROW" }
+
+// Execute runs q and returns its result with the modeled cost.
+func (e *RowEngine) Execute(q Query) (*Result, error) {
+	if e.Tbl == nil || e.Sys == nil {
+		return nil, errors.New("engine: RowEngine needs a table and a system")
+	}
+	sch := e.Tbl.Schema()
+	if err := q.Validate(sch); err != nil {
+		return nil, err
+	}
+	if q.Snapshot != nil && !e.Tbl.HasMVCC() {
+		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
+	}
+
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	var compute uint64
+	cons := newConsumer(q, sch, &compute)
+
+	// Per-row lazily fetched value cache, epoch-invalidated.
+	numCols := sch.NumColumns()
+	vals := make([]table.Value, numCols)
+	fetchedAt := make([]int64, numCols)
+	for i := range fetchedAt {
+		fetchedAt[i] = -1
+	}
+	var epoch int64
+
+	rows := e.Tbl.NumRows()
+	var scanned int64
+	for r := 0; r < rows; r++ {
+		compute += VolcanoNextCycles
+		scanned++
+		epoch++
+
+		if e.Tbl.HasMVCC() {
+			// The software path must read the row header to check
+			// visibility — one more touch of the row's first line.
+			e.Sys.Hier.Load(e.Tbl.RowAddr(r))
+			if q.Snapshot != nil {
+				compute += TSCheckSoftwareCycles
+				if !e.Tbl.VisibleAt(r, *q.Snapshot) {
+					continue
+				}
+			}
+		}
+
+		payload := e.Tbl.RowPayload(r)
+		fetch := func(col int) table.Value {
+			if fetchedAt[col] == epoch {
+				return vals[col]
+			}
+			e.Sys.Hier.Load(e.Tbl.ColumnAddr(r, col))
+			compute += ExtractCycles
+			v := table.DecodeColumn(sch.Column(col), payload[sch.Offset(col):])
+			vals[col] = v
+			fetchedAt[col] = epoch
+			return v
+		}
+
+		pass := true
+		for _, p := range q.Selection {
+			compute += PredEvalCycles
+			if !p.Eval(fetch(p.Col)) {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		cons.consumeRow(fetch)
+	}
+
+	res := cons.finish(e.Name(), scanned)
+	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	return res, nil
+}

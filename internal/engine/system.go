@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"rfabric/internal/cache"
+	"rfabric/internal/dram"
+	"rfabric/internal/fabric"
+)
+
+// SystemConfig bundles the full simulated platform: DRAM, cache hierarchy,
+// and the fabric device.
+type SystemConfig struct {
+	DRAM   dram.Config
+	Cache  cache.HierarchyConfig
+	Fabric fabric.Config
+}
+
+// DefaultSystemConfig mirrors the paper's target platform proportions (§V).
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		DRAM:   dram.DefaultConfig(),
+		Cache:  cache.DefaultHierarchy(),
+		Fabric: fabric.DefaultConfig(),
+	}
+}
+
+// System is one simulated machine instance: a DRAM module shared by the CPU
+// cache hierarchy and the fabric engine, plus an address arena for placing
+// tables, column arrays, and delivery windows. Engines executing on the same
+// System share cache and DRAM state, like processes on one machine; the
+// experiment harness builds a fresh System per measured run.
+type System struct {
+	Cfg   SystemConfig
+	Mem   *dram.Module
+	Hier  *cache.Hierarchy
+	Fab   *fabric.Engine
+	Arena *dram.Arena
+}
+
+// NewSystem builds a machine from cfg.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cfg.Cache, mem)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := dram.NewArena(0, int64(cfg.DRAM.LineBytes))
+	if err != nil {
+		return nil, err
+	}
+	fab, err := fabric.New(cfg.Fabric, mem, arena)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Cfg: cfg, Mem: mem, Hier: hier, Fab: fab, Arena: arena}, nil
+}
+
+// MustSystem is NewSystem panicking on error, for fixtures.
+func MustSystem(cfg SystemConfig) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ResetState flushes caches, DRAM row buffers, and all statistics, keeping
+// allocations. Call it between measured runs on a shared System.
+func (s *System) ResetState() {
+	s.Hier.Reset()
+	s.Mem.Reset()
+	s.Fab.ResetStats()
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+	"rfabric/internal/tpch"
+)
+
+// AblationPoint is one setting of an ablation sweep.
+type AblationPoint struct {
+	Setting string
+	Cycles  map[string]uint64
+	// BytesToCPU is filled by sweeps where data movement is the point.
+	BytesToCPU uint64
+}
+
+// AblationResult is one full sweep.
+type AblationResult struct {
+	Name   string
+	Knob   string
+	Points []AblationPoint
+}
+
+// WriteTable renders the sweep.
+func (r *AblationResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Ablation %s — sweep of %s\n", r.Name, r.Knob)
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %-16s", p.Setting)
+		for _, name := range []string{"ROW", "COL", "RM", "IDX"} {
+			if c, ok := p.Cycles[name]; ok {
+				fmt.Fprintf(w, " %s=%-12d", name, c)
+			}
+		}
+		if p.BytesToCPU > 0 {
+			fmt.Fprintf(w, " bytesToCPU=%d", p.BytesToCPU)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// AblationPrefetchStreams sweeps the prefetcher's stream budget, the
+// mechanism behind COL's ≤4-column advantage in Figure 5. The query touches
+// 8 columns; with generous stream budgets COL recovers, with 1 stream it
+// collapses.
+func AblationPrefetchStreams(opt Options, streams []int) (*AblationResult, error) {
+	res := &AblationResult{Name: "ABL-PREFETCH", Knob: "prefetcher stream budget"}
+	q := engine.Query{Projection: seq(0, 8)}
+	for _, n := range streams {
+		o := opt
+		o.System.Cache.Prefetch.Streams = n
+		f, err := newMicroFixture(o, 16, o.MicroRows)
+		if err != nil {
+			return nil, err
+		}
+		all, err := f.runAll(q)
+		if err != nil {
+			return nil, fmt.Errorf("streams=%d: %w", n, err)
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Setting: fmt.Sprintf("streams=%d", n),
+			Cycles:  cyclesOf(all),
+		})
+	}
+	return res, nil
+}
+
+// AblationFabricBuffer sweeps the on-fabric data memory (the paper's
+// prototype has 2 MB, refilled when full, §V).
+func AblationFabricBuffer(opt Options, bufferBytes []int) (*AblationResult, error) {
+	res := &AblationResult{Name: "ABL-BUFFER", Knob: "fabric buffer bytes"}
+	// A wide geometry so realistic buffer sizes need multiple refills.
+	q := engine.Query{Projection: seq(0, 12)}
+	for _, b := range bufferBytes {
+		o := opt
+		o.System.Fabric.BufferBytes = b
+		f, err := newMicroFixture(o, 16, o.MicroRows)
+		if err != nil {
+			return nil, err
+		}
+		f.sys.ResetState()
+		rm := &engine.RMEngine{Tbl: f.tbl, Sys: f.sys}
+		r, err := rm.Execute(q)
+		if err != nil {
+			return nil, fmt.Errorf("buffer=%d: %w", b, err)
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Setting: fmt.Sprintf("buffer=%dKiB", b>>10),
+			Cycles:  map[string]uint64{"RM": r.Breakdown.TotalCycles},
+		})
+	}
+	return res, nil
+}
+
+// AblationFabricClock sweeps the CPU:fabric clock ratio (the prototype runs
+// the programmable logic at 100 MHz against 1.5 GHz cores, ratio 15).
+func AblationFabricClock(opt Options, ratios []int) (*AblationResult, error) {
+	res := &AblationResult{Name: "ABL-CLOCK", Knob: "CPU cycles per fabric cycle"}
+	q := engine.Query{Projection: seq(0, 2)}
+	for _, cr := range ratios {
+		o := opt
+		o.System.Fabric.ClockRatio = cr
+		f, err := newMicroFixture(o, 16, o.MicroRows)
+		if err != nil {
+			return nil, err
+		}
+		f.sys.ResetState()
+		rm := &engine.RMEngine{Tbl: f.tbl, Sys: f.sys}
+		r, err := rm.Execute(q)
+		if err != nil {
+			return nil, fmt.Errorf("ratio=%d: %w", cr, err)
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Setting: fmt.Sprintf("ratio=1:%d", cr),
+			Cycles:  map[string]uint64{"RM": r.Breakdown.TotalCycles},
+		})
+	}
+	return res, nil
+}
+
+// AblationDRAMBanks sweeps bank-level parallelism, which bounds how well the
+// fabric overlaps its gathers.
+func AblationDRAMBanks(opt Options, banks []int) (*AblationResult, error) {
+	res := &AblationResult{Name: "ABL-BANKS", Knob: "DRAM banks"}
+	q := engine.Query{Projection: seq(0, 6)}
+	for _, b := range banks {
+		o := opt
+		o.System.DRAM.Banks = b
+		f, err := newMicroFixture(o, 16, o.MicroRows)
+		if err != nil {
+			return nil, err
+		}
+		all, err := f.runAll(q)
+		if err != nil {
+			return nil, fmt.Errorf("banks=%d: %w", b, err)
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Setting: fmt.Sprintf("banks=%d", b),
+			Cycles:  cyclesOf(all),
+		})
+	}
+	return res, nil
+}
+
+// AblationMVCC compares hardware timestamp filtering (in the fabric,
+// §III-C) against the software visibility check the row engine performs,
+// over a versioned table where a third of the versions are dead.
+func AblationMVCC(opt Options, rows int) (*AblationResult, error) {
+	sys, err := engine.NewSystem(opt.System)
+	if err != nil {
+		return nil, err
+	}
+	sch := wide16Schema()
+	base := sys.Arena.Alloc(int64(rows * (sch.RowBytes() + table.MVCCHeaderBytes)))
+	tbl, err := table.New("versions", sch, table.WithMVCC(), table.WithCapacity(rows), table.WithBaseAddr(base))
+	if err != nil {
+		return nil, err
+	}
+	rng := newRand(opt.Seed)
+	vals := make([]table.Value, sch.NumColumns())
+	for r := 0; r < rows; r++ {
+		for c := range vals {
+			vals[c] = table.I32(int32(rng.Intn(1000)))
+		}
+		if _, err := tbl.Append(1, vals...); err != nil {
+			return nil, err
+		}
+	}
+	for r := 0; r < rows; r += 3 {
+		if err := tbl.SetEndTS(r, 5); err != nil {
+			return nil, err
+		}
+	}
+
+	snap := uint64(7)
+	q := engine.Query{Projection: []int{0, 4, 8}, Snapshot: &snap}
+
+	res := &AblationResult{Name: "ABL-MVCC", Knob: "visibility filtering location"}
+	sys.ResetState()
+	row, err := (&engine.RowEngine{Tbl: tbl, Sys: sys}).Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	sys.ResetState()
+	rm, err := (&engine.RMEngine{Tbl: tbl, Sys: sys}).Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := rm.EquivalentTo(row, 0); err != nil {
+		return nil, fmt.Errorf("hardware and software visibility disagree: %w", err)
+	}
+	res.Points = append(res.Points,
+		AblationPoint{Setting: "software(ROW)", Cycles: map[string]uint64{"ROW": row.Breakdown.TotalCycles}},
+		AblationPoint{Setting: "hardware(RM)", Cycles: map[string]uint64{"RM": rm.Breakdown.TotalCycles}},
+	)
+	return res, nil
+}
+
+// AblationPushdown compares the three RM operating points on TPC-H Q6:
+// projection-only (the paper's prototype), selection pushdown, and
+// selection+aggregation pushdown (§IV-B). Aggregation pushdown is measured
+// on the plain-column sum the hardware supports.
+func AblationPushdown(opt Options, rows int) (*AblationResult, error) {
+	sys, err := engine.NewSystem(opt.System)
+	if err != nil {
+		return nil, err
+	}
+	sch := tpch.LineitemSchema()
+	base := sys.Arena.Alloc(int64(rows * sch.RowBytes()))
+	tbl, err := table.New("lineitem", sch, table.WithCapacity(rows), table.WithBaseAddr(base))
+	if err != nil {
+		return nil, err
+	}
+	if err := tpch.Generate(tbl, rows, opt.Seed); err != nil {
+		return nil, err
+	}
+	q := tpch.Q6()
+	// The plain-column variant sums l_extendedprice so the fabric can fold
+	// it without arithmetic.
+	qPlain := q
+	qPlain.Aggregates = []engine.AggTerm{
+		{Kind: expr.Count},
+		{Kind: expr.Sum, Arg: expr.ColRef{Col: tpch.LExtendedPrice}},
+	}
+
+	res := &AblationResult{Name: "ABL-PUSHDOWN", Knob: "fabric operator pushdown"}
+	run := func(label string, e *engine.RMEngine, query engine.Query) error {
+		sys.ResetState()
+		r, err := e.Execute(query)
+		if err != nil {
+			return err
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Setting:    label,
+			Cycles:     map[string]uint64{"RM": r.Breakdown.TotalCycles},
+			BytesToCPU: r.Breakdown.BytesToCPU,
+		})
+		return nil
+	}
+	if err := run("projection-only", &engine.RMEngine{Tbl: tbl, Sys: sys}, q); err != nil {
+		return nil, err
+	}
+	if err := run("+selection", &engine.RMEngine{Tbl: tbl, Sys: sys, PushSelection: true}, q); err != nil {
+		return nil, err
+	}
+	if err := run("+aggregation", &engine.RMEngine{Tbl: tbl, Sys: sys, PushSelection: true, PushAggregation: true}, qPlain); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func cyclesOf(all map[string]*engine.Result) map[string]uint64 {
+	out := make(map[string]uint64, len(all))
+	for name, r := range all {
+		out[name] = r.Breakdown.TotalCycles
+	}
+	return out
+}
+
+func wide16Schema() *geometry.Schema {
+	defs := make([]geometry.Column, 16)
+	for i := range defs {
+		defs[i] = geometry.Column{Name: fmt.Sprintf("c%02d", i), Type: geometry.Int32, Width: 4}
+	}
+	return geometry.MustSchema(defs...)
+}

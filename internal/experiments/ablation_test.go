@@ -1,0 +1,159 @@
+package experiments
+
+import "testing"
+
+func ablOptions() Options {
+	opt := DefaultOptions()
+	opt.MicroRows = 12_000
+	return opt
+}
+
+func TestAblationPrefetchStreams(t *testing.T) {
+	r, err := AblationPrefetchStreams(ablOptions(), []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	few := r.Points[0].Cycles["COL"]
+	many := r.Points[1].Cycles["COL"]
+	if few <= many {
+		t.Errorf("COL with 2 streams (%d) should be slower than with 8 (%d)", few, many)
+	}
+}
+
+func TestAblationFabricBuffer(t *testing.T) {
+	opt := ablOptions()
+	opt.MicroRows = 24_000 // enough rows that a small buffer needs many refills
+	r, err := AblationFabricBuffer(opt, []int{64 << 10, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := r.Points[0].Cycles["RM"]
+	large := r.Points[1].Cycles["RM"]
+	if small <= large {
+		t.Errorf("32K buffer (%d) should cost more refills than 8M (%d)", small, large)
+	}
+}
+
+func TestAblationFabricClock(t *testing.T) {
+	r, err := AblationFabricClock(ablOptions(), []int{1, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := r.Points[0].Cycles["RM"]
+	slow := r.Points[1].Cycles["RM"]
+	if slow <= fast {
+		t.Errorf("1:30 fabric (%d) should be slower than 1:1 (%d)", slow, fast)
+	}
+}
+
+func TestAblationDRAMBanks(t *testing.T) {
+	r, err := AblationDRAMBanks(ablOptions(), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := r.Points[0].Cycles["COL"]
+	eight := r.Points[1].Cycles["COL"]
+	if one <= eight {
+		t.Errorf("single-bank COL (%d) should be slower than 8-bank (%d)", one, eight)
+	}
+}
+
+func TestAblationMVCC(t *testing.T) {
+	r, err := AblationMVCC(ablOptions(), 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := r.Points[0].Cycles["ROW"]
+	hw := r.Points[1].Cycles["RM"]
+	if hw >= sw {
+		t.Errorf("hardware visibility filtering (%d) should beat software (%d)", hw, sw)
+	}
+}
+
+func TestAblationPushdown(t *testing.T) {
+	r, err := AblationPushdown(ablOptions(), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := r.Points[0]
+	sel := r.Points[1]
+	agg := r.Points[2]
+	if sel.BytesToCPU >= proj.BytesToCPU {
+		t.Errorf("selection pushdown shipped %d bytes, projection-only %d", sel.BytesToCPU, proj.BytesToCPU)
+	}
+	if agg.BytesToCPU >= sel.BytesToCPU {
+		t.Errorf("aggregation pushdown shipped %d bytes, selection %d", agg.BytesToCPU, sel.BytesToCPU)
+	}
+	// Pushdown must never slow the query down.
+	if agg.Cycles["RM"] > proj.Cycles["RM"]*11/10 {
+		t.Errorf("aggregation pushdown (%d) slower than projection-only (%d)", agg.Cycles["RM"], proj.Cycles["RM"])
+	}
+}
+
+func TestAblationIndex(t *testing.T) {
+	r, err := AblationIndex(ablOptions(), 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := r.Points[0].Cycles["IDX"]
+	rmScan := r.Points[2].Cycles["RM"]
+	if point*50 > rmScan {
+		t.Errorf("index point lookup (%d) not clearly below the RM scan (%d)", point, rmScan)
+	}
+	// At 1% range the index must win; the RM scan cost is flat.
+	idx1 := r.Points[3].Cycles["IDX"]
+	rm1 := r.Points[4].Cycles["RM"]
+	if idx1 >= rm1 {
+		t.Errorf("1%% range via index (%d) should beat the scan (%d)", idx1, rm1)
+	}
+}
+
+func TestAblationRMC(t *testing.T) {
+	r, err := AblationRMC(ablOptions(), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discrete := r.Points[0].Cycles["RM"]
+	integrated := r.Points[1].Cycles["RM"]
+	if integrated > discrete {
+		t.Errorf("integrated controller (%d) slower than discrete PL (%d)", integrated, discrete)
+	}
+}
+
+func TestAblationCompression(t *testing.T) {
+	r, err := AblationCompression(ablOptions(), 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CompressionPoint{}
+	for _, p := range r.Points {
+		byName[p.Codec] = p
+	}
+	if p := byName["dictionary(l_shipmode)"]; !p.RandomAccess || p.Ratio < 5 {
+		t.Errorf("dictionary point: %+v", p)
+	}
+	if p := byName["delta(l_orderkey)"]; !p.RandomAccess || p.Ratio < 4 {
+		t.Errorf("delta point: %+v", p)
+	}
+	if p := byName["rle(l_linestatus)"]; p.RandomAccess {
+		t.Errorf("RLE reported fabric-compatible: %+v", p)
+	}
+	if p := byName["lz77(l_comment)"]; p.RandomAccess || p.Ratio < 2 {
+		t.Errorf("lz77 point: %+v", p)
+	}
+}
+
+func TestAblationStorage(t *testing.T) {
+	r, err := AblationStorage(ablOptions(), 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearRaw := r.Points[0]
+	hostRaw := r.Points[1]
+	if nearRaw.Cycles >= hostRaw.Cycles {
+		t.Errorf("near-storage (%d) not faster than host (%d)", nearRaw.Cycles, hostRaw.Cycles)
+	}
+	if nearRaw.BytesToHost >= hostRaw.BytesToHost {
+		t.Errorf("near-storage shipped %d bytes, host %d", nearRaw.BytesToHost, hostRaw.BytesToHost)
+	}
+}

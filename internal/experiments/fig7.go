@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rfabric/internal/colstore"
+	"rfabric/internal/engine"
+	"rfabric/internal/table"
+	"rfabric/internal/tpch"
+)
+
+// TPCHQuery selects which practical query a Figure 7 run executes.
+type TPCHQuery int
+
+// The two queries of Figure 7.
+const (
+	Q1 TPCHQuery = iota
+	Q6
+)
+
+// String returns the query label.
+func (q TPCHQuery) String() string {
+	if q == Q1 {
+		return "Q1"
+	}
+	return "Q6"
+}
+
+// Query returns the engine-level query definition.
+func (q TPCHQuery) Query() engine.Query {
+	if q == Q1 {
+		return tpch.Q1()
+	}
+	return tpch.Q6()
+}
+
+// Fig7Point is one data size of the Figure 7 sweep.
+type Fig7Point struct {
+	TargetBytes int // bytes of the query's needed columns (paper's x label)
+	TableBytes  int // total base-table bytes
+	Rows        int
+	Cycles      map[string]uint64
+	RowsPassed  int64
+}
+
+// Fig7Result is the full sweep for one query.
+type Fig7Result struct {
+	Query  TPCHQuery
+	Points []Fig7Point
+}
+
+// Figure7 reproduces the practical-query experiment (§V "RM Shows Stable
+// Performance for Practical Queries"): TPC-H Q1 or Q6 over lineitem tables
+// sized so the query's target columns occupy each entry of opt.Fig7TargetMB.
+func Figure7(opt Options, which TPCHQuery) (*Fig7Result, error) {
+	q := which.Query()
+	res := &Fig7Result{Query: which}
+	for _, mb := range opt.Fig7TargetMB {
+		target := mb << 20
+		rows := tpch.RowsForTargetBytes(q, target)
+		pt, err := runFig7Point(opt, q, rows, target)
+		if err != nil {
+			return nil, fmt.Errorf("figure 7 %s target %d MiB: %w", which, mb, err)
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	return res, nil
+}
+
+func runFig7Point(opt Options, q engine.Query, rows, target int) (*Fig7Point, error) {
+	sys, err := engine.NewSystem(opt.System)
+	if err != nil {
+		return nil, err
+	}
+	sch := tpch.LineitemSchema()
+	base := sys.Arena.Alloc(int64(rows * sch.RowBytes()))
+	tbl, err := table.New("lineitem", sch, table.WithCapacity(rows), table.WithBaseAddr(base))
+	if err != nil {
+		return nil, err
+	}
+	if err := tpch.Generate(tbl, rows, opt.Seed); err != nil {
+		return nil, err
+	}
+	store, err := colstore.FromTable(tbl, sys.Arena)
+	if err != nil {
+		return nil, err
+	}
+	f := &fixture{sys: sys, tbl: tbl, store: store}
+	all, err := f.runAll(q)
+	if err != nil {
+		return nil, err
+	}
+	pt := &Fig7Point{
+		TargetBytes: target,
+		TableBytes:  tbl.SizeBytes(),
+		Rows:        rows,
+		Cycles:      map[string]uint64{},
+		RowsPassed:  all["RM"].RowsPassed,
+	}
+	for name, r := range all {
+		pt.Cycles[name] = r.Breakdown.TotalCycles
+	}
+	return pt, nil
+}
+
+// WriteTable renders the sweep like the paper's series.
+func (r *Fig7Result) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7 (%s) — execution cycles vs data size\n", r.Query)
+	fmt.Fprintf(w, "%-10s %-10s %-10s %14s %14s %14s %10s\n",
+		"target", "table", "rows", "ROW(cyc)", "COL(cyc)", "RM(cyc)", "passed")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-10s %-10s %-10d %14d %14d %14d %10d\n",
+			fmtMB(p.TargetBytes), fmtMB(p.TableBytes), p.Rows,
+			p.Cycles["ROW"], p.Cycles["COL"], p.Cycles["RM"], p.RowsPassed)
+	}
+}
+
+func fmtMB(b int) string {
+	return fmt.Sprintf("%.0fMB", float64(b)/(1<<20))
+}
+
+// CheckShape verifies the paper's qualitative claims.
+//
+// Q6 (data-movement-bound): RM is fastest at every size, ROW slowest.
+// Q1 (CPU-bound): the three engines stay within a 2x band, and RM is never
+// slower than ROW.
+func (r *Fig7Result) CheckShape() []string {
+	var bad []string
+	for _, p := range r.Points {
+		row, col, rm := p.Cycles["ROW"], p.Cycles["COL"], p.Cycles["RM"]
+		switch r.Query {
+		case Q6:
+			if rm >= col {
+				bad = append(bad, fmt.Sprintf("%s target %s: RM (%d) not faster than COL (%d)", r.Query, fmtMB(p.TargetBytes), rm, col))
+			}
+			if col >= row {
+				bad = append(bad, fmt.Sprintf("%s target %s: COL (%d) not faster than ROW (%d)", r.Query, fmtMB(p.TargetBytes), col, row))
+			}
+		case Q1:
+			if rm > row {
+				bad = append(bad, fmt.Sprintf("%s target %s: RM (%d) slower than ROW (%d)", r.Query, fmtMB(p.TargetBytes), rm, row))
+			}
+			hi, lo := row, row
+			for _, c := range []uint64{col, rm} {
+				if c > hi {
+					hi = c
+				}
+				if c < lo {
+					lo = c
+				}
+			}
+			if float64(hi)/float64(lo) > 2.0 {
+				bad = append(bad, fmt.Sprintf("%s target %s: engines spread %.2fx exceeds CPU-bound band", r.Query, fmtMB(p.TargetBytes), float64(hi)/float64(lo)))
+			}
+		}
+	}
+	return bad
+}

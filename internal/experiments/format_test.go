@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The Write* formatters are what rfbench prints and EXPERIMENTS.md records;
+// exercise them against real (small) runs.
+func TestWriteTableFormatters(t *testing.T) {
+	opt := quickOptions()
+	opt.MicroRows = 8_000
+
+	var buf bytes.Buffer
+	f5, err := Figure5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "projectivity") || strings.Count(buf.String(), "\n") < 12 {
+		t.Errorf("figure 5 table malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	f7, err := Figure7(opt, Q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "Q6") || !strings.Contains(buf.String(), "MB") {
+		t.Errorf("figure 7 table malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	abl, err := AblationMVCC(opt, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "ABL-MVCC") {
+		t.Errorf("ablation table malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	comp, err := AblationCompression(opt, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "dictionary(l_shipmode)") {
+		t.Errorf("compression table malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	st, err := AblationStorage(opt, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "near-storage") {
+		t.Errorf("storage table malformed:\n%s", buf.String())
+	}
+}
+
+func TestPaperScaleOptionsShape(t *testing.T) {
+	o := PaperScaleOptions()
+	if o.MicroRows <= DefaultOptions().MicroRows {
+		t.Error("paper scale not larger than default")
+	}
+	if o.Fig7TargetMB[len(o.Fig7TargetMB)-1] != 128 {
+		t.Errorf("paper scale tops out at %d MiB, want 128", o.Fig7TargetMB[len(o.Fig7TargetMB)-1])
+	}
+}
+
+func TestFigure6GridSymmetrySanity(t *testing.T) {
+	opt := quickOptions()
+	opt.MicroRows = 8_000
+	r, err := Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "Figure 6a") || !strings.Contains(buf.String(), "Figure 6b") {
+		t.Error("grid output missing a heatmap")
+	}
+	// Raw cycles are recorded for every cell.
+	for s := 0; s < 10; s++ {
+		for p := 0; p < 10; p++ {
+			if r.CyclesRM[s][p] == 0 || r.CyclesRow[s][p] == 0 || r.CyclesCol[s][p] == 0 {
+				t.Fatalf("cell (%d,%d) has zero cycles", s+1, p+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package experiments
+
+import "math/rand"
+
+// newRand returns the deterministic source all experiment generators share.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,295 @@
+// Package expr defines the minimal expression vocabulary shared by the query
+// engines, the SQL planner, and the Relational Memory pushdown path:
+// column-vs-constant comparison predicates (conjunctions thereof) and
+// aggregate specifications. Keeping the vocabulary small is deliberate — the
+// paper argues fabric hardware stays adoptable only while its operations
+// remain "simple and general" (Relational Fabric, ICDE 2023, §IV-B).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Eq
+	Ne
+	Ge
+	Gt
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// apply evaluates `cmp op 0` where cmp is a three-way comparison result.
+func (op CmpOp) apply(cmp int) bool {
+	switch op {
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Ge:
+		return cmp >= 0
+	case Gt:
+		return cmp > 0
+	default:
+		panic(fmt.Sprintf("expr: unknown operator %d", uint8(op)))
+	}
+}
+
+// Predicate compares one column against a constant.
+type Predicate struct {
+	Col     int // schema column index
+	Op      CmpOp
+	Operand table.Value
+}
+
+// Eval applies the predicate to a column value.
+func (p Predicate) Eval(v table.Value) bool {
+	return p.Op.apply(v.Compare(p.Operand))
+}
+
+// Validate checks the predicate against a schema.
+func (p Predicate) Validate(s *geometry.Schema) error {
+	if p.Col < 0 || p.Col >= s.NumColumns() {
+		return fmt.Errorf("expr: predicate column %d out of range [0,%d)", p.Col, s.NumColumns())
+	}
+	if got, want := p.Operand.Type, s.Column(p.Col).Type; got != want {
+		return fmt.Errorf("expr: predicate on column %q compares %s against %s", s.Column(p.Col).Name, want, got)
+	}
+	return nil
+}
+
+// String renders the predicate against a schema for diagnostics.
+func (p Predicate) Format(s *geometry.Schema) string {
+	return fmt.Sprintf("%s %s %s", s.Column(p.Col).Name, p.Op, p.Operand)
+}
+
+// Conjunction is an AND of predicates; empty means "true".
+type Conjunction []Predicate
+
+// Validate checks every predicate against the schema.
+func (c Conjunction) Validate(s *geometry.Schema) error {
+	for _, p := range c {
+		if err := p.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Columns returns the distinct column indices the conjunction touches, in
+// first-appearance order.
+func (c Conjunction) Columns() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, p := range c {
+		if !seen[p.Col] {
+			seen[p.Col] = true
+			out = append(out, p.Col)
+		}
+	}
+	return out
+}
+
+// Format renders the conjunction for diagnostics.
+func (c Conjunction) Format(s *geometry.Schema) string {
+	if len(c) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c))
+	for i, p := range c {
+		parts[i] = p.Format(s)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// AggKind enumerates the aggregate functions the engines (and the fabric's
+// aggregation pushdown) support.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	Count AggKind = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL spelling of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// AggSpec is one aggregate over a column (Col ignored for COUNT).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// Validate checks the spec against a schema.
+func (a AggSpec) Validate(s *geometry.Schema) error {
+	if a.Kind == Count {
+		return nil
+	}
+	if a.Col < 0 || a.Col >= s.NumColumns() {
+		return fmt.Errorf("expr: aggregate column %d out of range [0,%d)", a.Col, s.NumColumns())
+	}
+	switch s.Column(a.Col).Type {
+	case geometry.Char:
+		if a.Kind == Sum || a.Kind == Avg {
+			return fmt.Errorf("expr: %s over CHAR column %q", a.Kind, s.Column(a.Col).Name)
+		}
+	}
+	return nil
+}
+
+// Accumulator folds values for one AggSpec. The zero value is not ready;
+// use NewAccumulator.
+type Accumulator struct {
+	spec    AggSpec
+	count   int64
+	sumI    int64
+	sumF    float64
+	minV    table.Value
+	maxV    table.Value
+	sawAny  bool
+	isFloat bool
+}
+
+// NewAccumulator prepares an accumulator for spec over schema s.
+func NewAccumulator(spec AggSpec, s *geometry.Schema) (*Accumulator, error) {
+	if err := spec.Validate(s); err != nil {
+		return nil, err
+	}
+	acc := &Accumulator{spec: spec}
+	if spec.Kind != Count {
+		acc.isFloat = s.Column(spec.Col).Type == geometry.Float64
+	}
+	return acc, nil
+}
+
+// AddCount registers n qualifying rows for COUNT accumulators.
+func (a *Accumulator) AddCount(n int64) { a.count += n }
+
+// Add folds one column value.
+func (a *Accumulator) Add(v table.Value) {
+	a.count++
+	switch a.spec.Kind {
+	case Count:
+		return
+	case Sum, Avg:
+		if a.isFloat {
+			a.sumF += v.Float
+		} else {
+			a.sumI += v.Int
+		}
+	case Min:
+		if !a.sawAny || v.Compare(a.minV) < 0 {
+			a.minV = v
+		}
+	case Max:
+		if !a.sawAny || v.Compare(a.maxV) > 0 {
+			a.maxV = v
+		}
+	}
+	a.sawAny = true
+}
+
+// Merge folds another accumulator of the same spec into a.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if a.spec != o.spec {
+		panic("expr: merging accumulators of different specs")
+	}
+	a.count += o.count
+	a.sumI += o.sumI
+	a.sumF += o.sumF
+	if o.sawAny {
+		if !a.sawAny {
+			a.minV, a.maxV, a.sawAny = o.minV, o.maxV, true
+		} else {
+			if o.minV.Compare(a.minV) < 0 {
+				a.minV = o.minV
+			}
+			if o.maxV.Compare(a.maxV) > 0 {
+				a.maxV = o.maxV
+			}
+		}
+	}
+}
+
+// Count returns the number of folded values.
+func (a *Accumulator) Count() int64 { return a.count }
+
+// Result returns the aggregate value. COUNT yields Int64; SUM/AVG yield
+// Float64 for float columns and Int64 otherwise; MIN/MAX yield the column
+// type. An empty MIN/MAX yields a zero Value.
+func (a *Accumulator) Result() table.Value {
+	switch a.spec.Kind {
+	case Count:
+		return table.I64(a.count)
+	case Sum:
+		if a.isFloat {
+			return table.F64(a.sumF)
+		}
+		return table.I64(a.sumI)
+	case Avg:
+		if a.count == 0 {
+			return table.F64(0)
+		}
+		if a.isFloat {
+			return table.F64(a.sumF / float64(a.count))
+		}
+		return table.F64(float64(a.sumI) / float64(a.count))
+	case Min:
+		return a.minV
+	case Max:
+		return a.maxV
+	default:
+		panic(fmt.Sprintf("expr: unknown aggregate %d", uint8(a.spec.Kind)))
+	}
+}

@@ -1,0 +1,254 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+func testSchema(t *testing.T) *geometry.Schema {
+	t.Helper()
+	return geometry.MustSchema(
+		geometry.Column{Name: "a", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "b", Type: geometry.Float64, Width: 8},
+		geometry.Column{Name: "c", Type: geometry.Char, Width: 4},
+	)
+}
+
+func TestCmpOpSemantics(t *testing.T) {
+	v := table.I64(5)
+	cases := []struct {
+		op      CmpOp
+		operand int64
+		want    bool
+	}{
+		{Lt, 6, true}, {Lt, 5, false},
+		{Le, 5, true}, {Le, 4, false},
+		{Eq, 5, true}, {Eq, 4, false},
+		{Ne, 4, true}, {Ne, 5, false},
+		{Ge, 5, true}, {Ge, 6, false},
+		{Gt, 4, true}, {Gt, 5, false},
+	}
+	for _, c := range cases {
+		p := Predicate{Col: 0, Op: c.op, Operand: table.I64(c.operand)}
+		if got := p.Eval(v); got != c.want {
+			t.Errorf("5 %s %d = %v, want %v", c.op, c.operand, got, c.want)
+		}
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	want := map[CmpOp]string{Lt: "<", Le: "<=", Eq: "=", Ne: "<>", Ge: ">=", Gt: ">"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", uint8(op), op.String(), s)
+		}
+	}
+}
+
+func TestPredicateValidate(t *testing.T) {
+	s := testSchema(t)
+	good := Predicate{Col: 0, Op: Lt, Operand: table.I64(1)}
+	if err := good.Validate(s); err != nil {
+		t.Errorf("valid predicate rejected: %v", err)
+	}
+	if err := (Predicate{Col: 9, Op: Lt, Operand: table.I64(1)}).Validate(s); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := (Predicate{Col: 0, Op: Lt, Operand: table.F64(1)}).Validate(s); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	s := testSchema(t)
+	c := Conjunction{
+		{Col: 0, Op: Lt, Operand: table.I64(10)},
+		{Col: 1, Op: Gt, Operand: table.F64(0)},
+		{Col: 0, Op: Gt, Operand: table.I64(0)},
+	}
+	if err := c.Validate(s); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cols := c.Columns()
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 {
+		t.Errorf("Columns = %v, want [0 1]", cols)
+	}
+	if got := c.Format(s); !strings.Contains(got, "AND") {
+		t.Errorf("Format = %q", got)
+	}
+	if got := (Conjunction{}).Format(s); got != "true" {
+		t.Errorf("empty conjunction formats as %q", got)
+	}
+}
+
+func TestAccumulators(t *testing.T) {
+	s := testSchema(t)
+	type want struct {
+		kind AggKind
+		col  int
+		res  table.Value
+	}
+	vals := []int64{5, -3, 12, 0}
+	cases := []want{
+		{Count, 0, table.I64(4)},
+		{Sum, 0, table.I64(14)},
+		{Min, 0, table.I64(-3)},
+		{Max, 0, table.I64(12)},
+		{Avg, 0, table.F64(3.5)},
+	}
+	for _, c := range cases {
+		acc, err := NewAccumulator(AggSpec{Kind: c.kind, Col: c.col}, s)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		for _, v := range vals {
+			acc.Add(table.I64(v))
+		}
+		if got := acc.Result(); !got.Equal(c.res) {
+			t.Errorf("%s = %s, want %s", c.kind, got, c.res)
+		}
+	}
+}
+
+func TestAccumulatorFloat(t *testing.T) {
+	s := testSchema(t)
+	acc, err := NewAccumulator(AggSpec{Kind: Sum, Col: 1}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Add(table.F64(1.5))
+	acc.Add(table.F64(2.25))
+	if got := acc.Result(); got.Float != 3.75 {
+		t.Errorf("float SUM = %s", got)
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	s := testSchema(t)
+	a, _ := NewAccumulator(AggSpec{Kind: Min, Col: 0}, s)
+	b, _ := NewAccumulator(AggSpec{Kind: Min, Col: 0}, s)
+	a.Add(table.I64(5))
+	b.Add(table.I64(2))
+	a.Merge(b)
+	if got := a.Result(); got.Int != 2 {
+		t.Errorf("merged MIN = %s, want 2", got)
+	}
+	if a.Count() != 2 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+}
+
+func TestAggSpecValidation(t *testing.T) {
+	s := testSchema(t)
+	if err := (AggSpec{Kind: Sum, Col: 2}).Validate(s); err == nil {
+		t.Error("SUM over CHAR accepted")
+	}
+	if err := (AggSpec{Kind: Min, Col: 2}).Validate(s); err != nil {
+		t.Errorf("MIN over CHAR rejected: %v", err)
+	}
+	if err := (AggSpec{Kind: Sum, Col: 99}).Validate(s); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := (AggSpec{Kind: Count, Col: -5}).Validate(s); err != nil {
+		t.Errorf("COUNT ignores Col but was rejected: %v", err)
+	}
+}
+
+func TestScalarEval(t *testing.T) {
+	s := testSchema(t)
+	// (a + 2) * b - 1
+	e := Binary{
+		Op: Sub,
+		L: Binary{
+			Op: Mul,
+			L:  Binary{Op: Add, L: ColRef{Col: 0}, R: Const{V: 2}},
+			R:  ColRef{Col: 1},
+		},
+		R: Const{V: 1},
+	}
+	if err := ValidateScalar(e, s); err != nil {
+		t.Fatalf("ValidateScalar: %v", err)
+	}
+	get := func(col int) table.Value {
+		if col == 0 {
+			return table.I64(3)
+		}
+		return table.F64(4)
+	}
+	if got := e.EvalF(get); got != (3+2)*4-1 {
+		t.Errorf("EvalF = %v, want 19", got)
+	}
+	if got := e.Ops(); got != 3 {
+		t.Errorf("Ops = %d, want 3", got)
+	}
+	cols := e.Columns()
+	if len(cols) != 2 {
+		t.Errorf("Columns = %v", cols)
+	}
+	if got := e.Format(s); got != "(((a + 2) * b) - 1)" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestValidateScalarRejectsChar(t *testing.T) {
+	s := testSchema(t)
+	if err := ValidateScalar(ColRef{Col: 2}, s); err == nil {
+		t.Error("scalar over CHAR accepted")
+	}
+	if err := ValidateScalar(ColRef{Col: 42}, s); err == nil {
+		t.Error("out-of-range scalar column accepted")
+	}
+}
+
+// TestPredicatePartitionProperty: for any value and constant, exactly one
+// of <, =, > holds, and Le/Ge/Ne are consistent with them.
+func TestPredicatePartitionProperty(t *testing.T) {
+	check := func(v, c int64) bool {
+		val := table.I64(v)
+		mk := func(op CmpOp) bool {
+			return Predicate{Col: 0, Op: op, Operand: table.I64(c)}.Eval(val)
+		}
+		lt, eq, gt := mk(Lt), mk(Eq), mk(Gt)
+		count := 0
+		for _, b := range []bool{lt, eq, gt} {
+			if b {
+				count++
+			}
+		}
+		return count == 1 &&
+			mk(Le) == (lt || eq) &&
+			mk(Ge) == (gt || eq) &&
+			mk(Ne) == !eq
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumMergeProperty: merging two accumulators equals accumulating the
+// concatenation.
+func TestSumMergeProperty(t *testing.T) {
+	s := testSchema(t)
+	check := func(xs, ys []int32) bool {
+		a, _ := NewAccumulator(AggSpec{Kind: Sum, Col: 0}, s)
+		b, _ := NewAccumulator(AggSpec{Kind: Sum, Col: 0}, s)
+		all, _ := NewAccumulator(AggSpec{Kind: Sum, Col: 0}, s)
+		for _, x := range xs {
+			a.Add(table.I64(int64(x)))
+			all.Add(table.I64(int64(x)))
+		}
+		for _, y := range ys {
+			b.Add(table.I64(int64(y)))
+			all.Add(table.I64(int64(y)))
+		}
+		a.Merge(b)
+		return a.Result().Equal(all.Result()) && a.Count() == all.Count()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

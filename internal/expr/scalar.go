@@ -1,0 +1,144 @@
+package expr
+
+import (
+	"fmt"
+
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// Scalar is a per-row arithmetic expression over numeric columns. The
+// engines evaluate scalars in software; the fabric's aggregation pushdown
+// accepts only plain column references (AggSpec) — arbitrary arithmetic is
+// exactly the kind of application-specific logic the paper keeps out of the
+// hardware (§IV-B, §VII Q1).
+type Scalar interface {
+	// Columns returns the distinct schema columns the expression reads.
+	Columns() []int
+	// EvalF evaluates the expression given a value fetcher for the row.
+	EvalF(get func(col int) table.Value) float64
+	// Ops returns the number of arithmetic operations one evaluation
+	// performs, used for CPU cycle accounting.
+	Ops() int
+	// Format renders the expression against a schema.
+	Format(s *geometry.Schema) string
+}
+
+// ColRef reads one numeric column.
+type ColRef struct{ Col int }
+
+// Columns implements Scalar.
+func (c ColRef) Columns() []int { return []int{c.Col} }
+
+// EvalF implements Scalar.
+func (c ColRef) EvalF(get func(int) table.Value) float64 {
+	v := get(c.Col)
+	switch v.Type {
+	case geometry.Float64:
+		return v.Float
+	default:
+		return float64(v.Int)
+	}
+}
+
+// Ops implements Scalar.
+func (c ColRef) Ops() int { return 0 }
+
+// Format implements Scalar.
+func (c ColRef) Format(s *geometry.Schema) string { return s.Column(c.Col).Name }
+
+// Const is a numeric literal.
+type Const struct{ V float64 }
+
+// Columns implements Scalar.
+func (Const) Columns() []int { return nil }
+
+// EvalF implements Scalar.
+func (c Const) EvalF(func(int) table.Value) float64 { return c.V }
+
+// Ops implements Scalar.
+func (Const) Ops() int { return 0 }
+
+// Format implements Scalar.
+func (c Const) Format(*geometry.Schema) string { return fmt.Sprintf("%g", c.V) }
+
+// BinOp is an arithmetic operator for Binary scalars.
+type BinOp uint8
+
+// Arithmetic operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+)
+
+// String returns the operator glyph.
+func (op BinOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(op))
+	}
+}
+
+// Binary combines two scalars.
+type Binary struct {
+	Op   BinOp
+	L, R Scalar
+}
+
+// Columns implements Scalar.
+func (b Binary) Columns() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range []Scalar{b.L, b.R} {
+		for _, c := range s.Columns() {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// EvalF implements Scalar.
+func (b Binary) EvalF(get func(int) table.Value) float64 {
+	l, r := b.L.EvalF(get), b.R.EvalF(get)
+	switch b.Op {
+	case Add:
+		return l + r
+	case Sub:
+		return l - r
+	case Mul:
+		return l * r
+	default:
+		panic(fmt.Sprintf("expr: unknown binary op %d", uint8(b.Op)))
+	}
+}
+
+// Ops implements Scalar.
+func (b Binary) Ops() int { return 1 + b.L.Ops() + b.R.Ops() }
+
+// Format implements Scalar.
+func (b Binary) Format(s *geometry.Schema) string {
+	return fmt.Sprintf("(%s %s %s)", b.L.Format(s), b.Op, b.R.Format(s))
+}
+
+// Validate checks that every referenced column exists and is numeric.
+func ValidateScalar(sc Scalar, s *geometry.Schema) error {
+	for _, c := range sc.Columns() {
+		if c < 0 || c >= s.NumColumns() {
+			return fmt.Errorf("expr: scalar column %d out of range [0,%d)", c, s.NumColumns())
+		}
+		if s.Column(c).Type == geometry.Char {
+			return fmt.Errorf("expr: scalar arithmetic over CHAR column %q", s.Column(c).Name)
+		}
+	}
+	return nil
+}

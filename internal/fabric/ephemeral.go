@@ -1,0 +1,338 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"rfabric/internal/dram"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// ViewOption configures an ephemeral view.
+type ViewOption func(*viewOptions)
+
+type viewOptions struct {
+	snapshotTS uint64
+	hasSnap    bool
+	preds      expr.Conjunction
+}
+
+// WithSnapshot pins the view to an MVCC snapshot: only row versions with
+// begin <= ts < end are packed. Requires a table built table.WithMVCC.
+func WithSnapshot(ts uint64) ViewOption {
+	return func(o *viewOptions) { o.snapshotTS = ts; o.hasSnap = true }
+}
+
+// WithSelection pushes the predicate conjunction into the fabric: only
+// qualifying rows are packed and shipped (§IV-B).
+func WithSelection(preds expr.Conjunction) ViewOption {
+	return func(o *viewOptions) { o.preds = preds }
+}
+
+// Ephemeral is a configured non-materialized column-group view of a row
+// table — the paper's "ephemeral variable" (Fig. 3). Consuming it drives the
+// underlying machinery: each Next call refills the on-fabric buffer with the
+// next chunk of packed rows.
+type Ephemeral struct {
+	eng  *Engine
+	tbl  *table.Table
+	geom *geometry.Geometry
+	opts viewOptions
+
+	deliveryBase int64 // simulated address of the (rotating) delivery window
+	chunkRows    int   // source rows scanned per buffer refill
+	packed       int   // bytes per packed row
+
+	// gatherStrides is the per-row byte ranges the fabric reads: the MVCC
+	// header (when present), the geometry's columns, and any predicate-only
+	// columns, merged into contiguous runs.
+	gatherStrides []geometry.Stride
+	// shipStrides is the subset of per-row ranges that are packed and
+	// shipped (geometry columns only), in pack order.
+	shipStrides []geometry.Stride
+
+	buf    []byte // reusable chunk buffer, BufferBytes capacity
+	reqs   []dram.GatherReq
+	cursor int // next source row to scan
+}
+
+// Chunk is one buffer refill worth of packed rows.
+type Chunk struct {
+	// Rows is the number of packed rows in the chunk.
+	Rows int
+	// Data holds Rows * PackedWidth bytes; valid until the next Next call.
+	Data []byte
+	// BaseAddr is the simulated address of Data[0] inside the delivery
+	// window. Line i of the chunk lives at BaseAddr + i*LineBytes.
+	BaseAddr int64
+	// ProducerCycles is the CPU-cycle cost of producing the chunk on the
+	// fabric: the DRAM gather critical path overlapped with datapath work.
+	ProducerCycles uint64
+	// SourceRows is how many row versions were scanned for this chunk.
+	SourceRows int
+}
+
+// Configure creates an ephemeral view of geom over tbl — the software twin
+// of Fig. 3's configure(the_table, QUERY). The view is positioned before the
+// first row.
+func (e *Engine) Configure(tbl *table.Table, geom *geometry.Geometry, opts ...ViewOption) (*Ephemeral, error) {
+	if tbl == nil {
+		return nil, errors.New("fabric: nil table")
+	}
+	if geom == nil {
+		return nil, errors.New("fabric: nil geometry")
+	}
+	if geom.Schema() != tbl.Schema() {
+		return nil, fmt.Errorf("fabric: geometry schema does not match table %q", tbl.Name())
+	}
+	var o viewOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.hasSnap && !tbl.HasMVCC() {
+		return nil, fmt.Errorf("fabric: snapshot requested but table %q has no MVCC header", tbl.Name())
+	}
+	if err := o.preds.Validate(tbl.Schema()); err != nil {
+		return nil, err
+	}
+
+	ev := &Ephemeral{
+		eng:    e,
+		tbl:    tbl,
+		geom:   geom,
+		opts:   o,
+		packed: geom.PackedWidth(),
+	}
+	ev.buildStrides()
+
+	ev.chunkRows = e.cfg.BufferBytes / ev.packed
+	if ev.chunkRows < 1 {
+		return nil, fmt.Errorf("fabric: packed row of %d bytes exceeds buffer of %d", ev.packed, e.cfg.BufferBytes)
+	}
+	ev.deliveryBase = e.arena.Alloc(int64(e.cfg.BufferBytes))
+	ev.buf = make([]byte, 0, e.cfg.BufferBytes)
+	return ev, nil
+}
+
+// buildStrides computes the gather program (what the fabric reads per row)
+// and the ship program (what it packs, in pack order). Offsets are relative
+// to the row's physical start (including any MVCC header).
+func (ev *Ephemeral) buildStrides() {
+	payloadOff := 0
+	if ev.tbl.HasMVCC() {
+		payloadOff = table.MVCCHeaderBytes
+	}
+
+	// Ship strides: geometry columns in pack order, offset by the header.
+	sch := ev.tbl.Schema()
+	ev.shipStrides = ev.shipStrides[:0]
+	for _, c := range ev.geom.Columns() {
+		ev.shipStrides = append(ev.shipStrides, geometry.Stride{
+			Offset: payloadOff + sch.Offset(c),
+			Width:  sch.Column(c).Width,
+		})
+	}
+
+	// Gather strides: header + geometry + predicate columns, merged.
+	cols := map[int]bool{}
+	for _, c := range ev.geom.Columns() {
+		cols[c] = true
+	}
+	for _, c := range ev.opts.preds.Columns() {
+		cols[c] = true
+	}
+	type rng struct{ off, w int }
+	var ranges []rng
+	if ev.tbl.HasMVCC() {
+		ranges = append(ranges, rng{0, table.MVCCHeaderBytes})
+	}
+	for c := 0; c < sch.NumColumns(); c++ {
+		if cols[c] {
+			ranges = append(ranges, rng{payloadOff + sch.Offset(c), sch.Column(c).Width})
+		}
+	}
+	// ranges are in ascending offset order already (header first, then
+	// schema order). Coalesce ranges whose gap is smaller than one DRAM
+	// burst: fetching the hole costs no extra burst, and issuing one longer
+	// request is strictly cheaper than two — the same coalescing a real
+	// gather engine performs when programming its AXI bursts.
+	burst := ev.eng.mem.BurstBytes()
+	ev.gatherStrides = ev.gatherStrides[:0]
+	for _, r := range ranges {
+		if n := len(ev.gatherStrides); n > 0 {
+			prev := &ev.gatherStrides[n-1]
+			if gap := r.off - (prev.Offset + prev.Width); gap < burst {
+				prev.Width = r.off + r.w - prev.Offset
+				continue
+			}
+		}
+		ev.gatherStrides = append(ev.gatherStrides, geometry.Stride{Offset: r.off, Width: r.w})
+	}
+}
+
+// Geometry returns the view's column group.
+func (ev *Ephemeral) Geometry() *geometry.Geometry { return ev.geom }
+
+// Table returns the base table.
+func (ev *Ephemeral) Table() *table.Table { return ev.tbl }
+
+// PackedWidth returns bytes per packed row.
+func (ev *Ephemeral) PackedWidth() int { return ev.packed }
+
+// DeliveryBase returns the simulated address of the delivery window.
+func (ev *Ephemeral) DeliveryBase() int64 { return ev.deliveryBase }
+
+// GatherBytesPerRow returns how many bytes the fabric requests from DRAM per
+// scanned row, after rounding each stride up to DRAM bursts.
+func (ev *Ephemeral) GatherBytesPerRow() int {
+	burst := ev.eng.mem.BurstBytes()
+	total := 0
+	for _, s := range ev.gatherStrides {
+		// A stride may start mid-burst; worst-case alignment covers
+		// one extra burst. Use the exact row-0 alignment.
+		first := s.Offset &^ (burst - 1)
+		last := (s.Offset + s.Width - 1) &^ (burst - 1)
+		total += last - first + burst
+	}
+	return total
+}
+
+// Reset repositions the view before the first row so it can be consumed
+// again (a fresh query over the same configuration).
+func (ev *Ephemeral) Reset() { ev.cursor = 0 }
+
+// Next produces the next chunk of packed rows. It returns ok=false when the
+// table is exhausted.
+func (ev *Ephemeral) Next() (Chunk, bool) {
+	if ev.cursor >= ev.tbl.NumRows() {
+		return Chunk{}, false
+	}
+	e := ev.eng
+	lineBytes := int64(e.mem.LineBytes())
+
+	end := ev.cursor + ev.chunkRows
+	if end > ev.tbl.NumRows() {
+		end = ev.tbl.NumRows()
+	}
+
+	// Phase 1: issue gathers for every scanned row's strides, bounded by
+	// the request-queue depth.
+	ev.reqs = ev.reqs[:0]
+	var gatherCycles uint64
+	flush := func() {
+		if len(ev.reqs) > 0 {
+			gatherCycles += e.mem.GatherBatch(ev.reqs)
+			ev.reqs = ev.reqs[:0]
+		}
+	}
+	for r := ev.cursor; r < end; r++ {
+		base := ev.tbl.RowAddr(r)
+		for _, s := range ev.gatherStrides {
+			ev.reqs = append(ev.reqs, dram.GatherReq{Addr: base + int64(s.Offset), Bytes: s.Width})
+			if len(ev.reqs) >= e.cfg.MaxOutstanding {
+				flush()
+			}
+		}
+	}
+	flush()
+
+	// Phase 2: visibility + selection + packing, on the real bytes.
+	ev.buf = ev.buf[:0]
+	var fabricCycles uint64
+	rowsShipped := 0
+	for r := ev.cursor; r < end; r++ {
+		if ev.tbl.HasMVCC() {
+			fabricCycles += uint64(e.cfg.TSCheckCycles)
+			if ev.opts.hasSnap && !ev.tbl.VisibleAt(r, ev.opts.snapshotTS) {
+				continue
+			}
+		}
+		if len(ev.opts.preds) > 0 {
+			fabricCycles += uint64(len(ev.opts.preds) * e.cfg.PredicateCycles)
+			if !ev.rowQualifies(r) {
+				continue
+			}
+		}
+		rowStart := ev.tbl.RowAddr(r) - ev.tbl.BaseAddr()
+		data := ev.tbl.Data()
+		for _, s := range ev.shipStrides {
+			off := rowStart + int64(s.Offset)
+			ev.buf = append(ev.buf, data[off:off+int64(s.Width)]...)
+		}
+		rowsShipped++
+	}
+
+	// Datapath throughput: the pipeline retires RowsPerCycle row
+	// descriptors or BeatBytes gathered bytes per fabric cycle, whichever
+	// binds for this geometry.
+	srcRows := end - ev.cursor
+	gatherBytes := uint64(srcRows) * uint64(ev.GatherBytesPerRow())
+	rowCycles := uint64((srcRows + e.cfg.RowsPerCycle - 1) / e.cfg.RowsPerCycle)
+	beatCycles := (gatherBytes + uint64(e.cfg.BeatBytes) - 1) / uint64(e.cfg.BeatBytes)
+	if beatCycles > rowCycles {
+		fabricCycles += beatCycles
+	} else {
+		fabricCycles += rowCycles
+	}
+	linesShipped := (len(ev.buf) + int(lineBytes) - 1) / int(lineBytes)
+	computeCPU := e.computeCPUCycles(fabricCycles)
+
+	// The datapath overlaps with the DRAM gathers; the chunk is ready after
+	// the slower of the two, plus the refill handshake.
+	producer := gatherCycles
+	if computeCPU > producer {
+		producer = computeCPU
+	}
+	producer += uint64(e.cfg.RefillCycles)
+
+	ev.cursor = end
+
+	e.stats.RowsScanned += uint64(srcRows)
+	e.stats.RowsShipped += uint64(rowsShipped)
+	e.stats.BytesShipped += uint64(len(ev.buf))
+	e.stats.LinesShipped += uint64(linesShipped)
+	e.stats.BytesGathered += gatherBytes
+	e.stats.GatherCycles += gatherCycles
+	e.stats.ComputeCycles += computeCPU
+	e.stats.Chunks++
+
+	return Chunk{
+		Rows:           rowsShipped,
+		Data:           ev.buf,
+		BaseAddr:       ev.deliveryBase,
+		ProducerCycles: producer,
+		SourceRows:     srcRows,
+	}, true
+}
+
+// rowQualifies evaluates the pushed-down conjunction against row r.
+func (ev *Ephemeral) rowQualifies(r int) bool {
+	for _, p := range ev.opts.preds {
+		v, err := ev.tbl.Get(r, p.Col)
+		if err != nil {
+			panic(fmt.Sprintf("fabric: predicate read of validated column failed: %v", err))
+		}
+		if !p.Eval(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Materialize consumes the whole view and returns every packed row as a
+// contiguous byte slice — the correctness-oriented API used by tests and by
+// callers that want the column group as a plain buffer. It resets the view
+// first.
+func (ev *Ephemeral) Materialize() []byte {
+	ev.Reset()
+	var out []byte
+	for {
+		ch, ok := ev.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ch.Data...)
+	}
+}

@@ -1,0 +1,165 @@
+// Package fabric implements Relational Memory, the first instance of the
+// Relational Fabric vision (ICDE 2023): a near-data transformation engine
+// that sits between the processor and DRAM and converts row-oriented base
+// data into arbitrary column groups on the fly. Nothing is materialized in
+// main memory — the engine gathers exactly the requested bytes from each
+// row, packs them densely into cache lines, and delivers them toward the
+// CPU, so the processor sees the optimal layout "as if it already exists in
+// memory" (§II).
+//
+// The engine performs the paper's four key hardware operations (§IV-A):
+//
+//  1. receive the access stride of the query and issue parallel memory
+//     requests for the target data (GatherBatch against the banked DRAM
+//     model, at burst rather than cache-line granularity);
+//  2. assemble multiple entries into packed cache lines;
+//  3. capture the CPU requests (the ephemeral view's delivery window);
+//  4. transfer the reorganized data upon availability (chunked through the
+//     bounded on-fabric buffer, "refilling it whenever it is full", §V).
+//
+// Beyond projection it implements the paper's §III-C and §IV-B extensions:
+// MVCC visibility filtering via the two per-row timestamps in hardware, and
+// selection/aggregation pushdown.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"rfabric/internal/dram"
+)
+
+// Config parameterizes the fabric hardware.
+type Config struct {
+	// BufferBytes is the on-fabric data memory that holds packed output
+	// before the CPU consumes it. The paper's prototype has 2 MB (§V).
+	BufferBytes int
+	// ClockRatio is CPU cycles per fabric cycle. The prototype's
+	// programmable logic runs at 100 MHz against 1.5 GHz cores → 15.
+	ClockRatio int
+	// MaxOutstanding bounds how many gather requests the engine keeps in
+	// flight per round — its request-queue depth toward DRAM.
+	MaxOutstanding int
+	// RowsPerCycle is the datapath's row rate: how many row descriptors the
+	// pipeline can retire per fabric cycle when rows are narrow.
+	RowsPerCycle int
+	// BeatBytes is the datapath width: how many gathered bytes the pipeline
+	// moves per fabric cycle when rows are wide. Per chunk the datapath
+	// costs max(rows/RowsPerCycle, gatheredBytes/BeatBytes) fabric cycles.
+	BeatBytes int
+	// TSCheckCycles is extra fabric cycles per row for the MVCC timestamp
+	// comparison (§III-C). The default is 0: the comparators evaluate
+	// combinationally inside the row's pipeline slot; a nonzero value
+	// models a narrower comparator array that stalls the pipeline.
+	TSCheckCycles int
+	// PredicateCycles is extra fabric cycles per predicate per row for
+	// selection pushdown (§IV-B); 0 means pipeline-parallel, like TSCheck.
+	PredicateCycles int
+	// AggregateCycles is fabric cycles per aggregated value for aggregation
+	// pushdown (§IV-B).
+	AggregateCycles int
+	// RefillCycles is the fixed CPU-cycle cost of one buffer refill
+	// round-trip (reconfigure the gather window, re-arm delivery). It is
+	// what makes very small on-fabric buffers pay for their extra refills
+	// (§V "refilling it whenever it is full").
+	RefillCycles int
+}
+
+// DefaultConfig mirrors the paper's prototype proportions.
+func DefaultConfig() Config {
+	return Config{
+		BufferBytes:     2 << 20,
+		ClockRatio:      15,
+		MaxOutstanding:  64,
+		RowsPerCycle:    1,
+		BeatBytes:       64,
+		TSCheckCycles:   0,
+		PredicateCycles: 0,
+		AggregateCycles: 1,
+		RefillCycles:    1500,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BufferBytes <= 0 {
+		return fmt.Errorf("fabric: BufferBytes must be positive, got %d", c.BufferBytes)
+	}
+	if c.ClockRatio <= 0 {
+		return fmt.Errorf("fabric: ClockRatio must be positive, got %d", c.ClockRatio)
+	}
+	if c.MaxOutstanding <= 0 {
+		return fmt.Errorf("fabric: MaxOutstanding must be positive, got %d", c.MaxOutstanding)
+	}
+	if c.RowsPerCycle <= 0 || c.BeatBytes <= 0 {
+		return fmt.Errorf("fabric: datapath rates must be positive, got rows/cycle=%d beat=%d", c.RowsPerCycle, c.BeatBytes)
+	}
+	if c.TSCheckCycles < 0 || c.PredicateCycles < 0 || c.AggregateCycles < 0 || c.RefillCycles < 0 {
+		return fmt.Errorf("fabric: negative cycle cost in %+v", c)
+	}
+	return nil
+}
+
+// Stats accumulates fabric-side counters across all ephemeral views of one
+// engine.
+type Stats struct {
+	RowsScanned   uint64 // source row versions examined
+	RowsShipped   uint64 // rows that passed visibility+selection and were packed
+	BytesShipped  uint64 // packed bytes delivered toward the CPU
+	LinesShipped  uint64 // packed cache lines delivered
+	BytesGathered uint64 // bytes requested from DRAM (burst granularity)
+	GatherCycles  uint64 // CPU cycles spent on DRAM-side gathers (critical paths)
+	ComputeCycles uint64 // CPU-cycle cost of fabric datapath work
+	Chunks        uint64 // buffer refills
+	Aggregates    uint64 // aggregation-pushdown results produced
+}
+
+// Engine is one fabric device attached to a DRAM module. Ephemeral views
+// are configured against it. Not safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	mem   *dram.Module
+	arena *dram.Arena
+	stats Stats
+}
+
+// New attaches a fabric engine to the DRAM module; delivery windows are
+// allocated from arena.
+func New(cfg Config, mem *dram.Module, arena *dram.Arena) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, errors.New("fabric: nil DRAM module")
+	}
+	if arena == nil {
+		return nil, errors.New("fabric: nil arena")
+	}
+	return &Engine{cfg: cfg, mem: mem, arena: arena}, nil
+}
+
+// MustNew is New panicking on error, for fixtures.
+func MustNew(cfg Config, mem *dram.Module, arena *dram.Arena) *Engine {
+	e, err := New(cfg, mem, arena)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// DRAM returns the module the engine gathers from.
+func (e *Engine) DRAM() *dram.Module { return e.mem }
+
+// computeCPUCycles converts fabric cycles to CPU cycles.
+func (e *Engine) computeCPUCycles(fabricCycles uint64) uint64 {
+	return fabricCycles * uint64(e.cfg.ClockRatio)
+}

@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"fmt"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/table"
+)
+
+// AggregateResult is the outcome of an aggregation pushed into the fabric.
+type AggregateResult struct {
+	// Values holds one result per requested AggSpec, in order.
+	Values []table.Value
+	// RowsScanned and RowsQualified describe the scan behind the result.
+	RowsScanned   int
+	RowsQualified int
+	// ProducerCycles is the full CPU-cycle cost of the fabric-side scan:
+	// since only the results are shipped, there is no consumer side at all
+	// beyond reading a handful of values (§IV-B: "the ephemeral variables
+	// will contain only ... the aggregation result").
+	ProducerCycles uint64
+}
+
+// Aggregate pushes the given aggregates into the fabric over this view's
+// selection and snapshot. The base data never crosses toward the CPU; the
+// fabric streams it bank-parallel, filters, folds, and ships only the
+// results.
+func (ev *Ephemeral) Aggregate(specs []expr.AggSpec) (*AggregateResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fabric: no aggregate specs")
+	}
+	sch := ev.tbl.Schema()
+	accs := make([]*expr.Accumulator, len(specs))
+	for i, sp := range specs {
+		// Aggregated columns must be part of the configured geometry: the
+		// gather program is fixed at configure time, like real hardware.
+		if sp.Kind != expr.Count && !ev.geom.Contains(sp.Col) {
+			return nil, fmt.Errorf("fabric: aggregate over column %q not in configured geometry %s",
+				sch.Column(sp.Col).Name, ev.geom)
+		}
+		a, err := expr.NewAccumulator(sp, sch)
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = a
+	}
+
+	// Precompute each spec's offset within a packed row.
+	type foldPlan struct {
+		count  bool
+		offset int
+		width  int
+	}
+	plans := make([]foldPlan, len(specs))
+	for i, sp := range specs {
+		if sp.Kind == expr.Count {
+			plans[i] = foldPlan{count: true}
+			continue
+		}
+		pos := ev.geom.Position(sp.Col)
+		plans[i] = foldPlan{offset: ev.geom.PackedOffset(pos), width: sch.Column(sp.Col).Width}
+	}
+
+	e := ev.eng
+	ev.Reset()
+	var producer uint64
+	scanned, qualified := 0, 0
+
+	// Reuse the chunked production loop, but fold instead of shipping. The
+	// datapath cost per qualifying row adds AggregateCycles per folded
+	// value; lines are not shipped.
+	for ev.cursor < ev.tbl.NumRows() {
+		ch, ok := ev.Next()
+		if !ok {
+			break
+		}
+		// Undo the shipping accounting Next performed: nothing leaves the
+		// fabric for an aggregation pushdown.
+		e.stats.BytesShipped -= uint64(len(ch.Data))
+		e.stats.LinesShipped -= uint64((len(ch.Data) + e.mem.LineBytes() - 1) / e.mem.LineBytes())
+
+		scanned += ch.SourceRows
+		qualified += ch.Rows
+
+		// Fold the packed rows. The accumulators sit in the datapath and
+		// fold at line rate, so folding adds no producer time — only the
+		// result assembly at the end is charged (below).
+		for r := 0; r < ch.Rows; r++ {
+			row := ch.Data[r*ev.packed : (r+1)*ev.packed]
+			for i, sp := range specs {
+				if plans[i].count {
+					accs[i].AddCount(1)
+					continue
+				}
+				v := table.DecodeColumn(sch.Column(sp.Col), row[plans[i].offset:plans[i].offset+plans[i].width])
+				accs[i].Add(v)
+			}
+		}
+		producer += ch.ProducerCycles
+	}
+	finalFold := uint64(len(specs)*e.cfg.AggregateCycles) * uint64(e.cfg.ClockRatio)
+	e.stats.ComputeCycles += finalFold
+	producer += finalFold
+	e.stats.Aggregates += uint64(len(specs))
+
+	out := &AggregateResult{
+		Values:         make([]table.Value, len(specs)),
+		RowsScanned:    scanned,
+		RowsQualified:  qualified,
+		ProducerCycles: producer,
+	}
+	for i, a := range accs {
+		out.Values[i] = a.Result()
+	}
+	return out, nil
+}

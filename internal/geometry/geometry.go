@@ -1,0 +1,308 @@
+// Package geometry describes data geometries: arbitrary subsets of a
+// relational table expressed as byte offsets and widths within a fixed-width
+// row. A geometry is the contract between the query layer and Relational
+// Memory — it tells the fabric exactly which bytes of every row must be
+// packed densely and shipped to the CPU, mirroring the paper's "ephemeral
+// columns" abstraction (Relational Fabric, ICDE 2023, §II).
+package geometry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnType enumerates the fixed-width value types supported by base tables.
+type ColumnType uint8
+
+const (
+	// Int64 is an 8-byte signed integer column.
+	Int64 ColumnType = iota
+	// Int32 is a 4-byte signed integer column.
+	Int32
+	// Float64 is an 8-byte IEEE-754 column.
+	Float64
+	// Char is a fixed-width byte-string column; its width is per-column.
+	Char
+	// Date is a 4-byte day number (days since 1970-01-01).
+	Date
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColumnType) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Int32:
+		return "INT"
+	case Float64:
+		return "DOUBLE"
+	case Char:
+		return "CHAR"
+	case Date:
+		return "DATE"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", uint8(t))
+	}
+}
+
+// FixedWidth returns the byte width of the type, or 0 when the width is
+// per-column (Char).
+func (t ColumnType) FixedWidth() int {
+	switch t {
+	case Int64, Float64:
+		return 8
+	case Int32, Date:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Column describes one attribute of a relational schema.
+type Column struct {
+	Name  string
+	Type  ColumnType
+	Width int // byte width; for Char columns, the declared length
+}
+
+// Validate reports whether the column definition is internally consistent.
+func (c Column) Validate() error {
+	if c.Name == "" {
+		return errors.New("geometry: column has empty name")
+	}
+	if w := c.Type.FixedWidth(); w != 0 && c.Width != w {
+		return fmt.Errorf("geometry: column %q: type %s requires width %d, got %d", c.Name, c.Type, w, c.Width)
+	}
+	if c.Width <= 0 {
+		return fmt.Errorf("geometry: column %q has non-positive width %d", c.Name, c.Width)
+	}
+	return nil
+}
+
+// Schema is an ordered list of columns plus the derived physical row layout.
+// The zero value is an empty schema; build one with NewSchema.
+type Schema struct {
+	cols     []Column
+	offsets  []int
+	byName   map[string]int
+	rowBytes int
+}
+
+// NewSchema lays out the given columns back to back in declaration order and
+// returns the resulting schema. Offsets are byte positions within a row.
+func NewSchema(cols ...Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, errors.New("geometry: schema needs at least one column")
+	}
+	s := &Schema{
+		cols:    make([]Column, len(cols)),
+		offsets: make([]int, len(cols)),
+		byName:  make(map[string]int, len(cols)),
+	}
+	off := 0
+	for i, c := range cols {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("geometry: duplicate column name %q", c.Name)
+		}
+		s.cols[i] = c
+		s.offsets[i] = off
+		s.byName[c.Name] = i
+		off += c.Width
+	}
+	s.rowBytes = off
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and fixtures.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumColumns returns the number of columns in the schema.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// RowBytes returns the physical width of one row in bytes.
+func (s *Schema) RowBytes() int { return s.rowBytes }
+
+// Column returns the i-th column definition.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Offset returns the byte offset of the i-th column within a row.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// Lookup returns the index of the named column.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// ColumnNames returns the names in declaration order.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// String renders the schema as a CREATE TABLE-ish column list.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s(%d)@%d", c.Name, c.Type, c.Width, s.offsets[i])
+	}
+	return b.String()
+}
+
+// Geometry identifies an arbitrary column group of a schema: the ordered set
+// of column indices an ephemeral variable exposes. Order matters — it is the
+// order in which the fabric packs the bytes of each qualifying row.
+type Geometry struct {
+	schema *Schema
+	cols   []int
+	width  int // packed bytes per row
+}
+
+// NewGeometry builds a geometry over schema from column indices.
+// Indices must be valid and distinct; order is preserved.
+func NewGeometry(schema *Schema, cols ...int) (*Geometry, error) {
+	if schema == nil {
+		return nil, errors.New("geometry: nil schema")
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("geometry: empty column group")
+	}
+	seen := make(map[int]bool, len(cols))
+	g := &Geometry{schema: schema, cols: make([]int, len(cols))}
+	for i, c := range cols {
+		if c < 0 || c >= schema.NumColumns() {
+			return nil, fmt.Errorf("geometry: column index %d out of range [0,%d)", c, schema.NumColumns())
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("geometry: duplicate column index %d", c)
+		}
+		seen[c] = true
+		g.cols[i] = c
+		g.width += schema.Column(c).Width
+	}
+	return g, nil
+}
+
+// NewGeometryByName builds a geometry from column names.
+func NewGeometryByName(schema *Schema, names ...string) (*Geometry, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		c, ok := schema.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("geometry: unknown column %q", n)
+		}
+		idx[i] = c
+	}
+	return NewGeometry(schema, idx...)
+}
+
+// MustGeometry is NewGeometry that panics on error; for tests and fixtures.
+func MustGeometry(schema *Schema, cols ...int) *Geometry {
+	g, err := NewGeometry(schema, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Schema returns the schema the geometry selects from.
+func (g *Geometry) Schema() *Schema { return g.schema }
+
+// Columns returns the selected column indices in pack order.
+// The caller must not modify the returned slice.
+func (g *Geometry) Columns() []int { return g.cols }
+
+// NumColumns returns how many columns the geometry selects.
+func (g *Geometry) NumColumns() int { return len(g.cols) }
+
+// PackedWidth returns the bytes one row occupies after fabric packing.
+func (g *Geometry) PackedWidth() int { return g.width }
+
+// PackedOffset returns the byte offset of the i-th selected column within a
+// packed row.
+func (g *Geometry) PackedOffset(i int) int {
+	off := 0
+	for j := 0; j < i; j++ {
+		off += g.schema.Column(g.cols[j]).Width
+	}
+	return off
+}
+
+// Contains reports whether the geometry selects schema column c.
+func (g *Geometry) Contains(c int) bool {
+	for _, x := range g.cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Position returns the pack-order position of schema column c, or -1.
+func (g *Geometry) Position(c int) int {
+	for i, x := range g.cols {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Selectivity returns the fraction of each base row the geometry ships:
+// packed width over full row width. This is the data-movement reduction the
+// fabric delivers for a pure projection.
+func (g *Geometry) Selectivity() float64 {
+	return float64(g.width) / float64(g.schema.RowBytes())
+}
+
+// Strides returns the per-row byte ranges (offset, width) the fabric must
+// gather, merged so that adjacent selected columns become a single range.
+// The fabric hardware uses these as its access-stride program (§IV-A:
+// "receives the intended access stride of the query").
+func (g *Geometry) Strides() []Stride {
+	sorted := append([]int(nil), g.cols...)
+	sort.Ints(sorted)
+	var out []Stride
+	for _, c := range sorted {
+		off := g.schema.Offset(c)
+		w := g.schema.Column(c).Width
+		if n := len(out); n > 0 && out[n-1].Offset+out[n-1].Width == off {
+			out[n-1].Width += w
+			continue
+		}
+		out = append(out, Stride{Offset: off, Width: w})
+	}
+	return out
+}
+
+// String renders the geometry as its column-name list.
+func (g *Geometry) String() string {
+	names := make([]string, len(g.cols))
+	for i, c := range g.cols {
+		names[i] = g.schema.Column(c).Name
+	}
+	return "(" + strings.Join(names, ", ") + ")"
+}
+
+// Stride is one contiguous byte range within a row that the fabric gathers.
+type Stride struct {
+	Offset int
+	Width  int
+}

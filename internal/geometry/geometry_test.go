@@ -1,0 +1,281 @@
+package geometry
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "key", Type: Int64, Width: 8},
+		Column{Name: "name", Type: Char, Width: 12},
+		Column{Name: "qty", Type: Int32, Width: 4},
+		Column{Name: "price", Type: Float64, Width: 8},
+		Column{Name: "day", Type: Date, Width: 4},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := testSchema(t)
+	if got, want := s.RowBytes(), 8+12+4+8+4; got != want {
+		t.Errorf("RowBytes = %d, want %d", got, want)
+	}
+	wantOffsets := []int{0, 8, 20, 24, 32}
+	for i, want := range wantOffsets {
+		if got := s.Offset(i); got != want {
+			t.Errorf("Offset(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := s.NumColumns(); got != 5 {
+		t.Errorf("NumColumns = %d, want 5", got)
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema(t)
+	for i, name := range []string{"key", "name", "qty", "price", "day"} {
+		got, ok := s.Lookup(name)
+		if !ok || got != i {
+			t.Errorf("Lookup(%q) = %d,%v want %d,true", name, got, ok, i)
+		}
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("Lookup of unknown column succeeded")
+	}
+	if got := s.ColumnNames(); !reflect.DeepEqual(got, []string{"key", "name", "qty", "price", "day"}) {
+		t.Errorf("ColumnNames = %v", got)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cols []Column
+	}{
+		{"empty", nil},
+		{"empty name", []Column{{Name: "", Type: Int64, Width: 8}}},
+		{"wrong int64 width", []Column{{Name: "a", Type: Int64, Width: 4}}},
+		{"wrong int32 width", []Column{{Name: "a", Type: Int32, Width: 8}}},
+		{"wrong float width", []Column{{Name: "a", Type: Float64, Width: 4}}},
+		{"zero char width", []Column{{Name: "a", Type: Char, Width: 0}}},
+		{"duplicate names", []Column{{Name: "a", Type: Int64, Width: 8}, {Name: "a", Type: Int32, Width: 4}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewSchema(tc.cols...); err == nil {
+			t.Errorf("%s: NewSchema accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestColumnTypeStrings(t *testing.T) {
+	pairs := map[ColumnType]string{
+		Int64: "BIGINT", Int32: "INT", Float64: "DOUBLE", Char: "CHAR", Date: "DATE",
+	}
+	for ct, want := range pairs {
+		if got := ct.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(ct), got, want)
+		}
+	}
+	if got := ColumnType(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown type string = %q", got)
+	}
+}
+
+func TestGeometryBasics(t *testing.T) {
+	s := testSchema(t)
+	g, err := NewGeometry(s, 0, 3)
+	if err != nil {
+		t.Fatalf("NewGeometry: %v", err)
+	}
+	if got := g.PackedWidth(); got != 16 {
+		t.Errorf("PackedWidth = %d, want 16", got)
+	}
+	if got := g.PackedOffset(1); got != 8 {
+		t.Errorf("PackedOffset(1) = %d, want 8", got)
+	}
+	if !g.Contains(3) || g.Contains(1) {
+		t.Error("Contains wrong")
+	}
+	if got := g.Position(3); got != 1 {
+		t.Errorf("Position(3) = %d, want 1", got)
+	}
+	if got := g.Position(2); got != -1 {
+		t.Errorf("Position(2) = %d, want -1", got)
+	}
+	if got := g.Selectivity(); got != 16.0/36.0 {
+		t.Errorf("Selectivity = %v, want %v", got, 16.0/36.0)
+	}
+	if got := g.String(); got != "(key, price)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestGeometryByName(t *testing.T) {
+	s := testSchema(t)
+	g, err := NewGeometryByName(s, "price", "key")
+	if err != nil {
+		t.Fatalf("NewGeometryByName: %v", err)
+	}
+	if !reflect.DeepEqual(g.Columns(), []int{3, 0}) {
+		t.Errorf("Columns = %v, want [3 0]", g.Columns())
+	}
+	if _, err := NewGeometryByName(s, "missing"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := NewGeometry(nil, 0); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := NewGeometry(s); err == nil {
+		t.Error("empty column group accepted")
+	}
+	if _, err := NewGeometry(s, 5); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := NewGeometry(s, -1); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := NewGeometry(s, 1, 1); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestStridesMergeAdjacent(t *testing.T) {
+	s := testSchema(t)
+	// Columns 0 and 1 are physically adjacent (offsets 0 and 8): one stride.
+	g := MustGeometry(s, 1, 0) // order must not matter for strides
+	strides := g.Strides()
+	if len(strides) != 1 {
+		t.Fatalf("adjacent columns produced %d strides: %v", len(strides), strides)
+	}
+	if strides[0] != (Stride{Offset: 0, Width: 20}) {
+		t.Errorf("merged stride = %+v", strides[0])
+	}
+
+	// Columns 0 and 3 are not adjacent: two strides.
+	g2 := MustGeometry(s, 0, 3)
+	if got := g2.Strides(); len(got) != 2 {
+		t.Errorf("non-adjacent columns produced %d strides: %v", len(got), got)
+	}
+}
+
+// TestStridesCoverGeometryProperty: for random schemas and geometries, the
+// merged strides must cover exactly the selected columns' byte ranges —
+// every selected byte in some stride, no stride byte outside a selected
+// column, and strides sorted, disjoint, and non-adjacent.
+func TestStridesCoverGeometryProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCols := 1 + rng.Intn(12)
+		cols := make([]Column, nCols)
+		for i := range cols {
+			switch rng.Intn(4) {
+			case 0:
+				cols[i] = Column{Name: colName(i), Type: Int64, Width: 8}
+			case 1:
+				cols[i] = Column{Name: colName(i), Type: Int32, Width: 4}
+			case 2:
+				cols[i] = Column{Name: colName(i), Type: Float64, Width: 8}
+			default:
+				cols[i] = Column{Name: colName(i), Type: Char, Width: 1 + rng.Intn(20)}
+			}
+		}
+		s, err := NewSchema(cols...)
+		if err != nil {
+			return false
+		}
+		// Random non-empty subset.
+		var pick []int
+		for i := range cols {
+			if rng.Intn(2) == 0 {
+				pick = append(pick, i)
+			}
+		}
+		if len(pick) == 0 {
+			pick = []int{rng.Intn(nCols)}
+		}
+		rng.Shuffle(len(pick), func(i, j int) { pick[i], pick[j] = pick[j], pick[i] })
+		g, err := NewGeometry(s, pick...)
+		if err != nil {
+			return false
+		}
+
+		selected := make([]bool, s.RowBytes())
+		for _, c := range pick {
+			for b := s.Offset(c); b < s.Offset(c)+s.Column(c).Width; b++ {
+				selected[b] = true
+			}
+		}
+		covered := make([]bool, s.RowBytes())
+		prevEnd := -1
+		for _, st := range g.Strides() {
+			if st.Offset <= prevEnd {
+				return false // unsorted or overlapping/adjacent
+			}
+			prevEnd = st.Offset + st.Width - 1
+			for b := st.Offset; b < st.Offset+st.Width; b++ {
+				if b >= len(selected) || !selected[b] || covered[b] {
+					return false
+				}
+				covered[b] = true
+			}
+		}
+		for b, want := range selected {
+			if covered[b] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func colName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// TestPackedOffsetsProperty: packed offsets are the prefix sums of the
+// selected columns' widths, and the last offset plus width equals
+// PackedWidth.
+func TestPackedOffsetsProperty(t *testing.T) {
+	s := testSchema(t)
+	check := func(a, b, c uint8) bool {
+		idx := []int{int(a) % 5, int(b) % 5, int(c) % 5}
+		seen := map[int]bool{}
+		var cols []int
+		for _, i := range idx {
+			if !seen[i] {
+				seen[i] = true
+				cols = append(cols, i)
+			}
+		}
+		g, err := NewGeometry(s, cols...)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i, c := range cols {
+			if g.PackedOffset(i) != sum {
+				return false
+			}
+			sum += s.Column(c).Width
+		}
+		return sum == g.PackedWidth()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package mvcc layers multi-version concurrency control over row tables,
+// following the paper's design (ICDE 2023, §III-C): the row-oriented base
+// data is the single source of truth, updates append new row versions, and
+// every version carries two timestamps — begin of validity and end of
+// validity — that the fabric compares in hardware to ship only the versions
+// visible to a query's snapshot. Transactions get snapshot isolation with
+// first-committer-wins write-write conflict detection.
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rfabric/internal/table"
+)
+
+// Common errors.
+var (
+	ErrConflict    = errors.New("mvcc: write-write conflict")
+	ErrTxnFinished = errors.New("mvcc: transaction already committed or aborted")
+	ErrNoMVCC      = errors.New("mvcc: table was created without MVCC headers")
+)
+
+// Manager coordinates transactions over one MVCC table. It is safe for
+// concurrent use.
+type Manager struct {
+	mu     sync.RWMutex
+	tbl    *table.Table
+	clock  uint64 // last issued timestamp; commit timestamps are clock+1...
+	nextID uint64
+}
+
+// NewManager wraps an MVCC table.
+func NewManager(tbl *table.Table) (*Manager, error) {
+	if tbl == nil {
+		return nil, errors.New("mvcc: nil table")
+	}
+	if !tbl.HasMVCC() {
+		return nil, ErrNoMVCC
+	}
+	return &Manager{tbl: tbl}, nil
+}
+
+// Table returns the underlying table. Use ReadView to access it safely
+// while writers are active.
+func (m *Manager) Table() *table.Table { return m.tbl }
+
+// Now returns the current logical time: a snapshot taken at Now sees every
+// committed transaction.
+func (m *Manager) Now() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.clock
+}
+
+// ReadView runs fn with a read lock held and the freshest snapshot
+// timestamp. The fabric's ephemeral views and software scans both read the
+// table heap directly, so concurrent readers must bracket their scans with
+// a view while writers are active.
+func (m *Manager) ReadView(fn func(snapshot uint64) error) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return fn(m.clock)
+}
+
+// Begin starts a transaction with a snapshot of everything committed so far.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return &Txn{
+		mgr:    m,
+		id:     m.nextID,
+		readTS: m.clock,
+	}
+}
+
+// Txn is one snapshot-isolation transaction. Its write set buffers until
+// Commit; reads see the snapshot plus the transaction's own writes is NOT
+// provided — reads are snapshot-only, which the examples respect.
+// A Txn is not safe for concurrent use.
+type Txn struct {
+	mgr      *Manager
+	id       uint64
+	readTS   uint64
+	inserts  [][]table.Value
+	updates  []pendingUpdate
+	deletes  []int
+	finished bool
+}
+
+type pendingUpdate struct {
+	row  int
+	vals []table.Value
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// ReadTS returns the snapshot timestamp the transaction reads at.
+func (t *Txn) ReadTS() uint64 { return t.readTS }
+
+// Insert buffers a new row.
+func (t *Txn) Insert(vals ...table.Value) error {
+	if t.finished {
+		return ErrTxnFinished
+	}
+	cp := make([]table.Value, len(vals))
+	copy(cp, vals)
+	t.inserts = append(t.inserts, cp)
+	return nil
+}
+
+// Update buffers a full-row replacement of the version at row index row.
+// The row must be visible to the transaction's snapshot.
+func (t *Txn) Update(row int, vals ...table.Value) error {
+	if t.finished {
+		return ErrTxnFinished
+	}
+	if !t.visible(row) {
+		return fmt.Errorf("mvcc: txn %d updates row %d invisible at ts %d", t.id, row, t.readTS)
+	}
+	cp := make([]table.Value, len(vals))
+	copy(cp, vals)
+	t.updates = append(t.updates, pendingUpdate{row: row, vals: cp})
+	return nil
+}
+
+// Delete buffers a deletion of the version at row index row.
+func (t *Txn) Delete(row int) error {
+	if t.finished {
+		return ErrTxnFinished
+	}
+	if !t.visible(row) {
+		return fmt.Errorf("mvcc: txn %d deletes row %d invisible at ts %d", t.id, row, t.readTS)
+	}
+	t.deletes = append(t.deletes, row)
+	return nil
+}
+
+func (t *Txn) visible(row int) bool {
+	t.mgr.mu.RLock()
+	defer t.mgr.mu.RUnlock()
+	if row < 0 || row >= t.mgr.tbl.NumRows() {
+		return false
+	}
+	return t.mgr.tbl.VisibleAt(row, t.readTS)
+}
+
+// Get reads column col of row at the transaction's snapshot.
+func (t *Txn) Get(row, col int) (table.Value, error) {
+	t.mgr.mu.RLock()
+	defer t.mgr.mu.RUnlock()
+	if !t.mgr.tbl.VisibleAt(row, t.readTS) {
+		return table.Value{}, fmt.Errorf("mvcc: row %d not visible at ts %d", row, t.readTS)
+	}
+	return t.mgr.tbl.Get(row, col)
+}
+
+// Commit validates the write set (first-committer-wins: any touched row
+// version ended after our snapshot aborts us) and applies it atomically
+// with a single commit timestamp.
+func (t *Txn) Commit() (uint64, error) {
+	if t.finished {
+		return 0, ErrTxnFinished
+	}
+	t.finished = true
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Validation: every row we update or delete must still be the live
+	// version. A concurrent committer that ended it wins.
+	for _, u := range t.updates {
+		if _, end := m.tbl.Timestamps(u.row); end != table.InfinityTS {
+			return 0, fmt.Errorf("%w: row %d ended at %d (txn %d read at %d)", ErrConflict, u.row, end, t.id, t.readTS)
+		}
+	}
+	for _, d := range t.deletes {
+		if _, end := m.tbl.Timestamps(d); end != table.InfinityTS {
+			return 0, fmt.Errorf("%w: row %d ended at %d (txn %d read at %d)", ErrConflict, d, end, t.id, t.readTS)
+		}
+	}
+
+	commitTS := m.clock + 1
+	for _, vals := range t.inserts {
+		if _, err := m.tbl.Append(commitTS, vals...); err != nil {
+			return 0, fmt.Errorf("mvcc: applying insert: %w", err)
+		}
+	}
+	for _, u := range t.updates {
+		if _, err := m.tbl.Update(u.row, commitTS, u.vals...); err != nil {
+			return 0, fmt.Errorf("mvcc: applying update: %w", err)
+		}
+	}
+	for _, d := range t.deletes {
+		if err := m.tbl.SetEndTS(d, commitTS); err != nil {
+			return 0, fmt.Errorf("mvcc: applying delete: %w", err)
+		}
+	}
+	m.clock = commitTS
+	return commitTS, nil
+}
+
+// Abort discards the write set.
+func (t *Txn) Abort() {
+	t.finished = true
+	t.inserts = nil
+	t.updates = nil
+	t.deletes = nil
+}
+
+// VisibleRows returns the row indices visible at snapshot ts — the software
+// twin of the fabric's hardware visibility filter, used by baselines and by
+// tests that cross-check the fabric.
+func (m *Manager) VisibleRows(ts uint64) []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []int
+	for r := 0; r < m.tbl.NumRows(); r++ {
+		if m.tbl.VisibleAt(r, ts) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

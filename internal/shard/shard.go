@@ -1,0 +1,332 @@
+// Package shard implements horizontal partitioning over fabric-equipped
+// nodes. The paper keeps horizontal partitioning a physical-design-time
+// decision but argues it composes naturally with the fabric (§III-A: "the
+// data system can request the desired column group on a sharding key range,
+// and the Relational Fabric will directly return the corresponding data").
+// A sharded table routes rows by a range-partitioned key; queries prune to
+// the shards their key-range predicates touch, run on each shard's own
+// simulated system (its node), and merge. Modeled time is the slowest
+// touched shard — the nodes work in parallel.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// Table is a range-sharded table: shard i holds keys in
+// [bounds[i-1], bounds[i]), with implicit -inf and +inf at the ends.
+type Table struct {
+	name   string
+	schema *geometry.Schema
+	keyCol int
+	bounds []int64 // len = shards-1, ascending upper bounds (exclusive)
+	nodes  []*node
+}
+
+type node struct {
+	sys *engine.System
+	tbl *table.Table
+}
+
+// New creates a sharded table with len(bounds)+1 shards, each with its own
+// simulated system and capacity rows of reserved space.
+func New(name string, schema *geometry.Schema, keyCol int, bounds []int64, capacityPerShard int, cfg engine.SystemConfig) (*Table, error) {
+	if schema == nil {
+		return nil, errors.New("shard: nil schema")
+	}
+	if keyCol < 0 || keyCol >= schema.NumColumns() {
+		return nil, fmt.Errorf("shard: key column %d out of range", keyCol)
+	}
+	switch schema.Column(keyCol).Type {
+	case geometry.Int64, geometry.Int32, geometry.Date:
+	default:
+		return nil, fmt.Errorf("shard: key column type %s is not range-shardable", schema.Column(keyCol).Type)
+	}
+	if capacityPerShard <= 0 {
+		return nil, fmt.Errorf("shard: capacity per shard must be positive, got %d", capacityPerShard)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] >= bounds[i] {
+			return nil, fmt.Errorf("shard: bounds not strictly ascending at %d", i)
+		}
+	}
+	st := &Table{name: name, schema: schema, keyCol: keyCol, bounds: append([]int64(nil), bounds...)}
+	for i := 0; i <= len(bounds); i++ {
+		sys, err := engine.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		base := sys.Arena.Alloc(int64(capacityPerShard * schema.RowBytes()))
+		tbl, err := table.New(fmt.Sprintf("%s.shard%d", name, i), schema,
+			table.WithCapacity(capacityPerShard), table.WithBaseAddr(base))
+		if err != nil {
+			return nil, err
+		}
+		st.nodes = append(st.nodes, &node{sys: sys, tbl: tbl})
+	}
+	return st, nil
+}
+
+// NumShards returns the shard count.
+func (t *Table) NumShards() int { return len(t.nodes) }
+
+// ShardRows returns per-shard row counts.
+func (t *Table) ShardRows() []int {
+	out := make([]int, len(t.nodes))
+	for i, n := range t.nodes {
+		out[i] = n.tbl.NumRows()
+	}
+	return out
+}
+
+// shardOf routes a key.
+func (t *Table) shardOf(key int64) int {
+	return sort.Search(len(t.bounds), func(i int) bool { return key < t.bounds[i] })
+}
+
+// Insert routes one row by its sharding key.
+func (t *Table) Insert(vals ...table.Value) error {
+	if len(vals) != t.schema.NumColumns() {
+		return fmt.Errorf("shard: got %d values for %d columns", len(vals), t.schema.NumColumns())
+	}
+	key := vals[t.keyCol]
+	switch key.Type {
+	case geometry.Int64, geometry.Int32, geometry.Date:
+	default:
+		return fmt.Errorf("shard: key value has type %s", key.Type)
+	}
+	_, err := t.nodes[t.shardOf(key.Int)].tbl.Append(1, vals...)
+	return err
+}
+
+// keyRange extracts the [lo, hi] bounds the conjunction imposes on the
+// sharding key; open ends are ±inf.
+func (t *Table) keyRange(sel expr.Conjunction) (lo, hi int64) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	for _, p := range sel {
+		if p.Col != t.keyCol {
+			continue
+		}
+		v := p.Operand.Int
+		switch p.Op {
+		case expr.Eq:
+			if v > lo {
+				lo = v
+			}
+			if v < hi {
+				hi = v
+			}
+		case expr.Ge:
+			if v > lo {
+				lo = v
+			}
+		case expr.Gt:
+			if v+1 > lo {
+				lo = v + 1
+			}
+		case expr.Le:
+			if v < hi {
+				hi = v
+			}
+		case expr.Lt:
+			if v-1 < hi {
+				hi = v - 1
+			}
+		}
+	}
+	return lo, hi
+}
+
+// prune returns the shards whose key range intersects [lo, hi].
+func (t *Table) prune(lo, hi int64) []int {
+	if lo > hi {
+		return nil
+	}
+	first := t.shardOf(lo)
+	last := t.shardOf(hi)
+	out := make([]int, 0, last-first+1)
+	for s := first; s <= last; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Result is the merged outcome of a sharded query.
+type Result struct {
+	RowsPassed    int64
+	Checksum      uint64
+	Aggs          []table.Value
+	Groups        []engine.GroupRow
+	ShardsTouched int
+	// Cycles is the modeled time: the slowest touched shard (nodes run in
+	// parallel) plus a per-shard merge charge on the coordinator.
+	Cycles uint64
+}
+
+// mergeCyclesPerShard is the coordinator's cost to fold one shard's reply.
+const mergeCyclesPerShard = 200
+
+// Execute runs the query on the RM path of every shard the selection cannot
+// rule out and merges the results. AVG aggregates are rejected: they do not
+// merge from per-shard finals (rewrite as SUM and COUNT).
+func (t *Table) Execute(q engine.Query) (*Result, error) {
+	if err := q.Validate(t.schema); err != nil {
+		return nil, err
+	}
+	for _, a := range q.Aggregates {
+		if a.Kind == expr.Avg {
+			return nil, errors.New("shard: AVG does not merge across shards; query SUM and COUNT instead")
+		}
+	}
+	lo, hi := t.keyRange(q.Selection)
+	touched := t.prune(lo, hi)
+
+	out := &Result{ShardsTouched: len(touched)}
+	var mergedAggs []*aggMerge
+	groups := map[string]*groupMerge{}
+
+	for _, s := range touched {
+		n := t.nodes[s]
+		n.sys.ResetState()
+		eng := &engine.RMEngine{Tbl: n.tbl, Sys: n.sys, PushSelection: true}
+		r, err := eng.Execute(q)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		out.RowsPassed += r.RowsPassed
+		out.Checksum += r.Checksum
+		if r.Breakdown.TotalCycles > out.Cycles {
+			out.Cycles = r.Breakdown.TotalCycles
+		}
+		if len(q.Aggregates) > 0 && len(q.GroupBy) == 0 {
+			if mergedAggs == nil {
+				mergedAggs = newAggMerges(q)
+			}
+			for i, v := range r.Aggs {
+				mergedAggs[i].fold(v, r.RowsPassed)
+			}
+		}
+		for _, g := range r.Groups {
+			k := groupKey(g.Key)
+			gm, ok := groups[k]
+			if !ok {
+				gm = &groupMerge{key: g.Key, aggs: newAggMerges(q)}
+				groups[k] = gm
+			}
+			gm.count += g.Count
+			for i, v := range g.Aggs {
+				gm.aggs[i].fold(v, g.Count)
+			}
+		}
+	}
+	out.Cycles += uint64(len(touched)) * mergeCyclesPerShard
+
+	if mergedAggs != nil {
+		out.Aggs = make([]table.Value, len(mergedAggs))
+		for i, m := range mergedAggs {
+			out.Aggs[i] = m.result()
+		}
+	}
+	if len(groups) > 0 {
+		for _, gm := range groups {
+			row := engine.GroupRow{Key: gm.key, Count: gm.count, Aggs: make([]table.Value, len(gm.aggs))}
+			for i, m := range gm.aggs {
+				row.Aggs[i] = m.result()
+			}
+			out.Groups = append(out.Groups, row)
+		}
+		sort.Slice(out.Groups, func(i, j int) bool {
+			a, b := out.Groups[i].Key, out.Groups[j].Key
+			for k := range a {
+				if c := a[k].Compare(b[k]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	return out, nil
+}
+
+type groupMerge struct {
+	key   []table.Value
+	count int64
+	aggs  []*aggMerge
+}
+
+func groupKey(vals []table.Value) string {
+	s := ""
+	for _, v := range vals {
+		s += v.String() + "\x00"
+	}
+	return s
+}
+
+// aggMerge folds per-shard final aggregate values.
+type aggMerge struct {
+	kind  expr.AggKind
+	sumI  int64
+	sumF  float64
+	isInt bool
+	minV  table.Value
+	maxV  table.Value
+	any   bool
+}
+
+func newAggMerges(q engine.Query) []*aggMerge {
+	out := make([]*aggMerge, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		out[i] = &aggMerge{kind: a.Kind}
+	}
+	return out
+}
+
+func (m *aggMerge) fold(v table.Value, _ int64) {
+	switch m.kind {
+	case expr.Count:
+		m.isInt = true
+		m.sumI += v.Int
+	case expr.Sum:
+		if v.Type == geometry.Float64 {
+			m.sumF += v.Float
+		} else {
+			m.isInt = true
+			m.sumI += v.Int
+		}
+	case expr.Min:
+		if !m.any || v.Compare(m.minV) < 0 {
+			m.minV = v
+		}
+	case expr.Max:
+		if !m.any || v.Compare(m.maxV) > 0 {
+			m.maxV = v
+		}
+	}
+	m.any = true
+}
+
+func (m *aggMerge) result() table.Value {
+	switch m.kind {
+	case expr.Count:
+		return table.I64(m.sumI)
+	case expr.Sum:
+		if m.isInt {
+			return table.I64(m.sumI)
+		}
+		return table.F64(m.sumF)
+	case expr.Min:
+		return m.minV
+	case expr.Max:
+		return m.maxV
+	default:
+		return table.Value{}
+	}
+}

@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+func testSchema() *geometry.Schema {
+	return geometry.MustSchema(
+		geometry.Column{Name: "id", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "grp", Type: geometry.Int32, Width: 4},
+		geometry.Column{Name: "amount", Type: geometry.Float64, Width: 8},
+		geometry.Column{Name: "tag", Type: geometry.Char, Width: 4},
+	)
+}
+
+// newSharded builds 4 shards over id: (-inf,250), [250,500), [500,750), [750,inf).
+func newSharded(t *testing.T, rows int) *Table {
+	t.Helper()
+	st, err := New("t", testSchema(), 0, []int64{250, 500, 750}, rows, engine.DefaultSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	tags := []string{"a", "b"}
+	for i := 0; i < rows; i++ {
+		err := st.Insert(
+			table.I64(int64(i%1000)),
+			table.I32(int32(i%7)),
+			table.F64(float64(i)),
+			table.Str(tags[rng.Intn(2)]),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestRoutingSpreadsRows(t *testing.T) {
+	st := newSharded(t, 2000)
+	rows := st.ShardRows()
+	if len(rows) != 4 {
+		t.Fatalf("shards = %d", len(rows))
+	}
+	total := 0
+	for s, n := range rows {
+		if n == 0 {
+			t.Errorf("shard %d is empty", s)
+		}
+		total += n
+	}
+	if total != 2000 {
+		t.Errorf("rows lost in routing: %d", total)
+	}
+}
+
+func TestRoutingIsByKeyRange(t *testing.T) {
+	st, err := New("t", testSchema(), 0, []int64{100}, 10, engine.DefaultSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Insert(table.I64(99), table.I32(0), table.F64(0), table.Str("x"))
+	_ = st.Insert(table.I64(100), table.I32(0), table.F64(0), table.Str("x"))
+	rows := st.ShardRows()
+	if rows[0] != 1 || rows[1] != 1 {
+		t.Errorf("routing wrong: %v", rows)
+	}
+}
+
+func TestScanMatchesUnsharded(t *testing.T) {
+	st := newSharded(t, 1200)
+	q := engine.Query{
+		Projection: []int{0, 2},
+		Selection:  expr.Conjunction{{Col: 1, Op: expr.Lt, Operand: table.I32(4)}},
+	}
+	got, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsharded reference: one table with all the rows.
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	ref := table.MustNew("ref", testSchema(),
+		table.WithCapacity(1200), table.WithBaseAddr(sys.Arena.Alloc(int64(1200*testSchema().RowBytes()))))
+	rng := rand.New(rand.NewSource(23))
+	tags := []string{"a", "b"}
+	for i := 0; i < 1200; i++ {
+		ref.MustAppend(1, table.I64(int64(i%1000)), table.I32(int32(i%7)), table.F64(float64(i)), table.Str(tags[rng.Intn(2)]))
+	}
+	want, err := (&engine.RMEngine{Tbl: ref, Sys: sys, PushSelection: true}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowsPassed != want.RowsPassed || got.Checksum != want.Checksum {
+		t.Errorf("sharded scan diverges: %d/%#x vs %d/%#x",
+			got.RowsPassed, got.Checksum, want.RowsPassed, want.Checksum)
+	}
+	if got.ShardsTouched != 4 {
+		t.Errorf("unpruned scan touched %d shards", got.ShardsTouched)
+	}
+}
+
+func TestPruning(t *testing.T) {
+	st := newSharded(t, 2000)
+	q := engine.Query{
+		Projection: []int{0},
+		Selection: expr.Conjunction{
+			{Col: 0, Op: expr.Ge, Operand: table.I64(300)},
+			{Col: 0, Op: expr.Lt, Operand: table.I64(400)},
+		},
+	}
+	res, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsTouched != 1 {
+		t.Errorf("key range [300,400) touched %d shards, want 1", res.ShardsTouched)
+	}
+	if res.RowsPassed == 0 {
+		t.Error("pruned query found nothing")
+	}
+
+	full, err := st.Execute(engine.Query{Projection: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles >= full.Cycles {
+		t.Errorf("pruned query (%d cycles) not cheaper than full scan (%d)", res.Cycles, full.Cycles)
+	}
+}
+
+func TestPruneToNothing(t *testing.T) {
+	st := newSharded(t, 100)
+	q := engine.Query{
+		Projection: []int{0},
+		Selection: expr.Conjunction{
+			{Col: 0, Op: expr.Gt, Operand: table.I64(500)},
+			{Col: 0, Op: expr.Lt, Operand: table.I64(400)},
+		},
+	}
+	res, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsTouched != 0 || res.RowsPassed != 0 {
+		t.Errorf("contradictory range executed: %+v", res)
+	}
+}
+
+func TestShardedAggregation(t *testing.T) {
+	st := newSharded(t, 1000)
+	q := engine.Query{
+		Aggregates: []engine.AggTerm{
+			{Kind: expr.Count},
+			{Kind: expr.Sum, Arg: expr.ColRef{Col: 2}},
+			{Kind: expr.Min, Arg: expr.ColRef{Col: 2}},
+			{Kind: expr.Max, Arg: expr.ColRef{Col: 2}},
+		},
+	}
+	res, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggs[0].Int != 1000 {
+		t.Errorf("COUNT = %s", res.Aggs[0])
+	}
+	// Sum of 0..999 = 499500.
+	if res.Aggs[1].Float != 499500 {
+		t.Errorf("SUM = %s", res.Aggs[1])
+	}
+	if res.Aggs[2].Float != 0 || res.Aggs[3].Float != 999 {
+		t.Errorf("MIN/MAX = %s/%s", res.Aggs[2], res.Aggs[3])
+	}
+}
+
+func TestShardedGroupBy(t *testing.T) {
+	st := newSharded(t, 1400)
+	q := engine.Query{
+		GroupBy:    []int{1},
+		Aggregates: []engine.AggTerm{{Kind: expr.Count}},
+	}
+	res, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 7 {
+		t.Fatalf("groups = %d, want 7", len(res.Groups))
+	}
+	var total int64
+	for _, g := range res.Groups {
+		total += g.Count
+		if g.Count != 200 {
+			t.Errorf("group %s count = %d, want 200", g.Key[0], g.Count)
+		}
+	}
+	if total != 1400 {
+		t.Errorf("grouped counts sum to %d", total)
+	}
+}
+
+func TestAvgRejected(t *testing.T) {
+	st := newSharded(t, 10)
+	q := engine.Query{Aggregates: []engine.AggTerm{{Kind: expr.Avg, Arg: expr.ColRef{Col: 2}}}}
+	if _, err := st.Execute(q); err == nil {
+		t.Error("AVG accepted; it cannot merge from per-shard finals")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := engine.DefaultSystemConfig()
+	if _, err := New("t", nil, 0, nil, 10, cfg); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := New("t", testSchema(), 3, nil, 10, cfg); err == nil {
+		t.Error("CHAR key accepted")
+	}
+	if _, err := New("t", testSchema(), 0, []int64{5, 5}, 10, cfg); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := New("t", testSchema(), 0, nil, 0, cfg); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	st, err := New("t", testSchema(), 0, nil, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards() != 1 {
+		t.Errorf("no bounds should mean one shard, got %d", st.NumShards())
+	}
+	if err := st.Insert(table.I64(1)); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+// TestShardedEqualsUnshardedProperty: for random queries (projection,
+// selection, plain aggregation), scatter/gather over shards produces
+// exactly the single-table result.
+func TestShardedEqualsUnshardedProperty(t *testing.T) {
+	const rows = 600
+	st := newSharded(t, rows)
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	ref := table.MustNew("ref", testSchema(),
+		table.WithCapacity(rows), table.WithBaseAddr(sys.Arena.Alloc(int64(rows*testSchema().RowBytes()))))
+	rng := rand.New(rand.NewSource(23))
+	tags := []string{"a", "b"}
+	for i := 0; i < rows; i++ {
+		ref.MustAppend(1, table.I64(int64(i%1000)), table.I32(int32(i%7)), table.F64(float64(i)), table.Str(tags[rng.Intn(2)]))
+	}
+
+	qrng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		var q engine.Query
+		if qrng.Intn(2) == 0 {
+			q.Projection = []int{qrng.Intn(3)}
+		} else {
+			q.Aggregates = []engine.AggTerm{
+				{Kind: expr.Count},
+				{Kind: expr.Sum, Arg: expr.ColRef{Col: 2}},
+			}
+		}
+		for p := 0; p < qrng.Intn(3); p++ {
+			col := qrng.Intn(3)
+			var operand table.Value
+			switch col {
+			case 0:
+				operand = table.I64(int64(qrng.Intn(1000)))
+			case 1:
+				operand = table.I32(int32(qrng.Intn(7)))
+			default:
+				operand = table.F64(float64(qrng.Intn(600)))
+			}
+			q.Selection = append(q.Selection, expr.Predicate{
+				Col: col, Op: expr.CmpOp(qrng.Intn(6)), Operand: operand,
+			})
+		}
+		got, err := st.Execute(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sys.ResetState()
+		want, err := (&engine.RMEngine{Tbl: ref, Sys: sys, PushSelection: true}).Execute(q)
+		if err != nil {
+			t.Fatalf("trial %d ref: %v", trial, err)
+		}
+		if got.RowsPassed != want.RowsPassed || got.Checksum != want.Checksum {
+			t.Fatalf("trial %d (%+v): sharded %d/%#x vs single %d/%#x",
+				trial, q, got.RowsPassed, got.Checksum, want.RowsPassed, want.Checksum)
+		}
+		if len(q.Aggregates) > 0 {
+			for i := range q.Aggregates {
+				if !got.Aggs[i].Equal(want.Aggs[i]) {
+					// SUM over shards adds in a different order; allow tiny drift.
+					if got.Aggs[i].Type == want.Aggs[i].Type && got.Aggs[i].Type == geometry.Float64 {
+						d := got.Aggs[i].Float - want.Aggs[i].Float
+						if d < 1e-6 && d > -1e-6 {
+							continue
+						}
+					}
+					t.Fatalf("trial %d agg %d: %s vs %s", trial, i, got.Aggs[i], want.Aggs[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AST node types. The dialect is small enough that the tree is concrete.
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	Items   []SelectItem
+	Table   string
+	Where   []Comparison
+	GroupBy []string
+}
+
+// SelectItem is either a plain column reference or an aggregate call.
+type SelectItem struct {
+	Column string   // set for plain references
+	Agg    *AggCall // set for aggregates
+}
+
+// AggCall is COUNT(*) or FUNC(arithmetic expression).
+type AggCall struct {
+	Func string // COUNT, SUM, AVG, MIN, MAX
+	Star bool   // COUNT(*)
+	Arg  Arith  // nil when Star
+}
+
+// Arith is an arithmetic expression node.
+type Arith interface{ arithNode() }
+
+// ColExpr references a column.
+type ColExpr struct{ Name string }
+
+// NumExpr is a numeric literal.
+type NumExpr struct{ Value float64 }
+
+// BinExpr combines two expressions with + - or *.
+type BinExpr struct {
+	Op   string
+	L, R Arith
+}
+
+func (ColExpr) arithNode() {}
+func (NumExpr) arithNode() {}
+func (BinExpr) arithNode() {}
+
+// Comparison is one WHERE conjunct: column op literal.
+type Comparison struct {
+	Column string
+	Op     string // < <= = <> >= >
+	Lit    Literal
+}
+
+// Literal is a typed constant.
+type Literal struct {
+	Kind   LitKind
+	Num    float64
+	Str    string
+	IsDate bool
+}
+
+// LitKind discriminates literal forms.
+type LitKind uint8
+
+// Literal kinds.
+const (
+	LitNumber LitKind = iota
+	LitString
+)
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if t := p.cur(); t.kind == tokKeyword && t.text == kw {
+		p.pos++
+		return nil
+	}
+	return p.errf("expected %s, got %q", kw, p.cur().text)
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.cur(); t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Stmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokIdent {
+		st.Table = t.text
+		p.pos++
+	} else {
+		return nil, p.errf("expected table name, got %q", p.cur().text)
+	}
+	if t := p.cur(); t.kind == tokKeyword && t.text == "WHERE" {
+		p.pos++
+		for {
+			cmp, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cmp...)
+			if t := p.cur(); t.kind == tokKeyword && t.text == "AND" {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if t := p.cur(); t.kind == tokKeyword && t.text == "GROUP" {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			if t := p.cur(); t.kind == tokIdent {
+				st.GroupBy = append(st.GroupBy, t.text)
+				p.pos++
+			} else {
+				return nil, p.errf("expected column in GROUP BY, got %q", p.cur().text)
+			}
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if t := p.cur(); t.kind == tokKeyword && aggFuncs[t.text] {
+		p.pos++
+		call := &AggCall{Func: t.text}
+		if !p.acceptSymbol("(") {
+			return SelectItem{}, p.errf("expected ( after %s", t.text)
+		}
+		if t.text == "COUNT" && p.acceptSymbol("*") {
+			call.Star = true
+		} else {
+			arg, err := p.parseArith()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			call.Arg = arg
+		}
+		if !p.acceptSymbol(")") {
+			return SelectItem{}, p.errf("expected ) to close %s", t.text)
+		}
+		return SelectItem{Agg: call}, nil
+	}
+	if t := p.cur(); t.kind == tokIdent {
+		p.pos++
+		return SelectItem{Column: t.text}, nil
+	}
+	return SelectItem{}, p.errf("expected column or aggregate, got %q", p.cur().text)
+}
+
+// parseArith parses + and - at the lowest precedence.
+func (p *parser) parseArith() (Arith, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.pos++
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = BinExpr{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseTerm() (Arith, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && p.cur().text == "*" {
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: "*", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Arith, error) {
+	switch t := p.cur(); {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return NumExpr{Value: v}, nil
+	case t.kind == tokIdent:
+		p.pos++
+		return ColExpr{Name: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		inner, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptSymbol(")") {
+			return nil, p.errf("expected )")
+		}
+		return inner, nil
+	default:
+		return nil, p.errf("expected number, column, or (, got %q", t.text)
+	}
+}
+
+// parseComparison parses `col op literal` or `col BETWEEN lit AND lit`
+// (which desugars to two conjuncts).
+func (p *parser) parseComparison() ([]Comparison, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected column in WHERE, got %q", t.text)
+	}
+	col := t.text
+	p.pos++
+	if bt := p.cur(); bt.kind == tokKeyword && bt.text == "BETWEEN" {
+		p.pos++
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return []Comparison{{Column: col, Op: ">=", Lit: lo}, {Column: col, Op: "<=", Lit: hi}}, nil
+	}
+	op := p.cur()
+	if op.kind != tokSymbol || !strings.Contains("< <= = <> >= >", op.text) {
+		return nil, p.errf("expected comparison operator, got %q", op.text)
+	}
+	p.pos++
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return []Comparison{{Column: col, Op: op.text, Lit: lit}}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	switch t := p.cur(); {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, p.errf("bad number %q", t.text)
+		}
+		return Literal{Kind: LitNumber, Num: v}, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.pos++
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return Literal{}, err
+		}
+		if lit.Kind != LitNumber {
+			return Literal{}, p.errf("cannot negate a non-numeric literal")
+		}
+		lit.Num = -lit.Num
+		return lit, nil
+	case t.kind == tokString:
+		p.pos++
+		return Literal{Kind: LitString, Str: t.text}, nil
+	case t.kind == tokKeyword && t.text == "DATE":
+		p.pos++
+		if s := p.cur(); s.kind == tokString {
+			p.pos++
+			return Literal{Kind: LitString, Str: s.text, IsDate: true}, nil
+		}
+		return Literal{}, p.errf("expected 'YYYY-MM-DD' after DATE")
+	default:
+		return Literal{}, p.errf("expected literal, got %q", t.text)
+	}
+}

@@ -1,0 +1,227 @@
+package sql
+
+import (
+	"fmt"
+	"time"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// Plan lowers a statement onto an engine.Query against the given schema.
+// The statement's table name is the caller's concern (the catalog in
+// rfquery resolves it before planning).
+func Plan(st *Stmt, schema *geometry.Schema) (engine.Query, error) {
+	var q engine.Query
+
+	lookup := func(name string) (int, error) {
+		c, ok := schema.Lookup(name)
+		if !ok {
+			return 0, fmt.Errorf("sql: unknown column %q", name)
+		}
+		return c, nil
+	}
+
+	hasAgg := false
+	for _, item := range st.Items {
+		if item.Agg != nil {
+			hasAgg = true
+			break
+		}
+	}
+
+	for _, item := range st.Items {
+		switch {
+		case item.Agg != nil:
+			term, err := planAgg(item.Agg, schema)
+			if err != nil {
+				return q, err
+			}
+			q.Aggregates = append(q.Aggregates, term)
+		case hasAgg:
+			// A bare column alongside aggregates must be a group key; SQL
+			// requires it to appear in GROUP BY, checked below.
+			c, err := lookup(item.Column)
+			if err != nil {
+				return q, err
+			}
+			found := false
+			for _, g := range st.GroupBy {
+				if g == item.Column {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return q, fmt.Errorf("sql: column %q must appear in GROUP BY", item.Column)
+			}
+			_ = c
+		default:
+			c, err := lookup(item.Column)
+			if err != nil {
+				return q, err
+			}
+			q.Projection = append(q.Projection, c)
+		}
+	}
+
+	for _, g := range st.GroupBy {
+		c, err := lookup(g)
+		if err != nil {
+			return q, err
+		}
+		q.GroupBy = append(q.GroupBy, c)
+	}
+
+	for _, cmp := range st.Where {
+		p, err := planComparison(cmp, schema)
+		if err != nil {
+			return q, err
+		}
+		q.Selection = append(q.Selection, p)
+	}
+
+	if err := q.Validate(schema); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+func planAgg(call *AggCall, schema *geometry.Schema) (engine.AggTerm, error) {
+	kinds := map[string]expr.AggKind{
+		"COUNT": expr.Count, "SUM": expr.Sum, "AVG": expr.Avg,
+		"MIN": expr.Min, "MAX": expr.Max,
+	}
+	kind, ok := kinds[call.Func]
+	if !ok {
+		return engine.AggTerm{}, fmt.Errorf("sql: unknown aggregate %q", call.Func)
+	}
+	if call.Star {
+		if kind != expr.Count {
+			return engine.AggTerm{}, fmt.Errorf("sql: %s(*) is not valid", call.Func)
+		}
+		return engine.AggTerm{Kind: expr.Count}, nil
+	}
+	arg, err := planArith(call.Arg, schema)
+	if err != nil {
+		return engine.AggTerm{}, err
+	}
+	return engine.AggTerm{Kind: kind, Arg: arg}, nil
+}
+
+func planArith(a Arith, schema *geometry.Schema) (expr.Scalar, error) {
+	switch n := a.(type) {
+	case ColExpr:
+		c, ok := schema.Lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown column %q", n.Name)
+		}
+		ref := expr.ColRef{Col: c}
+		if err := expr.ValidateScalar(ref, schema); err != nil {
+			return nil, err
+		}
+		return ref, nil
+	case NumExpr:
+		return expr.Const{V: n.Value}, nil
+	case BinExpr:
+		l, err := planArith(n.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := planArith(n.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		ops := map[string]expr.BinOp{"+": expr.Add, "-": expr.Sub, "*": expr.Mul}
+		op, ok := ops[n.Op]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown operator %q", n.Op)
+		}
+		return expr.Binary{Op: op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown arithmetic node %T", a)
+	}
+}
+
+func planComparison(cmp Comparison, schema *geometry.Schema) (expr.Predicate, error) {
+	c, ok := schema.Lookup(cmp.Column)
+	if !ok {
+		return expr.Predicate{}, fmt.Errorf("sql: unknown column %q", cmp.Column)
+	}
+	ops := map[string]expr.CmpOp{
+		"<": expr.Lt, "<=": expr.Le, "=": expr.Eq,
+		"<>": expr.Ne, ">=": expr.Ge, ">": expr.Gt,
+	}
+	op, ok := ops[cmp.Op]
+	if !ok {
+		return expr.Predicate{}, fmt.Errorf("sql: unknown comparison %q", cmp.Op)
+	}
+	operand, err := planLiteral(cmp.Lit, schema.Column(c))
+	if err != nil {
+		return expr.Predicate{}, fmt.Errorf("sql: column %q: %w", cmp.Column, err)
+	}
+	return expr.Predicate{Col: c, Op: op, Operand: operand}, nil
+}
+
+// planLiteral coerces a literal to the column's type.
+func planLiteral(lit Literal, col geometry.Column) (table.Value, error) {
+	switch col.Type {
+	case geometry.Int64:
+		if lit.Kind != LitNumber {
+			return table.Value{}, fmt.Errorf("expected number for BIGINT, got %q", lit.Str)
+		}
+		return table.I64(int64(lit.Num)), nil
+	case geometry.Int32:
+		if lit.Kind != LitNumber {
+			return table.Value{}, fmt.Errorf("expected number for INT, got %q", lit.Str)
+		}
+		return table.I32(int32(lit.Num)), nil
+	case geometry.Float64:
+		if lit.Kind != LitNumber {
+			return table.Value{}, fmt.Errorf("expected number for DOUBLE, got %q", lit.Str)
+		}
+		return table.F64(lit.Num), nil
+	case geometry.Char:
+		if lit.Kind != LitString {
+			return table.Value{}, fmt.Errorf("expected string for CHAR, got %g", lit.Num)
+		}
+		return table.Str(lit.Str), nil
+	case geometry.Date:
+		switch lit.Kind {
+		case LitNumber:
+			return table.DateV(int32(lit.Num)), nil
+		case LitString:
+			day, err := ParseDate(lit.Str)
+			if err != nil {
+				return table.Value{}, err
+			}
+			return table.DateV(day), nil
+		}
+	}
+	return table.Value{}, fmt.Errorf("unsupported column type %s", col.Type)
+}
+
+// ParseDate converts 'YYYY-MM-DD' into days since 1970-01-01.
+func ParseDate(s string) (int32, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad date %q: %w", s, err)
+	}
+	return int32(t.Unix() / 86400), nil
+}
+
+// FormatDate renders a day number as 'YYYY-MM-DD'.
+func FormatDate(day int32) string {
+	return time.Unix(int64(day)*86400, 0).UTC().Format("2006-01-02")
+}
+
+// Compile is the one-call convenience: parse then plan.
+func Compile(query string, schema *geometry.Schema) (engine.Query, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return engine.Query{}, err
+	}
+	return Plan(st, schema)
+}

@@ -1,0 +1,162 @@
+// Package storage implements Relational Storage (RS), the disk-based
+// instance of Relational Fabric (ICDE 2023, §IV-D): a simulated flash device
+// whose controller can project, filter, and decompress pages before they
+// cross the host interconnect, so only the relevant columns of the relevant
+// rows are ever transferred. The host-side baseline reads whole pages and
+// transforms on the CPU — the contrast that reproduces the data-movement
+// argument at the storage tier.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DeviceConfig sizes the simulated SSD and its timing model. Latencies are
+// in host CPU cycles, matching the convention of the memory-tier model.
+type DeviceConfig struct {
+	Channels    int // independent flash channels
+	DiesPerChan int // dies per channel (pipelined within a channel)
+	PageBytes   int // flash page size
+
+	// PageReadCycles is the flash array read time of one page.
+	PageReadCycles uint64
+	// TransferCyclesPerByte is the host-interconnect cost per byte shipped
+	// to the CPU.
+	TransferCyclesPerByte float64
+	// ControllerCyclesPerByte is the in-storage processing rate of the RS
+	// engine (projection, selection, decompression).
+	ControllerCyclesPerByte float64
+	// HostCyclesPerByte is the host CPU's cost to transform or decompress a
+	// byte in software (the baseline's burden).
+	HostCyclesPerByte float64
+}
+
+// DefaultDeviceConfig returns a small NVMe-class device: 8 channels, 4 KiB
+// pages, controller processing faster than the host's software path.
+func DefaultDeviceConfig() DeviceConfig {
+	return DeviceConfig{
+		Channels:                8,
+		DiesPerChan:             2,
+		PageBytes:               4096,
+		PageReadCycles:          30_000, // ~20 µs at 1.5 GHz
+		TransferCyclesPerByte:   0.5,    // ~3 GB/s link
+		ControllerCyclesPerByte: 0.25,
+		HostCyclesPerByte:       1.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c DeviceConfig) Validate() error {
+	if c.Channels <= 0 || c.DiesPerChan <= 0 {
+		return fmt.Errorf("storage: need positive channels/dies, got %d/%d", c.Channels, c.DiesPerChan)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("storage: PageBytes must be a positive power of two, got %d", c.PageBytes)
+	}
+	if c.PageReadCycles == 0 || c.TransferCyclesPerByte <= 0 || c.ControllerCyclesPerByte <= 0 || c.HostCyclesPerByte <= 0 {
+		return fmt.Errorf("storage: non-positive timing in %+v", c)
+	}
+	return nil
+}
+
+// Device is the simulated SSD: a flat page space striped across channels.
+type Device struct {
+	cfg   DeviceConfig
+	pages [][]byte
+	stats DeviceStats
+}
+
+// DeviceStats accumulates device activity.
+type DeviceStats struct {
+	PagesRead      uint64
+	BytesFromFlash uint64
+	BytesToHost    uint64
+	FlashCycles    uint64 // critical-path flash array time
+	TransferCycles uint64
+	ControlCycles  uint64 // in-controller processing
+}
+
+// NewDevice creates an empty device.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() DeviceConfig { return d.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// ResetStats zeroes the counters.
+func (d *Device) ResetStats() { d.stats = DeviceStats{} }
+
+// NumPages returns how many pages are written.
+func (d *Device) NumPages() int { return len(d.pages) }
+
+// WritePage appends a page (padded or truncated to PageBytes) and returns
+// its page number. Writes model only capacity, not timing: the experiments
+// are read-path studies.
+func (d *Device) WritePage(data []byte) (int, error) {
+	if len(data) > d.cfg.PageBytes {
+		return 0, fmt.Errorf("storage: page of %d bytes exceeds PageBytes %d", len(data), d.cfg.PageBytes)
+	}
+	page := make([]byte, d.cfg.PageBytes)
+	copy(page, data)
+	d.pages = append(d.pages, page)
+	return len(d.pages) - 1, nil
+}
+
+// readPages fetches the given pages from flash and returns the critical-path
+// flash cycles: pages on distinct channels overlap fully; within a channel,
+// dies pipeline, so a channel serving k pages costs ceil(k/dies) page times.
+func (d *Device) readPages(pageNos []int) (uint64, error) {
+	if len(pageNos) == 0 {
+		return 0, nil
+	}
+	perChan := make([]int, d.cfg.Channels)
+	for _, p := range pageNos {
+		if p < 0 || p >= len(d.pages) {
+			return 0, fmt.Errorf("storage: page %d out of range [0,%d)", p, len(d.pages))
+		}
+		perChan[p%d.cfg.Channels]++
+	}
+	busiest := 0
+	for _, k := range perChan {
+		if k > busiest {
+			busiest = k
+		}
+	}
+	rounds := (busiest + d.cfg.DiesPerChan - 1) / d.cfg.DiesPerChan
+	cycles := uint64(rounds) * d.cfg.PageReadCycles
+	d.stats.PagesRead += uint64(len(pageNos))
+	d.stats.BytesFromFlash += uint64(len(pageNos) * d.cfg.PageBytes)
+	d.stats.FlashCycles += cycles
+	return cycles, nil
+}
+
+// transfer charges shipping n bytes over the host interconnect.
+func (d *Device) transfer(n int) uint64 {
+	c := uint64(float64(n) * d.cfg.TransferCyclesPerByte)
+	d.stats.BytesToHost += uint64(n)
+	d.stats.TransferCycles += c
+	return c
+}
+
+// control charges in-controller processing of n bytes.
+func (d *Device) control(n int) uint64 {
+	c := uint64(float64(n) * d.cfg.ControllerCyclesPerByte)
+	d.stats.ControlCycles += c
+	return c
+}
+
+// Page returns a read-only view of page p (test helper).
+func (d *Device) Page(p int) ([]byte, error) {
+	if p < 0 || p >= len(d.pages) {
+		return nil, errors.New("storage: page out of range")
+	}
+	return d.pages[p], nil
+}

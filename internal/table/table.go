@@ -1,0 +1,345 @@
+// Package table implements row-oriented base tables: the single physical
+// layout Relational Fabric maintains. Rows are fixed-width and stored back
+// to back in an append-only heap, the format the paper chooses because "the
+// base data is stored in a row-oriented physical layout, to allow efficient
+// data ingestion and updates" (ICDE 2023, §I). Tables may carry an MVCC
+// header of two timestamps per row (§III-C) used by the fabric's hardware
+// visibility filter.
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"rfabric/internal/geometry"
+)
+
+// MVCCHeaderBytes is the physical size of the per-row MVCC header:
+// an 8-byte begin timestamp followed by an 8-byte end timestamp.
+const MVCCHeaderBytes = 16
+
+// InfinityTS marks a row version that is still current (no end of validity).
+const InfinityTS = math.MaxUint64
+
+// Option configures table construction.
+type Option func(*options)
+
+type options struct {
+	mvcc     bool
+	capacity int
+	baseAddr int64
+}
+
+// WithMVCC embeds the two-timestamp MVCC header in every row. Tables without
+// it are immutable-after-append, matching the paper's read-only experiments.
+func WithMVCC() Option { return func(o *options) { o.mvcc = true } }
+
+// WithCapacity pre-allocates room for n rows.
+func WithCapacity(n int) Option { return func(o *options) { o.capacity = n } }
+
+// WithBaseAddr places the table at the given simulated physical address.
+// Use a dram.Arena to obtain disjoint addresses for multiple objects.
+func WithBaseAddr(addr int64) Option { return func(o *options) { o.baseAddr = addr } }
+
+// Table is a row-oriented heap of fixed-width rows.
+// It is not safe for concurrent mutation; the mvcc package layers
+// transactional access on top.
+type Table struct {
+	name     string
+	schema   *geometry.Schema
+	mvcc     bool
+	stride   int // physical bytes per row (header + payload)
+	data     []byte
+	rows     int
+	baseAddr int64
+}
+
+// New creates an empty table with the given schema.
+func New(name string, schema *geometry.Schema, opts ...Option) (*Table, error) {
+	if name == "" {
+		return nil, errors.New("table: empty table name")
+	}
+	if schema == nil {
+		return nil, errors.New("table: nil schema")
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	t := &Table{
+		name:     name,
+		schema:   schema,
+		mvcc:     o.mvcc,
+		stride:   schema.RowBytes(),
+		baseAddr: o.baseAddr,
+	}
+	if t.mvcc {
+		t.stride += MVCCHeaderBytes
+	}
+	if o.capacity > 0 {
+		t.data = make([]byte, 0, o.capacity*t.stride)
+	}
+	return t, nil
+}
+
+// MustNew is New panicking on error, for fixtures.
+func MustNew(name string, schema *geometry.Schema, opts ...Option) *Table {
+	t, err := New(name, schema, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *geometry.Schema { return t.schema }
+
+// HasMVCC reports whether rows carry the two-timestamp header.
+func (t *Table) HasMVCC() bool { return t.mvcc }
+
+// RowStride returns the physical bytes per row, including any MVCC header.
+func (t *Table) RowStride() int { return t.stride }
+
+// NumRows returns the number of physical row slots (all versions).
+func (t *Table) NumRows() int { return t.rows }
+
+// SizeBytes returns the heap size in bytes.
+func (t *Table) SizeBytes() int { return len(t.data) }
+
+// BaseAddr returns the simulated physical address of row 0.
+func (t *Table) BaseAddr() int64 { return t.baseAddr }
+
+// RowAddr returns the simulated physical address of row i.
+func (t *Table) RowAddr(i int) int64 { return t.baseAddr + int64(i)*int64(t.stride) }
+
+// ColumnAddr returns the simulated address of column col in row i.
+func (t *Table) ColumnAddr(i, col int) int64 {
+	return t.RowAddr(i) + int64(t.payloadOff()) + int64(t.schema.Offset(col))
+}
+
+// Data exposes the raw heap. Callers must treat it as read-only; it exists
+// so the fabric and storage layers can gather bytes without copies.
+func (t *Table) Data() []byte { return t.data }
+
+func (t *Table) payloadOff() int {
+	if t.mvcc {
+		return MVCCHeaderBytes
+	}
+	return 0
+}
+
+// Append encodes vals as one row and appends it, returning the row index.
+// For MVCC tables the version is created with begin=beginTS, end=infinity;
+// non-MVCC tables ignore beginTS.
+func (t *Table) Append(beginTS uint64, vals ...Value) (int, error) {
+	if len(vals) != t.schema.NumColumns() {
+		return 0, fmt.Errorf("table %s: got %d values for %d columns", t.name, len(vals), t.schema.NumColumns())
+	}
+	start := len(t.data)
+	t.data = append(t.data, make([]byte, t.stride)...)
+	row := t.data[start : start+t.stride]
+	if t.mvcc {
+		binary.LittleEndian.PutUint64(row[0:8], beginTS)
+		binary.LittleEndian.PutUint64(row[8:16], InfinityTS)
+	}
+	payload := row[t.payloadOff():]
+	for i, v := range vals {
+		if err := encodeValue(payload[t.schema.Offset(i):], t.schema.Column(i), v); err != nil {
+			t.data = t.data[:start]
+			return 0, fmt.Errorf("table %s column %q: %w", t.name, t.schema.Column(i).Name, err)
+		}
+	}
+	idx := t.rows
+	t.rows++
+	return idx, nil
+}
+
+// MustAppend is Append panicking on error, for fixtures.
+func (t *Table) MustAppend(beginTS uint64, vals ...Value) int {
+	i, err := t.Append(beginTS, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// AppendRaw appends a pre-encoded payload (schema.RowBytes() bytes, no MVCC
+// header). It is the bulk-load path used by generators.
+func (t *Table) AppendRaw(beginTS uint64, payload []byte) (int, error) {
+	if len(payload) != t.schema.RowBytes() {
+		return 0, fmt.Errorf("table %s: raw payload %d bytes, want %d", t.name, len(payload), t.schema.RowBytes())
+	}
+	start := len(t.data)
+	t.data = append(t.data, make([]byte, t.stride)...)
+	row := t.data[start : start+t.stride]
+	if t.mvcc {
+		binary.LittleEndian.PutUint64(row[0:8], beginTS)
+		binary.LittleEndian.PutUint64(row[8:16], InfinityTS)
+	}
+	copy(row[t.payloadOff():], payload)
+	idx := t.rows
+	t.rows++
+	return idx, nil
+}
+
+// Get decodes column col of row i.
+func (t *Table) Get(i, col int) (Value, error) {
+	if i < 0 || i >= t.rows {
+		return Value{}, fmt.Errorf("table %s: row %d out of range [0,%d)", t.name, i, t.rows)
+	}
+	if col < 0 || col >= t.schema.NumColumns() {
+		return Value{}, fmt.Errorf("table %s: column %d out of range [0,%d)", t.name, col, t.schema.NumColumns())
+	}
+	row := t.rowBytes(i)[t.payloadOff():]
+	return decodeValue(row[t.schema.Offset(col):], t.schema.Column(col)), nil
+}
+
+// MustGet is Get panicking on error, for tests.
+func (t *Table) MustGet(i, col int) Value {
+	v, err := t.Get(i, col)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// RowPayload returns the payload bytes (no MVCC header) of row i without
+// copying.
+func (t *Table) RowPayload(i int) []byte {
+	return t.rowBytes(i)[t.payloadOff() : t.payloadOff()+t.schema.RowBytes()]
+}
+
+func (t *Table) rowBytes(i int) []byte {
+	start := i * t.stride
+	return t.data[start : start+t.stride]
+}
+
+// Timestamps returns the MVCC header of row i. Calling it on a non-MVCC
+// table returns (0, InfinityTS): every row is always visible.
+func (t *Table) Timestamps(i int) (begin, end uint64) {
+	if !t.mvcc {
+		return 0, InfinityTS
+	}
+	row := t.rowBytes(i)
+	return binary.LittleEndian.Uint64(row[0:8]), binary.LittleEndian.Uint64(row[8:16])
+}
+
+// VisibleAt reports whether row version i is visible to a snapshot taken at
+// ts: begin <= ts < end.
+func (t *Table) VisibleAt(i int, ts uint64) bool {
+	b, e := t.Timestamps(i)
+	return b <= ts && ts < e
+}
+
+// SetEndTS closes the validity of row version i at ts (delete, or the old
+// half of an update). It fails on non-MVCC tables and on already-dead rows.
+func (t *Table) SetEndTS(i int, ts uint64) error {
+	if !t.mvcc {
+		return fmt.Errorf("table %s: SetEndTS on table without MVCC", t.name)
+	}
+	if i < 0 || i >= t.rows {
+		return fmt.Errorf("table %s: row %d out of range [0,%d)", t.name, i, t.rows)
+	}
+	row := t.rowBytes(i)
+	if cur := binary.LittleEndian.Uint64(row[8:16]); cur != InfinityTS {
+		return fmt.Errorf("table %s: row %d already ended at %d", t.name, i, cur)
+	}
+	binary.LittleEndian.PutUint64(row[8:16], ts)
+	return nil
+}
+
+// Update ends version i at ts and appends a new version of vals beginning
+// at ts, returning the new row index (append-only update, §III-C: "updates
+// are handled by appending new rows to this base data").
+func (t *Table) Update(i int, ts uint64, vals ...Value) (int, error) {
+	if err := t.SetEndTS(i, ts); err != nil {
+		return 0, err
+	}
+	return t.Append(ts, vals...)
+}
+
+// encodeValue writes v into dst according to col; dst must have col.Width
+// bytes available.
+func encodeValue(dst []byte, col geometry.Column, v Value) error {
+	if v.Type != col.Type {
+		return fmt.Errorf("value type %s does not match column type %s", v.Type, col.Type)
+	}
+	switch col.Type {
+	case geometry.Int64:
+		binary.LittleEndian.PutUint64(dst[:8], uint64(v.Int))
+	case geometry.Int32, geometry.Date:
+		if v.Int < math.MinInt32 || v.Int > math.MaxInt32 {
+			return fmt.Errorf("value %d overflows 32-bit column", v.Int)
+		}
+		binary.LittleEndian.PutUint32(dst[:4], uint32(v.Int))
+	case geometry.Float64:
+		binary.LittleEndian.PutUint64(dst[:8], math.Float64bits(v.Float))
+	case geometry.Char:
+		if len(v.Bytes) > col.Width {
+			return fmt.Errorf("string of %d bytes overflows CHAR(%d)", len(v.Bytes), col.Width)
+		}
+		n := copy(dst[:col.Width], v.Bytes)
+		for ; n < col.Width; n++ {
+			dst[n] = 0
+		}
+	default:
+		return fmt.Errorf("unsupported column type %s", col.Type)
+	}
+	return nil
+}
+
+// decodeValue reads one value of col from src.
+func decodeValue(src []byte, col geometry.Column) Value {
+	switch col.Type {
+	case geometry.Int64:
+		return Value{Type: col.Type, Int: int64(binary.LittleEndian.Uint64(src[:8]))}
+	case geometry.Int32, geometry.Date:
+		return Value{Type: col.Type, Int: int64(int32(binary.LittleEndian.Uint32(src[:4])))}
+	case geometry.Float64:
+		return Value{Type: col.Type, Float: math.Float64frombits(binary.LittleEndian.Uint64(src[:8]))}
+	case geometry.Char:
+		out := make([]byte, col.Width)
+		copy(out, src[:col.Width])
+		return Value{Type: col.Type, Bytes: out}
+	default:
+		panic(fmt.Sprintf("table: decoding unsupported type %s", col.Type))
+	}
+}
+
+// DecodeColumn decodes one value of col from the head of src. It is the
+// single-value companion of DecodeRow, used by consumers of fabric-packed
+// buffers whose layout is a geometry rather than a schema.
+func DecodeColumn(col geometry.Column, src []byte) Value {
+	return decodeValue(src, col)
+}
+
+// EncodeRow encodes vals into a fresh payload buffer laid out by schema.
+func EncodeRow(schema *geometry.Schema, vals ...Value) ([]byte, error) {
+	if len(vals) != schema.NumColumns() {
+		return nil, fmt.Errorf("table: got %d values for %d columns", len(vals), schema.NumColumns())
+	}
+	buf := make([]byte, schema.RowBytes())
+	for i, v := range vals {
+		if err := encodeValue(buf[schema.Offset(i):], schema.Column(i), v); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRow decodes every column of a payload buffer.
+func DecodeRow(schema *geometry.Schema, payload []byte) ([]Value, error) {
+	if len(payload) < schema.RowBytes() {
+		return nil, fmt.Errorf("table: payload %d bytes, want at least %d", len(payload), schema.RowBytes())
+	}
+	out := make([]Value, schema.NumColumns())
+	for i := range out {
+		out[i] = decodeValue(payload[schema.Offset(i):], schema.Column(i))
+	}
+	return out, nil
+}

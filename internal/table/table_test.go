@@ -1,0 +1,290 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfabric/internal/geometry"
+)
+
+func testSchema(t *testing.T) *geometry.Schema {
+	t.Helper()
+	return geometry.MustSchema(
+		geometry.Column{Name: "id", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "tag", Type: geometry.Char, Width: 6},
+		geometry.Column{Name: "qty", Type: geometry.Int32, Width: 4},
+		geometry.Column{Name: "price", Type: geometry.Float64, Width: 8},
+		geometry.Column{Name: "day", Type: geometry.Date, Width: 4},
+	)
+}
+
+func TestAppendAndGetRoundTrip(t *testing.T) {
+	tbl := MustNew("t", testSchema(t))
+	want := []Value{I64(42), Str("hello"), I32(-7), F64(3.25), DateV(12345)}
+	idx, err := tbl.Append(0, want...)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if idx != 0 || tbl.NumRows() != 1 {
+		t.Fatalf("idx=%d rows=%d", idx, tbl.NumRows())
+	}
+	for c, w := range want {
+		got := tbl.MustGet(0, c)
+		if !got.Equal(w) {
+			t.Errorf("col %d: got %s, want %s", c, got, w)
+		}
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tbl := MustNew("t", testSchema(t))
+	if _, err := tbl.Append(0, I64(1)); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := tbl.Append(0, I32(1), Str("x"), I32(2), F64(0), DateV(0)); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := tbl.Append(0, I64(1), Str("toolongvalue"), I32(2), F64(0), DateV(0)); err == nil {
+		t.Error("oversized CHAR accepted")
+	}
+	big := int64(math.MaxInt32) + 1
+	if _, err := tbl.Append(0, I64(1), Str("x"), Value{Type: geometry.Int32, Int: big}, F64(0), DateV(0)); err == nil {
+		t.Error("int32 overflow accepted")
+	}
+	if tbl.NumRows() != 0 {
+		t.Errorf("failed appends left %d rows", tbl.NumRows())
+	}
+}
+
+func TestGetBounds(t *testing.T) {
+	tbl := MustNew("t", testSchema(t))
+	tbl.MustAppend(0, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	if _, err := tbl.Get(1, 0); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := tbl.Get(-1, 0); err == nil {
+		t.Error("negative row accepted")
+	}
+	if _, err := tbl.Get(0, 5); err == nil {
+		t.Error("column out of range accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", testSchema(t)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("t", nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestAddressing(t *testing.T) {
+	s := testSchema(t)
+	tbl := MustNew("t", s, WithBaseAddr(4096))
+	tbl.MustAppend(0, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	tbl.MustAppend(0, I64(2), Str("b"), I32(3), F64(4), DateV(5))
+	if got := tbl.RowAddr(1); got != 4096+int64(s.RowBytes()) {
+		t.Errorf("RowAddr(1) = %d", got)
+	}
+	if got := tbl.ColumnAddr(1, 2); got != tbl.RowAddr(1)+int64(s.Offset(2)) {
+		t.Errorf("ColumnAddr(1,2) = %d", got)
+	}
+}
+
+func TestMVCCHeaderAddressing(t *testing.T) {
+	s := testSchema(t)
+	tbl := MustNew("t", s, WithMVCC(), WithBaseAddr(0))
+	if got, want := tbl.RowStride(), s.RowBytes()+MVCCHeaderBytes; got != want {
+		t.Errorf("RowStride = %d, want %d", got, want)
+	}
+	tbl.MustAppend(3, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	// Column addresses skip the header.
+	if got := tbl.ColumnAddr(0, 0); got != MVCCHeaderBytes {
+		t.Errorf("ColumnAddr(0,0) = %d, want %d", got, MVCCHeaderBytes)
+	}
+	b, e := tbl.Timestamps(0)
+	if b != 3 || e != InfinityTS {
+		t.Errorf("Timestamps = %d,%d", b, e)
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	tbl := MustNew("t", testSchema(t), WithMVCC())
+	tbl.MustAppend(5, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	if err := tbl.SetEndTS(0, 9); err != nil {
+		t.Fatalf("SetEndTS: %v", err)
+	}
+	cases := []struct {
+		ts   uint64
+		want bool
+	}{{0, false}, {4, false}, {5, true}, {8, true}, {9, false}, {100, false}}
+	for _, c := range cases {
+		if got := tbl.VisibleAt(0, c.ts); got != c.want {
+			t.Errorf("VisibleAt(ts=%d) = %v, want %v", c.ts, got, c.want)
+		}
+	}
+}
+
+func TestSetEndTSErrors(t *testing.T) {
+	plain := MustNew("t", testSchema(t))
+	plain.MustAppend(0, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	if err := plain.SetEndTS(0, 1); err == nil {
+		t.Error("SetEndTS on non-MVCC table accepted")
+	}
+
+	tbl := MustNew("t", testSchema(t), WithMVCC())
+	tbl.MustAppend(1, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	if err := tbl.SetEndTS(5, 2); err == nil {
+		t.Error("SetEndTS out of range accepted")
+	}
+	if err := tbl.SetEndTS(0, 2); err != nil {
+		t.Fatalf("SetEndTS: %v", err)
+	}
+	if err := tbl.SetEndTS(0, 3); err == nil {
+		t.Error("double SetEndTS accepted")
+	}
+}
+
+func TestUpdateAppendsVersion(t *testing.T) {
+	tbl := MustNew("t", testSchema(t), WithMVCC())
+	tbl.MustAppend(1, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	newIdx, err := tbl.Update(0, 7, I64(1), Str("a"), I32(99), F64(3), DateV(4))
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if newIdx != 1 || tbl.NumRows() != 2 {
+		t.Fatalf("newIdx=%d rows=%d", newIdx, tbl.NumRows())
+	}
+	// Old version visible before 7, new from 7.
+	if !tbl.VisibleAt(0, 6) || tbl.VisibleAt(0, 7) {
+		t.Error("old version visibility wrong")
+	}
+	if tbl.VisibleAt(1, 6) || !tbl.VisibleAt(1, 7) {
+		t.Error("new version visibility wrong")
+	}
+	if got := tbl.MustGet(1, 2); got.Int != 99 {
+		t.Errorf("new version qty = %d", got.Int)
+	}
+}
+
+func TestNonMVCCAlwaysVisible(t *testing.T) {
+	tbl := MustNew("t", testSchema(t))
+	tbl.MustAppend(123, I64(1), Str("a"), I32(2), F64(3), DateV(4))
+	b, e := tbl.Timestamps(0)
+	if b != 0 || e != InfinityTS {
+		t.Errorf("Timestamps = %d,%d", b, e)
+	}
+	if !tbl.VisibleAt(0, 0) || !tbl.VisibleAt(0, math.MaxUint64-1) {
+		t.Error("non-MVCC row not always visible")
+	}
+}
+
+func TestAppendRaw(t *testing.T) {
+	s := testSchema(t)
+	payload, err := EncodeRow(s, I64(9), Str("zz"), I32(8), F64(7.5), DateV(6))
+	if err != nil {
+		t.Fatalf("EncodeRow: %v", err)
+	}
+	tbl := MustNew("t", s)
+	if _, err := tbl.AppendRaw(0, payload); err != nil {
+		t.Fatalf("AppendRaw: %v", err)
+	}
+	if got := tbl.MustGet(0, 0); got.Int != 9 {
+		t.Errorf("id = %d", got.Int)
+	}
+	if _, err := tbl.AppendRaw(0, payload[:3]); err == nil {
+		t.Error("short raw payload accepted")
+	}
+}
+
+// TestEncodeDecodeRowProperty: EncodeRow followed by DecodeRow is identity
+// for arbitrary well-typed values.
+func TestEncodeDecodeRowProperty(t *testing.T) {
+	s := testSchema(t)
+	check := func(id int64, tag []byte, qty int32, price float64, day int32) bool {
+		if len(tag) > 6 {
+			tag = tag[:6]
+		}
+		// NUL bytes inside a CHAR are padding-ambiguous by design; skip.
+		for _, b := range tag {
+			if b == 0 {
+				return true
+			}
+		}
+		in := []Value{I64(id), {Type: geometry.Char, Bytes: tag}, I32(qty), F64(price), DateV(day)}
+		buf, err := EncodeRow(s, in...)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeRow(s, buf)
+		if err != nil {
+			return false
+		}
+		for i := range in {
+			if !out[i].Equal(in[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRowPayloadMatchesDecode: the zero-copy payload view decodes to the
+// same values Get returns.
+func TestRowPayloadMatchesDecode(t *testing.T) {
+	s := testSchema(t)
+	tbl := MustNew("t", s, WithMVCC())
+	tbl.MustAppend(1, I64(5), Str("abc"), I32(6), F64(7.5), DateV(8))
+	vals, err := DecodeRow(s, tbl.RowPayload(0))
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	for c := range vals {
+		if !vals[c].Equal(tbl.MustGet(0, c)) {
+			t.Errorf("col %d mismatch", c)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if I64(1).Compare(I64(2)) != -1 || I64(2).Compare(I64(1)) != 1 || I64(2).Compare(I64(2)) != 0 {
+		t.Error("int compare wrong")
+	}
+	if F64(1.5).Compare(F64(2.5)) != -1 {
+		t.Error("float compare wrong")
+	}
+	if Str("a").Compare(Str("b")) != -1 {
+		t.Error("string compare wrong")
+	}
+	// Padding-insensitive CHAR comparison.
+	padded := Value{Type: geometry.Char, Bytes: []byte{'a', 0, 0}}
+	if padded.Compare(Str("a")) != 0 || !padded.Equal(Str("a")) {
+		t.Error("padded CHAR compare wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-type compare did not panic")
+		}
+	}()
+	_ = I64(1).Compare(F64(1))
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"42":   I64(42),
+		"-7":   I32(-7),
+		"3.25": F64(3.25),
+		"hi":   Str("hi"),
+		"100":  DateV(100),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package table
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"rfabric/internal/geometry"
+)
+
+// Value is one typed cell. It is a small tagged union: exactly one of the
+// payload fields is meaningful, selected by Type.
+type Value struct {
+	Type  geometry.ColumnType
+	Int   int64   // Int64, Int32, Date
+	Float float64 // Float64
+	Bytes []byte  // Char (not NUL-padded; padding happens on encode)
+}
+
+// I64 builds a BIGINT value.
+func I64(v int64) Value { return Value{Type: geometry.Int64, Int: v} }
+
+// I32 builds an INT value.
+func I32(v int32) Value { return Value{Type: geometry.Int32, Int: int64(v)} }
+
+// F64 builds a DOUBLE value.
+func F64(v float64) Value { return Value{Type: geometry.Float64, Float: v} }
+
+// Str builds a CHAR value.
+func Str(s string) Value { return Value{Type: geometry.Char, Bytes: []byte(s)} }
+
+// DateV builds a DATE value from a day number (days since 1970-01-01).
+func DateV(day int32) Value { return Value{Type: geometry.Date, Int: int64(day)} }
+
+// Equal reports deep equality of type and payload.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case geometry.Int64, geometry.Int32, geometry.Date:
+		return v.Int == o.Int
+	case geometry.Float64:
+		return v.Float == o.Float
+	case geometry.Char:
+		return bytes.Equal(trimPad(v.Bytes), trimPad(o.Bytes))
+	default:
+		return false
+	}
+}
+
+// Compare orders two values of the same type: -1, 0, or +1.
+// Comparing values of different types panics; the planner prevents it.
+func (v Value) Compare(o Value) int {
+	if v.Type != o.Type {
+		panic(fmt.Sprintf("table: comparing %s with %s", v.Type, o.Type))
+	}
+	switch v.Type {
+	case geometry.Int64, geometry.Int32, geometry.Date:
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+		return 0
+	case geometry.Float64:
+		switch {
+		case v.Float < o.Float:
+			return -1
+		case v.Float > o.Float:
+			return 1
+		}
+		return 0
+	case geometry.Char:
+		return bytes.Compare(trimPad(v.Bytes), trimPad(o.Bytes))
+	default:
+		panic(fmt.Sprintf("table: comparing unsupported type %s", v.Type))
+	}
+}
+
+// String renders the value for humans.
+func (v Value) String() string {
+	switch v.Type {
+	case geometry.Int64, geometry.Int32, geometry.Date:
+		return strconv.FormatInt(v.Int, 10)
+	case geometry.Float64:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case geometry.Char:
+		return string(trimPad(v.Bytes))
+	default:
+		return fmt.Sprintf("Value(%s)", v.Type)
+	}
+}
+
+func trimPad(b []byte) []byte {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return b[:end]
+}

@@ -1,0 +1,203 @@
+// Package tensor applies Relational Fabric to multi-dimensional data, the
+// extension the paper singles out (§VII Q1: "data transformation has great
+// potential for other data-intensive applications over multi-dimensional
+// data — matrix/tensor slicing and vectorized operations on matrix/tensor
+// slices"). A row-major matrix is just a relation whose attributes are
+// float64 columns, so a column-block slice is an ephemeral column group:
+// the fabric gathers the block and ships it densely, while a CPU slicing
+// the same block walks strided memory.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// Matrix is a dense row-major float64 matrix placed in simulated memory.
+type Matrix struct {
+	rows, cols int
+	tbl        *table.Table
+	sys        *engine.System
+}
+
+// NewMatrix allocates a rows×cols matrix on the system.
+func NewMatrix(sys *engine.System, rows, cols int) (*Matrix, error) {
+	if sys == nil {
+		return nil, errors.New("tensor: nil system")
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("tensor: non-positive shape %dx%d", rows, cols)
+	}
+	defs := make([]geometry.Column, cols)
+	for c := range defs {
+		defs[c] = geometry.Column{Name: fmt.Sprintf("c%04d", c), Type: geometry.Float64, Width: 8}
+	}
+	sch, err := geometry.NewSchema(defs...)
+	if err != nil {
+		return nil, err
+	}
+	base := sys.Arena.Alloc(int64(rows * sch.RowBytes()))
+	tbl, err := table.New("matrix", sch, table.WithCapacity(rows), table.WithBaseAddr(base))
+	if err != nil {
+		return nil, err
+	}
+	zero := make([]byte, sch.RowBytes())
+	for r := 0; r < rows; r++ {
+		if _, err := tbl.AppendRaw(0, zero); err != nil {
+			return nil, err
+		}
+	}
+	return &Matrix{rows: rows, cols: cols, tbl: tbl, sys: sys}, nil
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Set writes element (r, c). Load-time operation; not cost-modeled.
+func (m *Matrix) Set(r, c int, v float64) error {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return fmt.Errorf("tensor: (%d,%d) out of %dx%d", r, c, m.rows, m.cols)
+	}
+	// Rewrite the single cell in place through the payload view.
+	payload := m.tbl.RowPayload(r)
+	row, err := table.DecodeRow(m.tbl.Schema(), payload)
+	if err != nil {
+		return err
+	}
+	row[c] = table.F64(v)
+	buf, err := table.EncodeRow(m.tbl.Schema(), row...)
+	if err != nil {
+		return err
+	}
+	copy(payload, buf)
+	return nil
+}
+
+// At reads element (r, c) without cost accounting.
+func (m *Matrix) At(r, c int) (float64, error) {
+	v, err := m.tbl.Get(r, c)
+	if err != nil {
+		return 0, err
+	}
+	return v.Float, nil
+}
+
+// Slice is a dense copy of a column block with its modeled extraction cost.
+type Slice struct {
+	Rows, Cols int
+	Data       []float64 // row-major, Rows*Cols
+	Cycles     uint64
+}
+
+// At reads element (r, c) of the slice.
+func (s *Slice) At(r, c int) float64 { return s.Data[r*s.Cols+c] }
+
+// SliceColsFabric extracts columns [c0, c1) through the fabric: an
+// ephemeral view of the block, packed and shipped densely.
+func (m *Matrix) SliceColsFabric(c0, c1 int) (*Slice, error) {
+	if err := m.checkBlock(c0, c1); err != nil {
+		return nil, err
+	}
+	cols := make([]int, 0, c1-c0)
+	for c := c0; c < c1; c++ {
+		cols = append(cols, c)
+	}
+	geom, err := geometry.NewGeometry(m.tbl.Schema(), cols...)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := m.sys.Fab.Configure(m.tbl, geom)
+	if err != nil {
+		return nil, err
+	}
+	out := &Slice{Rows: m.rows, Cols: c1 - c0, Data: make([]float64, 0, m.rows*(c1-c0))}
+	lineBytes := int64(m.sys.Hier.LineBytes())
+	var pipeline uint64
+	for {
+		before := m.sys.Hier.Stats().Cycles
+		ch, ok := ev.Next()
+		if !ok {
+			break
+		}
+		lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
+		for i := 0; i < lines; i++ {
+			m.sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
+		}
+		for off := 0; off+8 <= len(ch.Data); off += 8 {
+			m.sys.Hier.Load(ch.BaseAddr + int64(off))
+			out.Data = append(out.Data, decodeF64(ch.Data[off:]))
+		}
+		consumer := m.sys.Hier.Stats().Cycles - before
+		if ch.ProducerCycles > consumer {
+			pipeline += ch.ProducerCycles
+		} else {
+			pipeline += consumer
+		}
+	}
+	out.Cycles = pipeline
+	return out, nil
+}
+
+// SliceColsCPU extracts the same block the conventional way: strided loads
+// through the cache hierarchy, one row at a time.
+func (m *Matrix) SliceColsCPU(c0, c1 int) (*Slice, error) {
+	if err := m.checkBlock(c0, c1); err != nil {
+		return nil, err
+	}
+	out := &Slice{Rows: m.rows, Cols: c1 - c0, Data: make([]float64, 0, m.rows*(c1-c0))}
+	h := m.sys.Hier
+	start := h.Stats().Cycles
+	sch := m.tbl.Schema()
+	for r := 0; r < m.rows; r++ {
+		payload := m.tbl.RowPayload(r)
+		for c := c0; c < c1; c++ {
+			h.Load(m.tbl.ColumnAddr(r, c))
+			out.Data = append(out.Data, decodeF64(payload[sch.Offset(c):]))
+		}
+	}
+	out.Cycles = h.Stats().Cycles - start
+	return out, nil
+}
+
+// MatVecSlice computes y = A[:, c0:c1] · x over the fabric-shipped block.
+// x must have c1-c0 entries. Returns y and the modeled cycles (slice
+// extraction + multiply-accumulate work).
+func (m *Matrix) MatVecSlice(c0, c1 int, x []float64) ([]float64, uint64, error) {
+	if len(x) != c1-c0 {
+		return nil, 0, fmt.Errorf("tensor: x has %d entries for a %d-column block", len(x), c1-c0)
+	}
+	s, err := m.SliceColsFabric(c0, c1)
+	if err != nil {
+		return nil, 0, err
+	}
+	y := make([]float64, m.rows)
+	var fma uint64
+	for r := 0; r < m.rows; r++ {
+		acc := 0.0
+		for c := 0; c < s.Cols; c++ {
+			acc += s.At(r, c) * x[c]
+			fma++
+		}
+		y[r] = acc
+	}
+	return y, s.Cycles + fma*engine.ScalarOpCycles, nil
+}
+
+func (m *Matrix) checkBlock(c0, c1 int) error {
+	if c0 < 0 || c1 > m.cols || c0 >= c1 {
+		return fmt.Errorf("tensor: column block [%d,%d) out of %d columns", c0, c1, m.cols)
+	}
+	return nil
+}
+
+func decodeF64(b []byte) float64 {
+	v := table.DecodeColumn(geometry.Column{Name: "x", Type: geometry.Float64, Width: 8}, b)
+	return v.Float
+}

@@ -1,0 +1,158 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfabric/internal/engine"
+)
+
+func newMatrix(t *testing.T, rows, cols int) *Matrix {
+	t.Helper()
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	m, err := NewMatrix(sys, rows, cols)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if err := m.Set(r, c, float64(r*cols+c)+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	m, err := NewMatrix(sys, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(2, 1, 42.5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.At(2, 1)
+	if err != nil || v != 42.5 {
+		t.Errorf("At = %v, %v", v, err)
+	}
+	if v, _ := m.At(0, 0); v != 0 {
+		t.Errorf("untouched cell = %v", v)
+	}
+	if err := m.Set(4, 0, 1); err == nil {
+		t.Error("out-of-range Set accepted")
+	}
+}
+
+func TestFabricSliceMatchesCPU(t *testing.T) {
+	m := newMatrix(t, 200, 16)
+	for _, block := range [][2]int{{0, 1}, {3, 7}, {0, 16}, {12, 16}} {
+		fab, err := m.SliceColsFabric(block[0], block[1])
+		if err != nil {
+			t.Fatalf("fabric slice %v: %v", block, err)
+		}
+		m.sys.ResetState()
+		cpu, err := m.SliceColsCPU(block[0], block[1])
+		if err != nil {
+			t.Fatalf("cpu slice %v: %v", block, err)
+		}
+		if len(fab.Data) != len(cpu.Data) {
+			t.Fatalf("block %v: lengths differ", block)
+		}
+		for i := range fab.Data {
+			if fab.Data[i] != cpu.Data[i] {
+				t.Fatalf("block %v: element %d differs", block, i)
+			}
+		}
+	}
+}
+
+func TestFabricSliceBeatsStridedForNarrowBlocks(t *testing.T) {
+	m := newMatrix(t, 5000, 16)
+	m.sys.ResetState()
+	fab, err := m.SliceColsFabric(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.sys.ResetState()
+	cpu, err := m.SliceColsCPU(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fab.Cycles >= cpu.Cycles {
+		t.Errorf("fabric slice (%d cycles) not cheaper than strided CPU slice (%d)", fab.Cycles, cpu.Cycles)
+	}
+}
+
+func TestMatVecSlice(t *testing.T) {
+	m := newMatrix(t, 300, 8)
+	x := []float64{1, -2, 0.5}
+	y, cycles, err := m.MatVecSlice(2, 5, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("zero modeled cost")
+	}
+	// Reference multiply.
+	for r := 0; r < m.Rows(); r++ {
+		want := 0.0
+		for i, c := range []int{2, 3, 4} {
+			v, _ := m.At(r, c)
+			want += v * x[i]
+		}
+		if math.Abs(y[r]-want) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", r, y[r], want)
+		}
+	}
+	if _, _, err := m.MatVecSlice(0, 3, []float64{1}); err == nil {
+		t.Error("mismatched x accepted")
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	m := newMatrix(t, 4, 4)
+	for _, block := range [][2]int{{-1, 2}, {2, 2}, {3, 9}} {
+		if _, err := m.SliceColsFabric(block[0], block[1]); err == nil {
+			t.Errorf("block %v accepted", block)
+		}
+	}
+	if _, err := NewMatrix(nil, 2, 2); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := NewMatrix(engine.MustSystem(engine.DefaultSystemConfig()), 0, 2); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+// TestWideMatrixStillPacks exercises a matrix whose packed slice needs
+// chunking through a small fabric buffer.
+func TestWideMatrixStillPacks(t *testing.T) {
+	cfg := engine.DefaultSystemConfig()
+	cfg.Fabric.BufferBytes = 4096
+	sys := engine.MustSystem(cfg)
+	m, err := NewMatrix(sys, 600, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 600; r++ {
+		for c := 0; c < 12; c++ {
+			if err := m.Set(r, c, float64(r-c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s, err := m.SliceColsFabric(1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(599, 0); got != float64(599-1) {
+		t.Errorf("element = %v", got)
+	}
+	if sys.Fab.Stats().Chunks < 2 {
+		t.Errorf("expected multiple chunks, got %d", sys.Fab.Stats().Chunks)
+	}
+}

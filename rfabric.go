@@ -1,0 +1,202 @@
+// Package rfabric is a software reproduction of Relational Fabric
+// (Transparent Data Transformation, ICDE 2023): row-oriented base tables
+// whose arbitrary column groups are served on the fly by a simulated
+// near-data transformation engine (Relational Memory), together with the
+// row-store and column-store baselines the paper compares against, MVCC
+// snapshot transactions filtered "in hardware", a storage-tier instance
+// (Relational Storage), and the compression substrate the vision discusses.
+//
+// The quickstart mirrors the paper's Figure 3: define a row table, state a
+// query, and consume the ephemeral column group the fabric produces:
+//
+//	db, _ := rfabric.Open(rfabric.DefaultConfig())
+//	tbl, _ := db.CreateTable("t", schema, 100_000)
+//	... load rows ...
+//	res, _ := db.Query("SELECT key, num_fld1 FROM t WHERE key > 10")
+//
+// Every query also returns the modeled cost (simulated CPU cycles, bytes
+// moved through the memory hierarchy), which is how the repository
+// regenerates the paper's figures — see the experiments harness under
+// cmd/rfbench and the benches in bench_test.go.
+package rfabric
+
+import (
+	"rfabric/internal/cache"
+	"rfabric/internal/dram"
+	"rfabric/internal/engine"
+	"rfabric/internal/expr"
+	"rfabric/internal/fabric"
+	"rfabric/internal/geometry"
+	"rfabric/internal/mvcc"
+	"rfabric/internal/table"
+)
+
+// Schema building blocks.
+type (
+	// Column declares one attribute of a table schema.
+	Column = geometry.Column
+	// ColumnType enumerates supported fixed-width types.
+	ColumnType = geometry.ColumnType
+	// Schema is an ordered set of columns with a derived row layout.
+	Schema = geometry.Schema
+	// Geometry identifies an arbitrary column group — the unit the fabric
+	// transforms and ships.
+	Geometry = geometry.Geometry
+)
+
+// Column types.
+const (
+	Int64   = geometry.Int64
+	Int32   = geometry.Int32
+	Float64 = geometry.Float64
+	Char    = geometry.Char
+	Date    = geometry.Date
+)
+
+// NewSchema lays out columns back to back and returns the schema.
+func NewSchema(cols ...Column) (*Schema, error) { return geometry.NewSchema(cols...) }
+
+// NewGeometry builds a column group over a schema by column indices.
+func NewGeometry(s *Schema, cols ...int) (*Geometry, error) { return geometry.NewGeometry(s, cols...) }
+
+// NewGeometryByName builds a column group by column names.
+func NewGeometryByName(s *Schema, names ...string) (*Geometry, error) {
+	return geometry.NewGeometryByName(s, names...)
+}
+
+// Values and tables.
+type (
+	// Value is one typed cell.
+	Value = table.Value
+	// Table is a row-oriented base table.
+	Table = table.Table
+)
+
+// Value constructors.
+var (
+	// I64 builds a BIGINT value.
+	I64 = table.I64
+	// I32 builds an INT value.
+	I32 = table.I32
+	// F64 builds a DOUBLE value.
+	F64 = table.F64
+	// Str builds a CHAR value.
+	Str = table.Str
+	// DateV builds a DATE value from a day number.
+	DateV = table.DateV
+)
+
+// Platform configuration.
+type (
+	// Config bundles the simulated platform: DRAM, caches, fabric.
+	Config = engine.SystemConfig
+	// DRAMConfig parameterizes the banked memory model.
+	DRAMConfig = dram.Config
+	// CacheConfig parameterizes the L1/L2 hierarchy and prefetcher.
+	CacheConfig = cache.HierarchyConfig
+	// FabricConfig parameterizes the Relational Memory engine.
+	FabricConfig = fabric.Config
+	// System is one simulated machine instance.
+	System = engine.System
+)
+
+// DefaultConfig mirrors the paper's prototype proportions: 32 KB L1, 1 MB
+// L2, a 4-stream prefetcher, 8 DRAM banks, and a fabric with a 2 MB buffer
+// at a 1:15 clock ratio.
+func DefaultConfig() Config { return engine.DefaultSystemConfig() }
+
+// NewSystem builds a simulated machine.
+func NewSystem(cfg Config) (*System, error) { return engine.NewSystem(cfg) }
+
+// Queries and execution.
+type (
+	// Query is the logical query all engines execute.
+	Query = engine.Query
+	// AggTerm is one output aggregate.
+	AggTerm = engine.AggTerm
+	// Result is a query outcome with its modeled cost.
+	Result = engine.Result
+	// Breakdown is the modeled cost of one execution.
+	Breakdown = engine.Breakdown
+	// Executor is the common face of the ROW, COL, and RM paths.
+	Executor = engine.Executor
+	// RowEngine is the volcano-style tuple-at-a-time baseline.
+	RowEngine = engine.RowEngine
+	// ColEngine is the column-at-a-time baseline over a columnar copy.
+	ColEngine = engine.ColEngine
+	// RMEngine executes over Relational Memory's ephemeral views.
+	RMEngine = engine.RMEngine
+	// Optimizer is the constructive access-path chooser of §III-B.
+	Optimizer = engine.Optimizer
+	// OptimizerPlan is the optimizer's priced decision.
+	OptimizerPlan = engine.Plan
+	// Estimate is one access path's predicted cost.
+	Estimate = engine.Estimate
+)
+
+// Predicates and aggregates.
+type (
+	// Predicate compares a column against a constant.
+	Predicate = expr.Predicate
+	// Conjunction is an AND of predicates.
+	Conjunction = expr.Conjunction
+	// CmpOp is a comparison operator.
+	CmpOp = expr.CmpOp
+	// AggKind names an aggregate function.
+	AggKind = expr.AggKind
+	// AggSpec is a plain-column aggregate, the shape the fabric's
+	// aggregation pushdown supports.
+	AggSpec = expr.AggSpec
+	// Scalar is a per-row arithmetic expression.
+	Scalar = expr.Scalar
+	// ColRef references a column inside a scalar expression.
+	ColRef = expr.ColRef
+)
+
+// Comparison operators.
+const (
+	Lt = expr.Lt
+	Le = expr.Le
+	Eq = expr.Eq
+	Ne = expr.Ne
+	Ge = expr.Ge
+	Gt = expr.Gt
+)
+
+// Aggregate kinds.
+const (
+	Count = expr.Count
+	Sum   = expr.Sum
+	Min   = expr.Min
+	Max   = expr.Max
+	Avg   = expr.Avg
+)
+
+// Fabric surface.
+type (
+	// Ephemeral is a configured non-materialized column-group view — the
+	// paper's ephemeral variable.
+	Ephemeral = fabric.Ephemeral
+	// FabricEngine is the Relational Memory device.
+	FabricEngine = fabric.Engine
+	// ViewOption configures an ephemeral view.
+	ViewOption = fabric.ViewOption
+)
+
+// WithSnapshot pins an ephemeral view to an MVCC snapshot.
+func WithSnapshot(ts uint64) ViewOption { return fabric.WithSnapshot(ts) }
+
+// WithSelection pushes predicates into the fabric.
+func WithSelection(preds Conjunction) ViewOption { return fabric.WithSelection(preds) }
+
+// Transactions.
+type (
+	// TxnManager coordinates snapshot-isolation transactions over one
+	// MVCC table.
+	TxnManager = mvcc.Manager
+	// Txn is one transaction.
+	Txn = mvcc.Txn
+)
+
+// NewTxnManager wraps an MVCC table.
+func NewTxnManager(tbl *Table) (*TxnManager, error) { return mvcc.NewManager(tbl) }

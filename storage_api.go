@@ -1,0 +1,29 @@
+package rfabric
+
+import "rfabric/internal/storage"
+
+// Relational Storage (§IV-D): the disk-tier instance of the fabric.
+type (
+	// StorageDevice is the simulated flash device.
+	StorageDevice = storage.Device
+	// StorageDeviceConfig sizes the device and its timing model.
+	StorageDeviceConfig = storage.DeviceConfig
+	// PageStore is a row table laid out on a device.
+	PageStore = storage.PageStore
+	// StorageScanResult is the outcome of a storage-tier scan.
+	StorageScanResult = storage.ScanResult
+)
+
+// DefaultStorageConfig returns a small NVMe-class device model.
+func DefaultStorageConfig() StorageDeviceConfig { return storage.DefaultDeviceConfig() }
+
+// NewStorageDevice creates an empty simulated flash device.
+func NewStorageDevice(cfg StorageDeviceConfig) (*StorageDevice, error) {
+	return storage.NewDevice(cfg)
+}
+
+// StoreTable writes a (non-MVCC) row table onto the device, optionally
+// compressing each page.
+func StoreTable(dev *StorageDevice, tbl *Table, compressPages bool) (*PageStore, error) {
+	return storage.StoreTable(dev, tbl, compressPages)
+}

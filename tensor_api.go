@@ -1,0 +1,17 @@
+package rfabric
+
+import "rfabric/internal/tensor"
+
+// Matrix slicing through the fabric (§VII Q1): row-major matrices whose
+// column blocks are served as ephemeral views.
+type (
+	// Matrix is a dense row-major float64 matrix in simulated memory.
+	Matrix = tensor.Matrix
+	// MatrixSlice is a dense column-block copy with its modeled cost.
+	MatrixSlice = tensor.Slice
+)
+
+// NewMatrix allocates a rows×cols matrix on the system.
+func NewMatrix(sys *System, rows, cols int) (*Matrix, error) {
+	return tensor.NewMatrix(sys, rows, cols)
+}
