@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race fuzz bench vet
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke of the SQL front end; CI runs the same target.
+fuzz:
+	$(GO) test ./internal/sql -fuzz FuzzParseSQL -fuzztime=10s
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+vet:
+	$(GO) vet ./...

@@ -303,3 +303,39 @@ func BenchmarkJoin(b *testing.B) {
 	}
 	b.ReportMetric(rowCycles/rmCycles, "ROW/RM")
 }
+
+// BenchmarkParallelShards runs the parallel-speedup experiment — TPC-H Q6
+// over an 8-shard lineitem — and asserts the tentpole guarantees: the
+// logical result (rows passed, checksum) is identical at every worker
+// count, and the modeled makespan at 8 workers beats 1 worker by more than
+// 1.5x. Wall-clock per worker count is reported as a metric only: on a
+// single-core host the goroutine fan-out cannot win wall time, while the
+// modeled parallel hardware still must.
+func BenchmarkParallelShards(b *testing.B) {
+	opt := benchOptions()
+	var last *experiments.ParallelResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ParallelSpeedup(opt, 8, opt.MicroRows, []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := r.CheckShape(); len(bad) > 0 {
+			b.Fatalf("shape violations: %v", bad)
+		}
+		last = r
+	}
+	one, eight := last.Points[0], last.Points[1]
+	if one.RowsPassed != eight.RowsPassed || one.Checksum != eight.Checksum {
+		b.Fatalf("worker count changed the result: rows %d/%d checksum %#x/%#x",
+			one.RowsPassed, eight.RowsPassed, one.Checksum, eight.Checksum)
+	}
+	if eight.Speedup <= 1.5 {
+		b.Fatalf("modeled speedup at 8 workers = %.2fx (1w=%d cyc, 8w=%d cyc), want > 1.5x",
+			eight.Speedup, one.Cycles, eight.Cycles)
+	}
+	b.ReportMetric(eight.Speedup, "modeled-speedup@8w")
+	b.ReportMetric(float64(one.Cycles), "cycles@1w")
+	b.ReportMetric(float64(eight.Cycles), "cycles@8w")
+	b.ReportMetric(float64(one.WallNanos), "wall-ns@1w")
+	b.ReportMetric(float64(eight.WallNanos), "wall-ns@8w")
+}

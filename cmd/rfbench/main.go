@@ -5,14 +5,16 @@
 //
 //	rfbench [flags] <experiment>...
 //
-// Experiments: fig5, fig6a, fig6b, fig7a, fig7b, abl-prefetch, abl-buffer,
-// abl-clock, abl-banks, abl-mvcc, abl-pushdown, abl-index, abl-rmc,
-// abl-compress, abl-storage, or "all".
+// Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, abl-prefetch,
+// abl-buffer, abl-clock, abl-banks, abl-mvcc, abl-pushdown, abl-index,
+// abl-rmc, abl-compress, abl-storage, or "all".
 //
 // Flags:
 //
 //	-rows N         micro-benchmark rows for fig5/fig6 (default 96000)
 //	-sizes list     comma-separated target-column MiB for fig7 (default 2,4,8,16)
+//	-workers list   comma-separated worker-pool sizes for par-speedup
+//	                (default 1,2,4,8)
 //	-paper-scale    run fig7 at the paper's sizes (2..128 MiB targets,
 //	                tables up to ~700 MB; needs several GB of RAM)
 //	-seed N         generator seed (default 1)
@@ -31,6 +33,7 @@ import (
 func main() {
 	rows := flag.Int("rows", 96_000, "micro-benchmark rows for fig5/fig6")
 	sizes := flag.String("sizes", "2,4,8,16", "comma-separated target-column MiB for fig7")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker-pool sizes for par-speedup")
 	paperScale := flag.Bool("paper-scale", false, "run fig7 at the paper's 2..128 MiB targets")
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
@@ -52,13 +55,24 @@ func main() {
 		}
 	}
 
+	if trimmed := strings.TrimSpace(*workers); trimmed != "" {
+		opt.ParWorkers = nil
+		for _, part := range strings.Split(trimmed, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w <= 0 {
+				fatalf("bad -workers entry %q", part)
+			}
+			opt.ParWorkers = append(opt.ParWorkers, w)
+		}
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b",
+		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "par-speedup",
 			"abl-prefetch", "abl-buffer", "abl-clock", "abl-banks",
 			"abl-mvcc", "abl-pushdown", "abl-index", "abl-rmc", "abl-compress", "abl-storage"}
 	}
@@ -93,6 +107,13 @@ func run(name string, opt experiments.Options) error {
 		return runFig7(opt, experiments.Q1)
 	case "fig7b":
 		return runFig7(opt, experiments.Q6)
+	case "par-speedup":
+		r, err := experiments.ParallelSpeedup(opt, 8, opt.MicroRows, opt.ParWorkers)
+		if err != nil {
+			return err
+		}
+		r.WriteTable(os.Stdout)
+		report(r.CheckShape())
 	case "abl-prefetch":
 		return runAblation(experiments.AblationPrefetchStreams(opt, []int{1, 2, 4, 8, 16}))
 	case "abl-buffer":
@@ -122,7 +143,7 @@ func run(name string, opt experiments.Options) error {
 		}
 		r.WriteTable(os.Stdout)
 	default:
-		return fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, abl-*, or all)")
+		return fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, par-speedup, abl-*, or all)")
 	}
 	return nil
 }

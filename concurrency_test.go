@@ -1,0 +1,302 @@
+// Concurrency tests for the morsel-parallel path: an HTAP stress run pits
+// parallel analytical queries against MVCC writers under the race detector,
+// and determinism tests pin the guarantee that worker count never changes a
+// result. All of them lean on the ownership rule System.Clone documents:
+// the DB's shared System is never driven by two goroutines — PAR gives every
+// morsel a private clone, and writers only touch the table heap under the
+// TxnManager's lock.
+package rfabric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// htapDB builds an MVCC accounts table loaded with `accounts` rows of
+// balance 1000 each, wrapped in a transaction manager.
+func htapDB(t *testing.T, accounts, capacity int) (*DB, *TxnManager) {
+	t.Helper()
+	schema, err := NewSchema(
+		Column{Name: "id", Type: Int64, Width: 8},
+		Column{Name: "branch", Type: Int32, Width: 4},
+		Column{Name: "balance", Type: Int64, Width: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("accounts", schema, capacity, WithMVCC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewTxnManager(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := mgr.Begin()
+	for i := 0; i < accounts; i++ {
+		if err := load.Insert(I64(int64(i)), I32(int32(i%8)), I64(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := load.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db, mgr
+}
+
+// transferOnce moves a random amount between two live account versions, or
+// reports a write-write conflict (which the stress test tolerates).
+func transferOnce(mgr *TxnManager, rng *rand.Rand) error {
+	tbl := mgr.Table()
+	txn := mgr.Begin()
+	defer txn.Abort()
+
+	// Pick two live versions under the manager's read lock: the table heap
+	// may not be scanned while a commit is appending to it.
+	var from, to int
+	err := mgr.ReadView(func(uint64) error {
+		pick := func() (int, error) {
+			for tries := 0; tries < 64; tries++ {
+				r := rng.Intn(tbl.NumRows())
+				if tbl.VisibleAt(r, txn.ReadTS()) {
+					if _, end := tbl.Timestamps(r); end == ^uint64(0) {
+						return r, nil
+					}
+				}
+			}
+			return 0, errors.New("no live row version found")
+		}
+		var err error
+		if from, err = pick(); err != nil {
+			return err
+		}
+		to, err = pick()
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if from == to {
+		return nil
+	}
+
+	read := func(row int) ([]Value, error) {
+		vals := make([]Value, 3)
+		for c := range vals {
+			v, err := txn.Get(row, c)
+			if err != nil {
+				return nil, err
+			}
+			vals[c] = v
+		}
+		return vals, nil
+	}
+	fromVals, err := read(from)
+	if err != nil {
+		return ErrTxnConflict
+	}
+	toVals, err := read(to)
+	if err != nil {
+		return ErrTxnConflict
+	}
+	amount := int64(rng.Intn(50) + 1)
+	fromVals[2] = I64(fromVals[2].Int - amount)
+	toVals[2] = I64(toVals[2].Int + amount)
+	if err := txn.Update(from, fromVals...); err != nil {
+		return ErrTxnConflict
+	}
+	if err := txn.Update(to, toVals...); err != nil {
+		return ErrTxnConflict
+	}
+	if _, err := txn.Commit(); err != nil {
+		return ErrTxnConflict
+	}
+	return nil
+}
+
+// ErrTxnConflict marks a transfer the stress test retries away.
+var ErrTxnConflict = errors.New("write-write conflict")
+
+// TestHTAPParallelStress runs parallel analytical queries concurrently with
+// MVCC writers — and with each other — under `go test -race`. Every
+// snapshot must see exactly `accounts` live versions summing to the loaded
+// total: transfers conserve money, so any other answer means a reader saw a
+// torn commit.
+func TestHTAPParallelStress(t *testing.T) {
+	const (
+		accounts  = 200
+		writers   = 2
+		transfers = 120
+		readers   = 2
+		sweeps    = 60
+	)
+	db, mgr := htapDB(t, accounts, accounts+2*writers*transfers+64)
+	db.SetParallel(ParallelConfig{Workers: 4, MorselRows: 64})
+
+	errc := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < transfers; i++ {
+				if err := transferOnce(mgr, rng); err != nil && !errors.Is(err, ErrTxnConflict) {
+					errc <- fmt.Errorf("writer: %w", err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sweeps; i++ {
+				err := mgr.ReadView(func(ts uint64) error {
+					snap := ts
+					q := Query{
+						Aggregates: []AggTerm{
+							{Kind: Count, Arg: ColRef{Col: 2}},
+							{Kind: Sum, Arg: ColRef{Col: 2}},
+						},
+						Snapshot: &snap,
+					}
+					res, err := db.Execute(RM, "accounts", q)
+					if err != nil {
+						return err
+					}
+					if res.Aggs[0].Int != accounts {
+						return fmt.Errorf("snapshot %d: %d live versions, want %d", ts, res.Aggs[0].Int, accounts)
+					}
+					if got, want := res.Aggs[1].Float, float64(accounts)*1000; got != want {
+						return fmt.Errorf("snapshot %d: total balance %v, want %v — isolation broken", ts, got, want)
+					}
+					return nil
+				})
+				if err != nil {
+					errc <- fmt.Errorf("reader: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentParallelQueries runs many db.Query calls at once on the
+// parallel path — read-only concurrency over one DB — and checks they all
+// return the single-goroutine answer.
+func TestConcurrentParallelQueries(t *testing.T) {
+	db := itemsDB(t, 5000)
+	sqlStmt := "SELECT COUNT(qty), SUM(price * 2), MIN(price), MAX(qty) FROM items WHERE qty < 70"
+
+	want, err := db.Query(sqlStmt) // single-goroutine RM baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetParallel(ParallelConfig{Workers: 3, MorselRows: 256})
+
+	const goroutines, perG = 4, 25
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				res, err := db.Query(sqlStmt)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := want.EquivalentTo(res, 1e-9); err != nil {
+					errc <- fmt.Errorf("concurrent result drifted: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestDBWorkerCountDeterminism pins the DB-level guarantee SetParallel
+// documents: 1 worker and 8 workers produce byte-identical results — rows,
+// checksum, aggregates, groups, and every breakdown component except the
+// modeled makespan.
+func TestDBWorkerCountDeterminism(t *testing.T) {
+	db := itemsDB(t, 4000)
+	stmts := []string{
+		"SELECT id, price FROM items WHERE qty < 40",
+		"SELECT COUNT(*), SUM(price * (1 - qty)), AVG(price), MIN(price), MAX(price) FROM items WHERE qty < 80",
+		"SELECT branch, COUNT(*), SUM(price) FROM items GROUP BY branch",
+	}
+	for _, stmt := range stmts {
+		db.SetParallel(ParallelConfig{Workers: 1})
+		one, err := db.Query(stmt)
+		if err != nil {
+			t.Fatalf("%s (1 worker): %v", stmt, err)
+		}
+		db.SetParallel(ParallelConfig{Workers: 8})
+		eight, err := db.Query(stmt)
+		if err != nil {
+			t.Fatalf("%s (8 workers): %v", stmt, err)
+		}
+		if err := one.EquivalentTo(eight, 0); err != nil {
+			t.Errorf("%s: workers changed the result: %v", stmt, err)
+		}
+		a, b := one.Breakdown, eight.Breakdown
+		a.TotalCycles, b.TotalCycles = 0, 0
+		if a != b {
+			t.Errorf("%s: breakdown drifts with workers:\n  %+v\nvs %+v", stmt, one.Breakdown, eight.Breakdown)
+		}
+		if eight.Breakdown.TotalCycles > one.Breakdown.TotalCycles {
+			t.Errorf("%s: makespan grew with workers: %d -> %d",
+				stmt, one.Breakdown.TotalCycles, eight.Breakdown.TotalCycles)
+		}
+	}
+}
+
+// itemsDB builds a plain (non-MVCC) items table for the read-only tests.
+func itemsDB(t *testing.T, rows int) *DB {
+	t.Helper()
+	schema, err := NewSchema(
+		Column{Name: "id", Type: Int64, Width: 8},
+		Column{Name: "branch", Type: Int32, Width: 4},
+		Column{Name: "price", Type: Float64, Width: 8},
+		Column{Name: "qty", Type: Int64, Width: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("items", schema, rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		err := db.Insert("items",
+			I64(int64(i)), I32(int32(i%11)), F64(float64(i%131)/4), I64(int64(i%100)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}

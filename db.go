@@ -24,6 +24,7 @@ type DB struct {
 	sys    *System
 	tables map[string]*dbTable
 	plans  *planCache
+	par    *engine.ParallelConfig // nil: single-goroutine execution
 }
 
 type dbTable struct {
@@ -163,7 +164,24 @@ const (
 	// paths with the model's cost formulas and takes the cheapest. A
 	// columnar copy is considered only if one already exists.
 	AUTO EngineKind = "AUTO"
+	// PAR is the morsel-parallel executor: the table's row range splits
+	// into fixed-size morsels that workers run on the RM path of private
+	// System clones, merged deterministically. RM queries route here
+	// automatically once SetParallel is called.
+	PAR EngineKind = "PAR"
 )
+
+// SetParallel enables morsel-parallel execution: RM-path queries (the
+// default for Query) run on the PAR executor with this configuration. Zero
+// fields mean defaults (GOMAXPROCS workers, DefaultMorselRows morsels).
+// Results are identical to single-goroutine RM execution up to float
+// summation order, and identical across worker counts.
+//
+// Because PAR clones the simulated machine per worker rather than driving
+// the DB's shared System, parallel queries may also run concurrently with
+// each other — and, for MVCC tables, concurrently with writers when every
+// query executes under TxnManager.ReadView and carries a Snapshot.
+func (db *DB) SetParallel(cfg ParallelConfig) { db.par = &cfg }
 
 // Query parses, plans, and executes the statement on the RM path.
 func (db *DB) Query(query string) (*Result, error) {
@@ -211,7 +229,17 @@ func (db *DB) execute(kind EngineKind, t *dbTable, q Query) (*Result, error) {
 		}
 		e := &engine.IndexEngine{Tbl: t.tbl, Sys: db.sys, Idx: t.idx}
 		return e.Execute(q)
+	case PAR:
+		var cfg engine.ParallelConfig
+		if db.par != nil {
+			cfg = *db.par
+		}
+		e := &engine.ParallelEngine{Tbl: t.tbl, Sys: db.sys, Par: cfg}
+		return e.Execute(q)
 	case RM:
+		if db.par != nil {
+			return db.execute(PAR, t, q)
+		}
 		e := &engine.RMEngine{Tbl: t.tbl, Sys: db.sys}
 		return e.Execute(q)
 	case ROW:

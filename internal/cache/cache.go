@@ -298,6 +298,13 @@ func MustHierarchy(cfg HierarchyConfig, mem *dram.Module) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
+// Clone returns a fresh, cold hierarchy with the same configuration on top
+// of mem. Parallel executors pair each worker's clone with its own DRAM
+// module clone; a Hierarchy is single-owner state.
+func (h *Hierarchy) Clone(mem *dram.Module) (*Hierarchy, error) {
+	return NewHierarchy(h.cfg, mem)
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 

@@ -153,6 +153,11 @@ func log2(v int64) uint {
 // Config returns the module configuration.
 func (m *Module) Config() Config { return m.cfg }
 
+// Clone returns a fresh module with the same configuration: all banks
+// closed, zero statistics. Parallel executors give each worker its own
+// clone because a Module is single-owner state.
+func (m *Module) Clone() *Module { return MustNew(m.cfg) }
+
 // Stats returns a copy of the accumulated statistics.
 func (m *Module) Stats() Stats { return m.stats }
 

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rfabric/internal/colstore"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// TestEngineEquivalence is the DESIGN §6 invariant as a property test: for
+// randomized schemas, data, and queries, every execution path — ROW, COL,
+// RM (with and without pushdown), and the morsel-parallel PAR executor —
+// returns the same rows, aggregates, groups, and checksum. MVCC trials run
+// the same property at random snapshots over versioned tables (COL sits
+// those out by design: the columnar copy has no version headers).
+func TestEngineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20230417))
+	const plainTrials, mvccTrials = 70, 50
+	for i := 0; i < plainTrials; i++ {
+		t.Run(fmt.Sprintf("plain/%03d", i), func(t *testing.T) { equivalenceTrial(t, rng, false) })
+	}
+	for i := 0; i < mvccTrials; i++ {
+		t.Run(fmt.Sprintf("mvcc/%03d", i), func(t *testing.T) { equivalenceTrial(t, rng, true) })
+	}
+}
+
+func equivalenceTrial(t *testing.T, rng *rand.Rand, mvcc bool) {
+	t.Helper()
+	sch := genSchema(rng)
+	sys := MustSystem(DefaultSystemConfig())
+
+	rows := 1 + rng.Intn(400)
+	stride := sch.RowBytes()
+	if mvcc {
+		stride += table.MVCCHeaderBytes
+	}
+	base := sys.Arena.Alloc(int64(rows * stride))
+	opts := []table.Option{table.WithCapacity(rows), table.WithBaseAddr(base)}
+	if mvcc {
+		opts = append(opts, table.WithMVCC())
+	}
+	tbl, err := table.New("prop", sch, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows; r++ {
+		vals := make([]table.Value, sch.NumColumns())
+		for c := range vals {
+			vals[c] = genValue(rng, sch.Column(c))
+		}
+		begin := uint64(1 + rng.Intn(3))
+		idx := tbl.MustAppend(begin, vals...)
+		if mvcc && rng.Intn(4) == 0 {
+			if err := tbl.SetEndTS(idx, begin+uint64(1+rng.Intn(3))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var snapshot *uint64
+	if mvcc {
+		ts := uint64(rng.Intn(6))
+		snapshot = &ts
+	}
+	q := genQuery(rng, sch, snapshot)
+	if err := q.Validate(sch); err != nil {
+		t.Fatalf("generated query invalid: %v\nquery: %+v", err, q)
+	}
+
+	push := rng.Intn(2) == 1
+	pushAgg := rng.Intn(2) == 1
+	engines := []Executor{
+		&RowEngine{Tbl: tbl, Sys: sys},
+		&RMEngine{Tbl: tbl, Sys: sys},
+		&RMEngine{Tbl: tbl, Sys: sys, PushSelection: true, PushAggregation: pushAgg},
+		&ParallelEngine{
+			Tbl: tbl, Sys: sys,
+			Par:           ParallelConfig{Workers: 1 + rng.Intn(8), MorselRows: 16 + rng.Intn(96)},
+			PushSelection: push,
+		},
+	}
+	if !mvcc {
+		store, err := colstore.FromTable(tbl, sys.Arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, &ColEngine{Store: store, Sys: sys})
+	}
+
+	var baseline *Result
+	for _, e := range engines {
+		sys.ResetState()
+		r, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v\nquery: %+v", e.Name(), err, q)
+		}
+		if baseline == nil {
+			baseline = r
+			continue
+		}
+		if err := baseline.EquivalentTo(r, 1e-9); err != nil {
+			t.Fatalf("%s disagrees with %s: %v\nquery: %+v\nrows=%d mvcc=%v snapshot=%v",
+				r.Engine, baseline.Engine, err, q, rows, mvcc, snapshot)
+		}
+	}
+}
+
+// genSchema builds a 3-6 column schema. Column 0 is always BIGINT so every
+// schema has a numeric aggregate target; the rest draw from all five types.
+func genSchema(rng *rand.Rand) *geometry.Schema {
+	n := 3 + rng.Intn(4)
+	cols := make([]geometry.Column, n)
+	cols[0] = geometry.Column{Name: "c00", Type: geometry.Int64, Width: 8}
+	for i := 1; i < n; i++ {
+		name := fmt.Sprintf("c%02d", i)
+		switch rng.Intn(5) {
+		case 0:
+			cols[i] = geometry.Column{Name: name, Type: geometry.Int64, Width: 8}
+		case 1:
+			cols[i] = geometry.Column{Name: name, Type: geometry.Int32, Width: 4}
+		case 2:
+			cols[i] = geometry.Column{Name: name, Type: geometry.Float64, Width: 8}
+		case 3:
+			cols[i] = geometry.Column{Name: name, Type: geometry.Char, Width: 8}
+		case 4:
+			cols[i] = geometry.Column{Name: name, Type: geometry.Date, Width: 4}
+		}
+	}
+	sch, err := geometry.NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return sch
+}
+
+var genWords = []string{"ash", "birch", "cedar", "fir", "oak", "pine"}
+
+// genValue draws a value typed for col from a small domain, so predicates
+// and group keys hit often.
+func genValue(rng *rand.Rand, col geometry.Column) table.Value {
+	switch col.Type {
+	case geometry.Int64:
+		return table.I64(int64(rng.Intn(100)))
+	case geometry.Int32:
+		return table.I32(int32(rng.Intn(100)))
+	case geometry.Float64:
+		return table.F64(float64(rng.Intn(1000)) / 8)
+	case geometry.Char:
+		return table.Str(genWords[rng.Intn(len(genWords))])
+	case geometry.Date:
+		return table.DateV(int32(rng.Intn(100)))
+	default:
+		panic("genValue: unknown type")
+	}
+}
+
+// genQuery builds a random valid query: one of projection scan, scalar
+// aggregation, or grouped aggregation, with 0-2 predicates.
+func genQuery(rng *rand.Rand, sch *geometry.Schema, snapshot *uint64) Query {
+	q := Query{Snapshot: snapshot}
+	var numeric []int
+	for c := 0; c < sch.NumColumns(); c++ {
+		if sch.Column(c).Type != geometry.Char {
+			numeric = append(numeric, c)
+		}
+	}
+
+	for i := rng.Intn(3); i > 0; i-- {
+		c := rng.Intn(sch.NumColumns())
+		ops := []expr.CmpOp{expr.Lt, expr.Le, expr.Eq, expr.Ne, expr.Ge, expr.Gt}
+		q.Selection = append(q.Selection, expr.Predicate{
+			Col: c, Op: ops[rng.Intn(len(ops))], Operand: genValue(rng, sch.Column(c)),
+		})
+	}
+
+	switch rng.Intn(3) {
+	case 0: // projection scan
+		for c := 0; c < sch.NumColumns(); c++ {
+			if rng.Intn(2) == 0 {
+				q.Projection = append(q.Projection, c)
+			}
+		}
+		if len(q.Projection) == 0 {
+			q.Projection = []int{rng.Intn(sch.NumColumns())}
+		}
+	case 1: // scalar aggregation
+		q.Aggregates = genAggs(rng, numeric)
+	case 2: // grouped aggregation
+		q.GroupBy = []int{rng.Intn(sch.NumColumns())}
+		q.Aggregates = genAggs(rng, numeric)
+	}
+	if len(q.NeededColumns()) == 0 {
+		// A bare COUNT(*) touches no columns, and the RM path cannot
+		// configure an empty column group; give the count an argument.
+		q.Aggregates[0] = AggTerm{Kind: expr.Count, Arg: expr.ColRef{Col: numeric[0]}}
+	}
+	return q
+}
+
+// genAggs draws 1-3 aggregate terms over numeric columns; arguments are
+// plain references or derived expressions like Q6's price*discount.
+func genAggs(rng *rand.Rand, numeric []int) []AggTerm {
+	n := 1 + rng.Intn(3)
+	out := make([]AggTerm, n)
+	for i := range out {
+		kinds := []expr.AggKind{expr.Count, expr.Sum, expr.Avg, expr.Min, expr.Max}
+		kind := kinds[rng.Intn(len(kinds))]
+		if kind == expr.Count && rng.Intn(2) == 0 {
+			out[i] = AggTerm{Kind: expr.Count} // COUNT(*)
+			continue
+		}
+		var arg expr.Scalar = expr.ColRef{Col: numeric[rng.Intn(len(numeric))]}
+		if rng.Intn(3) == 0 {
+			ops := []expr.BinOp{expr.Add, expr.Sub, expr.Mul}
+			arg = expr.Binary{
+				Op: ops[rng.Intn(len(ops))],
+				L:  arg,
+				R:  expr.Const{V: float64(1 + rng.Intn(4))},
+			}
+		}
+		out[i] = AggTerm{Kind: kind, Arg: arg}
+	}
+	return out
+}

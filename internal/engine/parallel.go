@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/table"
+)
+
+// DefaultMorselRows is the morsel size when ParallelConfig leaves it zero:
+// large enough that per-morsel fixed costs (view configuration, merge)
+// amortize, small enough that an 8-worker run on laptop-scale tables load
+// balances.
+const DefaultMorselRows = 8192
+
+// MergeCyclesPerPartial is the coordinator's modeled cost to fold one
+// morsel's partial result into the final one.
+const MergeCyclesPerPartial = 200
+
+// ParallelConfig parameterizes the morsel-parallel executor. The zero value
+// means "defaults": GOMAXPROCS workers, DefaultMorselRows-row morsels.
+type ParallelConfig struct {
+	// Workers is the goroutine count; 0 or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MorselRows is the row-range granularity workers pull; 0 or negative
+	// means DefaultMorselRows. Morsel boundaries depend only on this value,
+	// never on Workers, which is what makes results deterministic across
+	// worker counts.
+	MorselRows int
+}
+
+func (c ParallelConfig) normalized() ParallelConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MorselRows <= 0 {
+		c.MorselRows = DefaultMorselRows
+	}
+	return c
+}
+
+// ParallelEngine executes a query morsel-at-a-time: the table's row range is
+// split into fixed-size morsels, workers pull morsels from a shared counter
+// and run each on the RM path of a worker-private System clone, and the
+// coordinator merges the partial results in morsel order.
+//
+// Determinism: morsel boundaries depend only on MorselRows, every morsel
+// runs on an identically-initialized machine clone, and the merge folds
+// partials in morsel order — so the result (rows, aggregates, groups,
+// checksum, and the modeled breakdown) is identical for any Workers value.
+// Only wall-clock time changes with Workers.
+//
+// Race-cleanness: each goroutine clones the parent System per morsel and
+// never shares simulated hardware; the parent System and table are only
+// read. Callers that mutate the table concurrently must serialize against
+// Execute (e.g. via mvcc.Manager.ReadView).
+type ParallelEngine struct {
+	Tbl *table.Table
+	Sys *System
+	Par ParallelConfig
+
+	// PushSelection and PushAggregation configure the per-morsel RM engines
+	// exactly like RMEngine's fields.
+	PushSelection   bool
+	PushAggregation bool
+}
+
+// Name implements Executor.
+func (e *ParallelEngine) Name() string { return "PAR" }
+
+// Execute runs q across morsels and returns the merged result.
+func (e *ParallelEngine) Execute(q Query) (*Result, error) {
+	if e.Tbl == nil || e.Sys == nil {
+		return nil, errors.New("engine: ParallelEngine needs a table and a system")
+	}
+	if err := q.Validate(e.Tbl.Schema()); err != nil {
+		return nil, err
+	}
+	if q.Snapshot != nil && !e.Tbl.HasMVCC() {
+		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
+	}
+
+	par := e.Par.normalized()
+	rows := e.Tbl.NumRows()
+	numMorsels := (rows + par.MorselRows - 1) / par.MorselRows
+	if numMorsels == 0 {
+		numMorsels = 1 // one empty morsel gives the empty result its shape
+	}
+	workers := par.Workers
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+
+	parts := make([]*Result, numMorsels)
+	errs := make([]error, numMorsels)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= numMorsels {
+					return
+				}
+				parts[i], errs[i] = e.runMorsel(q, i, par.MorselRows, rows)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: morsel %d: %w", i, err)
+		}
+	}
+	return mergePartials(e.Name(), q, parts, workers)
+}
+
+// runMorsel executes one morsel on a fresh System clone. Cloning per morsel
+// (not per worker) keeps the partial independent of which worker ran it and
+// how many morsels that worker had already run, which the determinism
+// guarantee needs: arena allocations for delivery windows would otherwise
+// drift with scheduling.
+func (e *ParallelEngine) runMorsel(q Query, i, morselRows, totalRows int) (*Result, error) {
+	lo := i * morselRows
+	hi := lo + morselRows
+	if hi > totalRows {
+		hi = totalRows
+	}
+	if lo > totalRows {
+		lo = totalRows
+	}
+	slice, err := e.Tbl.Slice(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := e.Sys.Clone()
+	if err != nil {
+		return nil, err
+	}
+	eng := &RMEngine{Tbl: slice, Sys: sys, PushSelection: e.PushSelection, PushAggregation: e.PushAggregation}
+	return eng.Execute(q)
+}
+
+// mergePartials folds per-morsel results in morsel order. Row counts and
+// the checksum add commutatively; scalar and per-group aggregates fold
+// through partialAgg (AVG merges weighted by contributing rows); groups
+// hash-merge and re-sort. The modeled time is the makespan of scheduling
+// the morsels on `workers` executors plus a per-partial merge charge.
+func mergePartials(name string, q Query, parts []*Result, workers int) (*Result, error) {
+	out := &Result{Engine: name}
+	scalarAggs := len(q.Aggregates) > 0 && len(q.GroupBy) == 0
+	var merged []*partialAgg
+	if scalarAggs {
+		merged = newPartialAggs(q)
+	}
+	type groupAcc struct {
+		key   []table.Value
+		count int64
+		aggs  []*partialAgg
+	}
+	groups := map[string]*groupAcc{}
+
+	partTotals := make([]uint64, len(parts))
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("engine: missing partial result for morsel %d", i)
+		}
+		out.RowsScanned += p.RowsScanned
+		out.RowsPassed += p.RowsPassed
+		out.Checksum += p.Checksum
+		b := p.Breakdown
+		out.Breakdown.ComputeCycles += b.ComputeCycles
+		out.Breakdown.MemDemandCycles += b.MemDemandCycles
+		out.Breakdown.ProducerCycles += b.ProducerCycles
+		out.Breakdown.BytesFromDRAM += b.BytesFromDRAM
+		out.Breakdown.BytesToCPU += b.BytesToCPU
+		partTotals[i] = b.TotalCycles
+		if scalarAggs {
+			for j, v := range p.Aggs {
+				merged[j].fold(v, p.RowsPassed)
+			}
+		}
+		for _, g := range p.Groups {
+			k := string(groupMergeKey(g.Key))
+			acc, ok := groups[k]
+			if !ok {
+				acc = &groupAcc{key: g.Key, aggs: newPartialAggs(q)}
+				groups[k] = acc
+			}
+			acc.count += g.Count
+			for j, v := range g.Aggs {
+				acc.aggs[j].fold(v, g.Count)
+			}
+		}
+	}
+	out.Breakdown.TotalCycles = ScheduleCycles(partTotals, workers) +
+		uint64(len(parts))*MergeCyclesPerPartial
+
+	if scalarAggs {
+		out.Aggs = make([]table.Value, len(merged))
+		for i, m := range merged {
+			out.Aggs[i] = m.result()
+		}
+	}
+	if len(groups) > 0 {
+		for _, acc := range groups {
+			row := GroupRow{Key: acc.key, Count: acc.count, Aggs: make([]table.Value, len(acc.aggs))}
+			for i, m := range acc.aggs {
+				row.Aggs[i] = m.result()
+			}
+			out.Groups = append(out.Groups, row)
+		}
+		sortGroups(out.Groups)
+	}
+	return out, nil
+}
+
+// groupMergeKey serializes a group key for hash-merging partials.
+func groupMergeKey(vals []table.Value) []byte {
+	var buf []byte
+	for _, v := range vals {
+		buf = appendKey(buf, v)
+	}
+	return buf
+}
+
+// partialAgg folds per-partial final aggregate values. Engine partials
+// follow the aggAcc convention: COUNT is integral, everything else is
+// float64; MIN/MAX/AVG over zero rows are F64(0), so zero-row partials must
+// be skipped (MIN/MAX) or weighted zero (AVG) rather than folded.
+type partialAgg struct {
+	kind expr.AggKind
+	sumI int64
+	sumF float64
+	n    int64 // AVG weight: rows that contributed
+	minV float64
+	maxV float64
+	any  bool
+}
+
+func newPartialAggs(q Query) []*partialAgg {
+	out := make([]*partialAgg, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		out[i] = &partialAgg{kind: a.Kind}
+	}
+	return out
+}
+
+// fold merges one partial value; rows is how many rows contributed to it.
+func (m *partialAgg) fold(v table.Value, rows int64) {
+	switch m.kind {
+	case expr.Count:
+		m.sumI += v.Int
+	case expr.Sum:
+		m.sumF += v.Float
+	case expr.Avg:
+		m.sumF += v.Float * float64(rows)
+		m.n += rows
+	case expr.Min:
+		if rows == 0 {
+			return
+		}
+		if !m.any || v.Float < m.minV {
+			m.minV = v.Float
+		}
+		m.any = true
+	case expr.Max:
+		if rows == 0 {
+			return
+		}
+		if !m.any || v.Float > m.maxV {
+			m.maxV = v.Float
+		}
+		m.any = true
+	}
+}
+
+// result matches aggAcc.result's conventions, including the zero-row cases.
+func (m *partialAgg) result() table.Value {
+	switch m.kind {
+	case expr.Count:
+		return table.I64(m.sumI)
+	case expr.Sum:
+		return table.F64(m.sumF)
+	case expr.Avg:
+		if m.n == 0 {
+			return table.F64(0)
+		}
+		return table.F64(m.sumF / float64(m.n))
+	case expr.Min:
+		return table.F64(m.minV)
+	case expr.Max:
+		return table.F64(m.maxV)
+	default:
+		return table.Value{}
+	}
+}
+
+// ScheduleCycles models running parts on `workers` parallel executors with
+// greedy list scheduling: each part, in submission order, goes to the
+// least-loaded worker, and the result is the makespan (the busiest worker's
+// total). With one worker it degenerates to the sum; with workers >= parts
+// it is the largest part. This is how the cost model rewards parallelism:
+// deterministic in the parts and worker count, independent of actual
+// goroutine interleaving.
+func ScheduleCycles(parts []uint64, workers int) uint64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	load := make([]uint64, workers)
+	for _, p := range parts {
+		mi := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[mi] {
+				mi = i
+			}
+		}
+		load[mi] += p
+	}
+	var makespan uint64
+	for _, l := range load {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan
+}

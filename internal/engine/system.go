@@ -73,3 +73,31 @@ func (s *System) ResetState() {
 	s.Mem.Reset()
 	s.Fab.ResetStats()
 }
+
+// Clone builds an independent machine with the same configuration: fresh
+// DRAM module, cold caches, fresh fabric engine, zero statistics. The
+// clone's arena starts at the parent arena's next free address, so objects
+// placed in the parent (tables, column arrays) never collide with the
+// clone's own allocations (fabric delivery windows).
+//
+// Ownership rule: a System and everything hanging off it (Mem, Hier, Fab)
+// is single-goroutine state — none of it is safe for concurrent use.
+// Concurrent executors must each own a clone and never share one; the
+// parent may be read (Cfg, Arena.Next) but not driven while clones run.
+// `go test -race ./...` enforces this throughout the repository.
+func (s *System) Clone() (*System, error) {
+	mem := s.Mem.Clone()
+	hier, err := s.Hier.Clone(mem)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := dram.NewArena(s.Arena.Next(), int64(s.Cfg.DRAM.LineBytes))
+	if err != nil {
+		return nil, err
+	}
+	fab, err := s.Fab.Clone(mem, arena)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Cfg: s.Cfg, Mem: mem, Hier: hier, Fab: fab, Arena: arena}, nil
+}

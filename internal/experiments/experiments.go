@@ -26,6 +26,9 @@ type Options struct {
 	// Fig7TargetMB lists the target-column sizes (in MiB) swept by the
 	// Figure 7 experiments — the paper's x-axis.
 	Fig7TargetMB []int
+	// ParWorkers lists the coordinator worker-pool sizes swept by the
+	// parallel-speedup experiment.
+	ParWorkers []int
 }
 
 // DefaultOptions returns laptop-scale settings: tables several times the
@@ -38,6 +41,7 @@ func DefaultOptions() Options {
 		Seed:         1,
 		MicroRows:    96_000, // 16 cols x 4 B = 6 MB base table
 		Fig7TargetMB: []int{2, 4, 8, 16},
+		ParWorkers:   []int{1, 2, 4, 8},
 	}
 }
 

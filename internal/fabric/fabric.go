@@ -150,6 +150,13 @@ func MustNew(cfg Config, mem *dram.Module, arena *dram.Arena) *Engine {
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Clone returns a fresh engine with the same configuration attached to mem,
+// allocating delivery windows from arena. Parallel executors give each
+// worker its own clone; an Engine is single-owner state.
+func (e *Engine) Clone(mem *dram.Module, arena *dram.Arena) (*Engine, error) {
+	return New(e.cfg, mem, arena)
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (e *Engine) Stats() Stats { return e.stats }
 

@@ -4,16 +4,21 @@
 // data system can request the desired column group on a sharding key range,
 // and the Relational Fabric will directly return the corresponding data").
 // A sharded table routes rows by a range-partitioned key; queries prune to
-// the shards their key-range predicates touch, run on each shard's own
-// simulated system (its node), and merge. Modeled time is the slowest
-// touched shard — the nodes work in parallel.
+// the shards their key-range predicates touch, scatter execution across a
+// bounded worker pool (each shard on its own simulated system — its node),
+// and gather-merge. Modeled time is the makespan of scheduling the touched
+// shards onto the pool plus the coordinator's merge cost: with enough
+// workers that is the slowest touched shard, the nodes working in parallel.
 package shard
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rfabric/internal/engine"
 	"rfabric/internal/expr"
@@ -29,6 +34,12 @@ type Table struct {
 	keyCol int
 	bounds []int64 // len = shards-1, ascending upper bounds (exclusive)
 	nodes  []*node
+
+	// Workers bounds the coordinator's scatter pool: how many shards
+	// execute concurrently (each on its own node's private System). Zero or
+	// negative means runtime.GOMAXPROCS(0). Results are identical for every
+	// value; only modeled coordinator time and wall-clock time change.
+	Workers int
 }
 
 type node struct {
@@ -166,8 +177,11 @@ type Result struct {
 	Aggs          []table.Value
 	Groups        []engine.GroupRow
 	ShardsTouched int
-	// Cycles is the modeled time: the slowest touched shard (nodes run in
-	// parallel) plus a per-shard merge charge on the coordinator.
+	// Cycles is the modeled time: the makespan of scheduling the touched
+	// shards' executions onto the coordinator's worker pool plus a
+	// per-shard merge charge. With at least as many workers as touched
+	// shards this is the slowest shard (the nodes run fully in parallel);
+	// with one worker it degenerates to the sum of shards.
 	Cycles uint64
 }
 
@@ -189,30 +203,72 @@ func (t *Table) Execute(q engine.Query) (*Result, error) {
 	lo, hi := t.keyRange(q.Selection)
 	touched := t.prune(lo, hi)
 
-	out := &Result{ShardsTouched: len(touched)}
-	var mergedAggs []*aggMerge
-	groups := map[string]*groupMerge{}
+	workers := t.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(touched) {
+		workers = len(touched)
+	}
 
-	for _, s := range touched {
-		n := t.nodes[s]
+	// Scatter: workers pull touched shards off a shared counter and run
+	// each on its node's private System. Race-clean by ownership — shard s
+	// appears once in touched, and nodes[s].sys is driven only by the
+	// worker holding index s.
+	results := make([]*engine.Result, len(touched))
+	errs := make([]error, len(touched))
+	run := func(i int) {
+		n := t.nodes[touched[i]]
 		n.sys.ResetState()
 		eng := &engine.RMEngine{Tbl: n.tbl, Sys: n.sys, PushSelection: true}
-		r, err := eng.Execute(q)
-		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", s, err)
+		results[i], errs[i] = eng.Execute(q)
+	}
+	if workers <= 1 {
+		for i := range touched {
+			run(i)
 		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(touched) {
+						return
+					}
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", touched[i], err)
+		}
+	}
+
+	// Gather: fold partials in shard order so the merge is deterministic
+	// regardless of scheduling. Scalar aggregate merges are initialized up
+	// front so a fully-pruned key range still yields COUNT=0/SUM=0 exactly
+	// like a single-node run over zero qualifying rows.
+	out := &Result{ShardsTouched: len(touched)}
+	var mergedAggs []*aggMerge
+	if len(q.Aggregates) > 0 && len(q.GroupBy) == 0 {
+		mergedAggs = newAggMerges(q)
+	}
+	groups := map[string]*groupMerge{}
+
+	perShard := make([]uint64, len(touched))
+	for i, r := range results {
 		out.RowsPassed += r.RowsPassed
 		out.Checksum += r.Checksum
-		if r.Breakdown.TotalCycles > out.Cycles {
-			out.Cycles = r.Breakdown.TotalCycles
-		}
-		if len(q.Aggregates) > 0 && len(q.GroupBy) == 0 {
-			if mergedAggs == nil {
-				mergedAggs = newAggMerges(q)
-			}
-			for i, v := range r.Aggs {
-				mergedAggs[i].fold(v, r.RowsPassed)
-			}
+		perShard[i] = r.Breakdown.TotalCycles
+		for j, v := range r.Aggs {
+			mergedAggs[j].fold(v, r.RowsPassed)
 		}
 		for _, g := range r.Groups {
 			k := groupKey(g.Key)
@@ -222,12 +278,13 @@ func (t *Table) Execute(q engine.Query) (*Result, error) {
 				groups[k] = gm
 			}
 			gm.count += g.Count
-			for i, v := range g.Aggs {
-				gm.aggs[i].fold(v, g.Count)
+			for j, v := range g.Aggs {
+				gm.aggs[j].fold(v, g.Count)
 			}
 		}
 	}
-	out.Cycles += uint64(len(touched)) * mergeCyclesPerShard
+	out.Cycles = engine.ScheduleCycles(perShard, workers) +
+		uint64(len(touched))*mergeCyclesPerShard
 
 	if mergedAggs != nil {
 		out.Aggs = make([]table.Value, len(mergedAggs))
@@ -289,7 +346,12 @@ func newAggMerges(q engine.Query) []*aggMerge {
 	return out
 }
 
-func (m *aggMerge) fold(v table.Value, _ int64) {
+// fold merges one shard's final value; rows is how many rows contributed to
+// it on that shard. A shard whose range was scanned but passed zero rows
+// reports MIN/MAX as F64(0) (the engines' zero-row convention), which must
+// not participate in the merge — otherwise a spurious 0 wins against
+// all-positive or all-negative minima.
+func (m *aggMerge) fold(v table.Value, rows int64) {
 	switch m.kind {
 	case expr.Count:
 		m.isInt = true
@@ -302,10 +364,16 @@ func (m *aggMerge) fold(v table.Value, _ int64) {
 			m.sumI += v.Int
 		}
 	case expr.Min:
+		if rows == 0 {
+			return
+		}
 		if !m.any || v.Compare(m.minV) < 0 {
 			m.minV = v
 		}
 	case expr.Max:
+		if rows == 0 {
+			return
+		}
 		if !m.any || v.Compare(m.maxV) > 0 {
 			m.maxV = v
 		}
@@ -323,8 +391,14 @@ func (m *aggMerge) result() table.Value {
 		}
 		return table.F64(m.sumF)
 	case expr.Min:
+		if !m.any {
+			return table.F64(0) // zero-row convention, matches single-node MIN
+		}
 		return m.minV
 	case expr.Max:
+		if !m.any {
+			return table.F64(0) // zero-row convention, matches single-node MAX
+		}
 		return m.maxV
 	default:
 		return table.Value{}

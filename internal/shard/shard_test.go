@@ -308,3 +308,177 @@ func TestShardedEqualsUnshardedProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestMinMaxSkipEmptyShards: a shard that is touched but passes zero rows
+// reports MIN/MAX as F64(0) (the engines' zero-row convention); the merge
+// must skip those partials or a spurious 0 beats all-positive minima and
+// all-negative maxima.
+func TestMinMaxSkipEmptyShards(t *testing.T) {
+	st, err := New("t", testSchema(), 0, []int64{250, 500, 750}, 100, engine.DefaultSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0: amounts 40..49 — none qualify below.
+	for i := 0; i < 10; i++ {
+		if err := st.Insert(table.I64(int64(i)), table.I32(0), table.F64(float64(40+i)), table.Str("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shard 2: amounts 500..509 — all qualify.
+	for i := 0; i < 10; i++ {
+		if err := st.Insert(table.I64(int64(500+i)), table.I32(0), table.F64(float64(500+i)), table.Str("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := engine.Query{
+		Selection: expr.Conjunction{{Col: 2, Op: expr.Ge, Operand: table.F64(100)}},
+		Aggregates: []engine.AggTerm{
+			{Kind: expr.Min, Arg: expr.ColRef{Col: 2}},
+			{Kind: expr.Max, Arg: expr.ColRef{Col: 2}},
+		},
+	}
+	res, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsTouched != 4 {
+		t.Fatalf("touched %d shards, want all 4 (no key predicate)", res.ShardsTouched)
+	}
+	if res.Aggs[0].Float != 500 {
+		t.Errorf("MIN = %s, want 500 (zero-row shard must not contribute 0)", res.Aggs[0])
+	}
+	if res.Aggs[1].Float != 509 {
+		t.Errorf("MAX = %s, want 509", res.Aggs[1])
+	}
+
+	// The mirror case: all qualifying values negative, MAX must not be 0.
+	st2, err := New("t2", testSchema(), 0, []int64{250}, 100, engine.DefaultSystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st2.Insert(table.I64(int64(i)), table.I32(0), table.F64(float64(-50+i)), table.Str("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := st2.Insert(table.I64(int64(300+i)), table.I32(0), table.F64(float64(100+i)), table.Str("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q2 := engine.Query{
+		Selection:  expr.Conjunction{{Col: 2, Op: expr.Lt, Operand: table.F64(0)}},
+		Aggregates: []engine.AggTerm{{Kind: expr.Max, Arg: expr.ColRef{Col: 2}}},
+	}
+	res2, err := st2.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Aggs[0].Float != -41 {
+		t.Errorf("MAX over negatives = %s, want -41", res2.Aggs[0])
+	}
+}
+
+// TestAggregatesOnFullyPrunedRange: a key range that prunes every shard must
+// return the same aggregate values as a single-node run whose selection
+// passes zero rows — COUNT=0 and SUM/MIN/MAX=0.0, not nil.
+func TestAggregatesOnFullyPrunedRange(t *testing.T) {
+	st := newSharded(t, 200)
+	q := engine.Query{
+		Selection: expr.Conjunction{
+			{Col: 0, Op: expr.Gt, Operand: table.I64(500)},
+			{Col: 0, Op: expr.Lt, Operand: table.I64(400)},
+		},
+		Aggregates: []engine.AggTerm{
+			{Kind: expr.Count},
+			{Kind: expr.Sum, Arg: expr.ColRef{Col: 2}},
+			{Kind: expr.Min, Arg: expr.ColRef{Col: 2}},
+			{Kind: expr.Max, Arg: expr.ColRef{Col: 2}},
+		},
+	}
+	res, err := st.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsTouched != 0 {
+		t.Fatalf("contradictory range touched %d shards", res.ShardsTouched)
+	}
+
+	// Single-node reference: same query over the same rows in one table.
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	ref := table.MustNew("ref", testSchema(),
+		table.WithCapacity(200), table.WithBaseAddr(sys.Arena.Alloc(int64(200*testSchema().RowBytes()))))
+	rng := rand.New(rand.NewSource(23))
+	tags := []string{"a", "b"}
+	for i := 0; i < 200; i++ {
+		ref.MustAppend(1, table.I64(int64(i%1000)), table.I32(int32(i%7)), table.F64(float64(i)), table.Str(tags[rng.Intn(2)]))
+	}
+	want, err := (&engine.RMEngine{Tbl: ref, Sys: sys, PushSelection: true}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aggs) != len(want.Aggs) {
+		t.Fatalf("aggregate count %d vs single-node %d", len(res.Aggs), len(want.Aggs))
+	}
+	for i := range want.Aggs {
+		if !res.Aggs[i].Equal(want.Aggs[i]) {
+			t.Errorf("aggregate %d: sharded %s vs single-node %s", i, res.Aggs[i], want.Aggs[i])
+		}
+	}
+}
+
+// TestWorkerCountEquivalence: scatter/gather results are identical for
+// every pool size, and the modeled makespan never grows with more workers.
+func TestWorkerCountEquivalence(t *testing.T) {
+	st := newSharded(t, 1600)
+	queries := []engine.Query{
+		{Projection: []int{0, 2}},
+		{Aggregates: []engine.AggTerm{
+			{Kind: expr.Count},
+			{Kind: expr.Sum, Arg: expr.ColRef{Col: 2}},
+			{Kind: expr.Min, Arg: expr.ColRef{Col: 2}},
+			{Kind: expr.Max, Arg: expr.ColRef{Col: 2}},
+		}},
+		{GroupBy: []int{1}, Aggregates: []engine.AggTerm{{Kind: expr.Count}}},
+	}
+	for qi, q := range queries {
+		var base *Result
+		var prevCycles uint64
+		for _, workers := range []int{1, 2, 4, 8} {
+			st.Workers = workers
+			res, err := st.Execute(q)
+			if err != nil {
+				t.Fatalf("query %d workers %d: %v", qi, workers, err)
+			}
+			if base == nil {
+				base, prevCycles = res, res.Cycles
+				continue
+			}
+			if res.RowsPassed != base.RowsPassed || res.Checksum != base.Checksum {
+				t.Fatalf("query %d: workers=%d changed rows/checksum: %d/%#x vs %d/%#x",
+					qi, workers, res.RowsPassed, res.Checksum, base.RowsPassed, base.Checksum)
+			}
+			for i := range base.Aggs {
+				if !res.Aggs[i].Equal(base.Aggs[i]) {
+					t.Fatalf("query %d: workers=%d changed aggregate %d: %s vs %s",
+						qi, workers, i, res.Aggs[i], base.Aggs[i])
+				}
+			}
+			if len(res.Groups) != len(base.Groups) {
+				t.Fatalf("query %d: workers=%d changed group count", qi, workers)
+			}
+			for g := range base.Groups {
+				if res.Groups[g].Count != base.Groups[g].Count || !res.Groups[g].Key[0].Equal(base.Groups[g].Key[0]) {
+					t.Fatalf("query %d: workers=%d changed group %d", qi, workers, g)
+				}
+			}
+			if res.Cycles > prevCycles {
+				t.Fatalf("query %d: modeled cycles grew from %d to %d at workers=%d",
+					qi, prevCycles, res.Cycles, workers)
+			}
+			prevCycles = res.Cycles
+		}
+		st.Workers = 0
+	}
+}

@@ -1,0 +1,67 @@
+package sql
+
+import (
+	"testing"
+
+	"rfabric/internal/geometry"
+)
+
+// FuzzParseSQL drives arbitrary bytes through the full front end. The
+// contract under fuzzing: Parse never panics — it returns a *Stmt or an
+// error — and any statement it does accept must survive planning against a
+// representative schema and validation of the resulting logical query,
+// again without panicking. Planning is allowed to reject the statement
+// (unknown columns, type mismatches); it is not allowed to crash.
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		"SELECT id, price FROM items",
+		"SELECT id FROM t WHERE qty < 5 AND flag = 'R' AND shipdate >= DATE '1994-01-01'",
+		"SELECT id FROM t WHERE qty BETWEEN 2 AND 7 AND id > 0",
+		"SELECT flag, COUNT(*), SUM(price * (1 - qty)), AVG(qty) FROM t GROUP BY flag",
+		"SELECT SUM(price + qty * 2) FROM t",
+		"SELECT MIN(price), MAX(price) FROM t WHERE cnt != 3",
+		"select ID from Items where QTY < 5",
+		"SELECT",
+		"SELECT a FROM t WHERE a <",
+		"SELECT COUNT( FROM t",
+		"SELECT * FROM t",
+		"SELECT a FROM t GROUP BY",
+		"SELECT '",
+		"SELECT a FROM t WHERE d = DATE '19x4-01-01'",
+		"SELECT a,,b FROM t",
+		"\x00\xff SELECT \xf0 FROM \x9f",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	schema := geometry.MustSchema(
+		geometry.Column{Name: "id", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "qty", Type: geometry.Float64, Width: 8},
+		geometry.Column{Name: "price", Type: geometry.Float64, Width: 8},
+		geometry.Column{Name: "flag", Type: geometry.Char, Width: 1},
+		geometry.Column{Name: "shipdate", Type: geometry.Date, Width: 4},
+		geometry.Column{Name: "cnt", Type: geometry.Int32, Width: 4},
+	)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			if st != nil {
+				t.Errorf("Parse(%q) returned both a statement and an error", input)
+			}
+			return
+		}
+		if st == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
+		}
+		q, err := Plan(st, schema)
+		if err != nil {
+			return // rejection is fine; only a panic is a bug
+		}
+		// A planned query must be internally consistent or explicitly
+		// rejected by its own validator — never something in between that
+		// would crash an engine downstream.
+		_ = q.Validate(schema)
+	})
+}

@@ -54,6 +54,7 @@ type Table struct {
 	data     []byte
 	rows     int
 	baseAddr int64
+	view     bool // read-only slice of another table's rows
 }
 
 // New creates an empty table with the given schema.
@@ -117,6 +118,32 @@ func (t *Table) BaseAddr() int64 { return t.baseAddr }
 // RowAddr returns the simulated physical address of row i.
 func (t *Table) RowAddr(i int) int64 { return t.baseAddr + int64(i)*int64(t.stride) }
 
+// IsView reports whether the table is a read-only slice of another table.
+func (t *Table) IsView() bool { return t.view }
+
+// Slice returns a read-only view of rows [start, end). The view shares the
+// parent's bytes and keeps the parent's simulated addresses, so engines see
+// the same physical placement they would scanning that range in place. Views
+// reject mutation (Append, AppendRaw, SetEndTS, Update); the parallel
+// executor hands one morsel view to each worker.
+func (t *Table) Slice(start, end int) (*Table, error) {
+	if start < 0 || end < start || end > t.rows {
+		return nil, fmt.Errorf("table %s: slice [%d,%d) out of range [0,%d]", t.name, start, end, t.rows)
+	}
+	lo := start * t.stride
+	hi := end * t.stride
+	return &Table{
+		name:     fmt.Sprintf("%s[%d:%d]", t.name, start, end),
+		schema:   t.schema,
+		mvcc:     t.mvcc,
+		stride:   t.stride,
+		data:     t.data[lo:hi:hi],
+		rows:     end - start,
+		baseAddr: t.baseAddr + int64(lo),
+		view:     true,
+	}, nil
+}
+
 // ColumnAddr returns the simulated address of column col in row i.
 func (t *Table) ColumnAddr(i, col int) int64 {
 	return t.RowAddr(i) + int64(t.payloadOff()) + int64(t.schema.Offset(col))
@@ -137,6 +164,9 @@ func (t *Table) payloadOff() int {
 // For MVCC tables the version is created with begin=beginTS, end=infinity;
 // non-MVCC tables ignore beginTS.
 func (t *Table) Append(beginTS uint64, vals ...Value) (int, error) {
+	if t.view {
+		return 0, fmt.Errorf("table %s: append to a read-only slice", t.name)
+	}
 	if len(vals) != t.schema.NumColumns() {
 		return 0, fmt.Errorf("table %s: got %d values for %d columns", t.name, len(vals), t.schema.NumColumns())
 	}
@@ -171,6 +201,9 @@ func (t *Table) MustAppend(beginTS uint64, vals ...Value) int {
 // AppendRaw appends a pre-encoded payload (schema.RowBytes() bytes, no MVCC
 // header). It is the bulk-load path used by generators.
 func (t *Table) AppendRaw(beginTS uint64, payload []byte) (int, error) {
+	if t.view {
+		return 0, fmt.Errorf("table %s: append to a read-only slice", t.name)
+	}
 	if len(payload) != t.schema.RowBytes() {
 		return 0, fmt.Errorf("table %s: raw payload %d bytes, want %d", t.name, len(payload), t.schema.RowBytes())
 	}
@@ -239,6 +272,9 @@ func (t *Table) VisibleAt(i int, ts uint64) bool {
 // SetEndTS closes the validity of row version i at ts (delete, or the old
 // half of an update). It fails on non-MVCC tables and on already-dead rows.
 func (t *Table) SetEndTS(i int, ts uint64) error {
+	if t.view {
+		return fmt.Errorf("table %s: SetEndTS on a read-only slice", t.name)
+	}
 	if !t.mvcc {
 		return fmt.Errorf("table %s: SetEndTS on table without MVCC", t.name)
 	}

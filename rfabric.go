@@ -126,6 +126,12 @@ type (
 	ColEngine = engine.ColEngine
 	// RMEngine executes over Relational Memory's ephemeral views.
 	RMEngine = engine.RMEngine
+	// ParallelEngine is the morsel-parallel executor over worker-private
+	// System clones.
+	ParallelEngine = engine.ParallelEngine
+	// ParallelConfig parameterizes morsel-parallel execution (worker count,
+	// morsel size); see DB.SetParallel.
+	ParallelConfig = engine.ParallelConfig
 	// Optimizer is the constructive access-path chooser of §III-B.
 	Optimizer = engine.Optimizer
 	// OptimizerPlan is the optimizer's priced decision.
