@@ -4,6 +4,7 @@
 // Usage:
 //
 //	rfbench [flags] <experiment>...
+//	rfbench -serve :8080
 //
 // Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, abl-prefetch,
 // abl-buffer, abl-clock, abl-banks, abl-mvcc, abl-pushdown, abl-index,
@@ -18,11 +19,17 @@
 //	-paper-scale    run fig7 at the paper's sizes (2..128 MiB targets,
 //	                tables up to ~700 MB; needs several GB of RAM)
 //	-seed N         generator seed (default 1)
+//	-json           emit results as a JSON array instead of tables
+//	-serve addr     serve live observability over a demo TPC-H database:
+//	                GET /metrics (Prometheus), /metrics.json,
+//	                /debug/trace/last, /query?q=SQL
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,6 +43,8 @@ func main() {
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker-pool sizes for par-speedup")
 	paperScale := flag.Bool("paper-scale", false, "run fig7 at the paper's 2..128 MiB targets")
 	seed := flag.Int64("seed", 1, "generator seed")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	serveAddr := flag.String("serve", "", "serve live metrics and traces on this address (e.g. :8080)")
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
@@ -66,6 +75,13 @@ func main() {
 		}
 	}
 
+	if *serveAddr != "" {
+		if err := serve(*serveAddr, *rows, *seed); err != nil {
+			fatalf("serve: %v", err)
+		}
+		return
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
@@ -77,93 +93,106 @@ func main() {
 			"abl-mvcc", "abl-pushdown", "abl-index", "abl-rmc", "abl-compress", "abl-storage"}
 	}
 
+	if *jsonOut {
+		runJSON(args, opt)
+		return
+	}
 	for i, name := range args {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := run(name, opt); err != nil {
+		result, violations, err := runExperiment(name, opt)
+		if err != nil {
 			fatalf("%s: %v", name, err)
 		}
+		result.(tableWriter).WriteTable(os.Stdout)
+		if _, checked := result.(shapeChecker); checked {
+			report(violations)
+		}
 	}
 }
 
-func run(name string, opt experiments.Options) error {
+// tableWriter is the human-readable face every experiment result has.
+type tableWriter interface{ WriteTable(w io.Writer) }
+
+// shapeChecker verifies an experiment against the paper's qualitative
+// claims; ablations without a claim to check don't implement it.
+type shapeChecker interface{ CheckShape() []string }
+
+// jsonEntry is one experiment's machine-readable record. Violations is
+// empty (never null) for experiments whose shape held, and omitted is not
+// an option — CI smoke tests key off the field being present.
+type jsonEntry struct {
+	Experiment string   `json:"experiment"`
+	Result     any      `json:"result"`
+	Violations []string `json:"violations"`
+}
+
+func runJSON(names []string, opt experiments.Options) {
+	entries := make([]jsonEntry, 0, len(names))
+	for _, name := range names {
+		result, violations, err := runExperiment(name, opt)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if violations == nil {
+			violations = []string{}
+		}
+		entries = append(entries, jsonEntry{Experiment: name, Result: result, Violations: violations})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fatalf("encoding JSON: %v", err)
+	}
+}
+
+// runExperiment executes one named experiment and returns its result plus
+// any shape violations (nil when the experiment has no shape claims).
+func runExperiment(name string, opt experiments.Options) (any, []string, error) {
+	var result any
+	var err error
 	switch name {
 	case "fig5":
-		r, err := experiments.Figure5(opt)
-		if err != nil {
-			return err
-		}
-		r.WriteTable(os.Stdout)
-		report(r.CheckShape())
+		result, err = experiments.Figure5(opt)
 	case "fig6a", "fig6b":
-		r, err := experiments.Figure6(opt)
-		if err != nil {
-			return err
-		}
-		r.WriteTable(os.Stdout)
-		report(r.CheckShape())
+		result, err = experiments.Figure6(opt)
 	case "fig7a":
-		return runFig7(opt, experiments.Q1)
+		result, err = experiments.Figure7(opt, experiments.Q1)
 	case "fig7b":
-		return runFig7(opt, experiments.Q6)
+		result, err = experiments.Figure7(opt, experiments.Q6)
 	case "par-speedup":
-		r, err := experiments.ParallelSpeedup(opt, 8, opt.MicroRows, opt.ParWorkers)
-		if err != nil {
-			return err
-		}
-		r.WriteTable(os.Stdout)
-		report(r.CheckShape())
+		result, err = experiments.ParallelSpeedup(opt, 8, opt.MicroRows, opt.ParWorkers)
 	case "abl-prefetch":
-		return runAblation(experiments.AblationPrefetchStreams(opt, []int{1, 2, 4, 8, 16}))
+		result, err = experiments.AblationPrefetchStreams(opt, []int{1, 2, 4, 8, 16})
 	case "abl-buffer":
-		return runAblation(experiments.AblationFabricBuffer(opt, []int{64 << 10, 256 << 10, 1 << 20, 2 << 20, 8 << 20}))
+		result, err = experiments.AblationFabricBuffer(opt, []int{64 << 10, 256 << 10, 1 << 20, 2 << 20, 8 << 20})
 	case "abl-clock":
-		return runAblation(experiments.AblationFabricClock(opt, []int{1, 5, 15, 30}))
+		result, err = experiments.AblationFabricClock(opt, []int{1, 5, 15, 30})
 	case "abl-banks":
-		return runAblation(experiments.AblationDRAMBanks(opt, []int{1, 2, 4, 8, 16}))
+		result, err = experiments.AblationDRAMBanks(opt, []int{1, 2, 4, 8, 16})
 	case "abl-mvcc":
-		return runAblation(experiments.AblationMVCC(opt, opt.MicroRows/2))
+		result, err = experiments.AblationMVCC(opt, opt.MicroRows/2)
 	case "abl-pushdown":
-		return runAblation(experiments.AblationPushdown(opt, opt.MicroRows/2))
+		result, err = experiments.AblationPushdown(opt, opt.MicroRows/2)
 	case "abl-index":
-		return runAblation(experiments.AblationIndex(opt, opt.MicroRows))
+		result, err = experiments.AblationIndex(opt, opt.MicroRows)
 	case "abl-rmc":
-		return runAblation(experiments.AblationRMC(opt, opt.MicroRows/2))
+		result, err = experiments.AblationRMC(opt, opt.MicroRows/2)
 	case "abl-compress":
-		r, err := experiments.AblationCompression(opt, opt.MicroRows/4)
-		if err != nil {
-			return err
-		}
-		r.WriteTable(os.Stdout)
+		result, err = experiments.AblationCompression(opt, opt.MicroRows/4)
 	case "abl-storage":
-		r, err := experiments.AblationStorage(opt, opt.MicroRows/4)
-		if err != nil {
-			return err
-		}
-		r.WriteTable(os.Stdout)
+		result, err = experiments.AblationStorage(opt, opt.MicroRows/4)
 	default:
-		return fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, par-speedup, abl-*, or all)")
+		return nil, nil, fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, par-speedup, abl-*, or all)")
 	}
-	return nil
-}
-
-func runFig7(opt experiments.Options, q experiments.TPCHQuery) error {
-	r, err := experiments.Figure7(opt, q)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	r.WriteTable(os.Stdout)
-	report(r.CheckShape())
-	return nil
-}
-
-func runAblation(r *experiments.AblationResult, err error) error {
-	if err != nil {
-		return err
+	if sc, ok := result.(shapeChecker); ok {
+		return result, sc.CheckShape(), nil
 	}
-	r.WriteTable(os.Stdout)
-	return nil
+	return result, nil, nil
 }
 
 func report(violations []string) {

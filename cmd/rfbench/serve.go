@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"rfabric"
+	"rfabric/internal/obs"
+	"rfabric/internal/tpch"
+)
+
+// serve hosts the live observability surface over a demo database: a TPC-H
+// lineitem table on the default simulated platform, with a metrics registry
+// attached and one traced Q6 already run so /metrics and /debug/trace/last
+// are populated from the first scrape.
+//
+//	GET /metrics          — Prometheus text exposition
+//	GET /metrics.json     — the same registry as JSON
+//	GET /debug/trace/last — most recent query trace (span tree) as JSON
+//	GET /query?q=SQL      — run a traced query; returns result + trace
+func serve(addr string, rows int, seed int64) error {
+	db, err := rfabric.Open(rfabric.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	tbl, err := db.CreateTable("lineitem", tpch.LineitemSchema(), rows)
+	if err != nil {
+		return err
+	}
+	if err := tpch.Generate(tbl, rows, seed); err != nil {
+		return err
+	}
+	reg := rfabric.NewRegistry()
+	db.SetObserver(reg)
+
+	var last obs.LastTrace
+	var mu sync.Mutex // the DB façade is single-threaded; serialize queries
+
+	res, trace, err := db.ExecuteTraced(rfabric.RM, "lineitem", tpch.Q6())
+	if err != nil {
+		return fmt.Errorf("warmup Q6: %w", err)
+	}
+	last.Store(trace)
+	fmt.Fprintf(os.Stderr, "rfbench: loaded lineitem (%d rows); warmup Q6 took %d modeled cycles\n",
+		rows, res.Breakdown.TotalCycles)
+
+	mux := obs.NewMux(reg, &last)
+	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `{"error":"missing q parameter"}`, http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		res, trace, err := db.QueryTraced(q)
+		mu.Unlock()
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+			return
+		}
+		last.Store(trace)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"result": res, "trace": trace})
+	})
+
+	fmt.Fprintf(os.Stderr, "rfbench: serving /metrics, /metrics.json, /debug/trace/last, /query on %s\n", addr)
+	return http.ListenAndServe(addr, mux)
+}

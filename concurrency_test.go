@@ -8,6 +8,8 @@
 package rfabric
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -268,6 +270,71 @@ func TestDBWorkerCountDeterminism(t *testing.T) {
 		if eight.Breakdown.TotalCycles > one.Breakdown.TotalCycles {
 			t.Errorf("%s: makespan grew with workers: %d -> %d",
 				stmt, one.Breakdown.TotalCycles, eight.Breakdown.TotalCycles)
+		}
+	}
+}
+
+// TestTracedWorkerCountDeterminism pins the guarantee that tracing never
+// perturbs the PAR path: across a worker sweep, traced queries return
+// byte-identical results to each other and to the untraced run, every
+// breakdown component except the modeled makespan matches, each span tree
+// reconciles with its own breakdown, and the per-morsel detail subtrees are
+// identical — morsel boundaries and partials depend only on MorselRows.
+func TestTracedWorkerCountDeterminism(t *testing.T) {
+	db := itemsDB(t, 4000)
+	stmts := []string{
+		"SELECT id, price FROM items WHERE qty < 40",
+		"SELECT COUNT(*), SUM(price * (1 - qty)), AVG(price), MIN(price), MAX(price) FROM items WHERE qty < 80",
+		"SELECT branch, COUNT(*), SUM(price) FROM items GROUP BY branch",
+	}
+	for _, stmt := range stmts {
+		var base *Result
+		var baseMorsels []byte
+		for _, workers := range []int{1, 2, 3, 8} {
+			db.SetParallel(ParallelConfig{Workers: workers, MorselRows: 256})
+			res, trace, err := db.QueryTraced(stmt)
+			if err != nil {
+				t.Fatalf("%s (%d workers): %v", stmt, workers, err)
+			}
+			untraced, err := db.Query(stmt)
+			if err != nil {
+				t.Fatalf("%s (%d workers, untraced): %v", stmt, workers, err)
+			}
+			if err := res.EquivalentTo(untraced, 0); err != nil {
+				t.Errorf("%s (%d workers): tracing changed the result: %v", stmt, workers, err)
+			}
+			if res.Breakdown != untraced.Breakdown {
+				t.Errorf("%s (%d workers): tracing changed the breakdown:\n  %+v\nvs %+v",
+					stmt, workers, res.Breakdown, untraced.Breakdown)
+			}
+			if got := trace.Root.AttributedCycles(); got != res.Breakdown.TotalCycles {
+				t.Errorf("%s (%d workers): span tree attributes %d cycles, breakdown says %d",
+					stmt, workers, got, res.Breakdown.TotalCycles)
+			}
+			detail := trace.Root.Find("morsels")
+			if detail == nil {
+				t.Fatalf("%s (%d workers): trace has no morsels subtree", stmt, workers)
+			}
+			morsels, err := json.Marshal(detail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base, baseMorsels = res, morsels
+				continue
+			}
+			if err := base.EquivalentTo(res, 0); err != nil {
+				t.Errorf("%s: workers changed the traced result: %v", stmt, err)
+			}
+			a, b := base.Breakdown, res.Breakdown
+			a.TotalCycles, b.TotalCycles = 0, 0
+			if a != b {
+				t.Errorf("%s: traced breakdown drifts with workers:\n  %+v\nvs %+v",
+					stmt, base.Breakdown, res.Breakdown)
+			}
+			if !bytes.Equal(morsels, baseMorsels) {
+				t.Errorf("%s (%d workers): per-morsel span subtree drifted with worker count", stmt, workers)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"rfabric/internal/colstore"
 	"rfabric/internal/engine"
 	"rfabric/internal/index"
+	"rfabric/internal/obs"
 	"rfabric/internal/sql"
 	"rfabric/internal/table"
 )
@@ -25,6 +26,9 @@ type DB struct {
 	tables map[string]*dbTable
 	plans  *planCache
 	par    *engine.ParallelConfig // nil: single-goroutine execution
+
+	reg  *obs.Registry // nil: no metrics publishing
+	last obs.LastTrace // most recent traced query, for /debug/trace/last
 }
 
 type dbTable struct {
@@ -89,7 +93,7 @@ func (db *DB) CreateTable(name string, schema *Schema, capacity int, opts ...Tab
 func (db *DB) Table(name string) (*Table, error) {
 	t, ok := db.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("rfabric: unknown table %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	return t.tbl, nil
 }
@@ -109,7 +113,7 @@ func (db *DB) TableNames() []string {
 func (db *DB) Insert(name string, vals ...Value) error {
 	t, ok := db.tables[name]
 	if !ok {
-		return fmt.Errorf("rfabric: unknown table %q", name)
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	if t.tbl.NumRows() >= t.capacity {
 		return fmt.Errorf("rfabric: table %q is at its reserved capacity of %d rows", name, t.capacity)
@@ -131,7 +135,7 @@ func (db *DB) Insert(name string, vals ...Value) error {
 func (db *DB) CreateIndex(tableName, column string) (*index.BTree, error) {
 	t, ok := db.tables[tableName]
 	if !ok {
-		return nil, fmt.Errorf("rfabric: unknown table %q", tableName)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
 	}
 	if t.idx != nil {
 		return nil, fmt.Errorf("rfabric: table %q already has an index", tableName)
@@ -196,67 +200,102 @@ func (db *DB) QueryOn(kind EngineKind, query string) (*Result, error) {
 	}
 	t, ok := db.tables[st.Table]
 	if !ok {
-		return nil, fmt.Errorf("rfabric: unknown table %q", st.Table)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
 	}
 	q, err := sql.Plan(st, t.tbl.Schema())
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(kind, t, q)
+	return db.run(kind, t, q, nil)
 }
 
 // Execute runs an already-built logical query on the chosen path.
 func (db *DB) Execute(kind EngineKind, tableName string, q Query) (*Result, error) {
 	t, ok := db.tables[tableName]
 	if !ok {
-		return nil, fmt.Errorf("rfabric: unknown table %q", tableName)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
 	}
-	return db.execute(kind, t, q)
+	return db.run(kind, t, q, nil)
 }
 
-func (db *DB) execute(kind EngineKind, t *dbTable, q Query) (*Result, error) {
+// run is the measured entry point: it snapshots the simulated hardware
+// counters, dispatches, and publishes the deltas plus per-query series into
+// the observer registry. AUTO's recursion goes through execute directly, so
+// a query publishes exactly once no matter how it was routed.
+func (db *DB) run(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result, error) {
+	if db.reg == nil {
+		return db.execute(kind, t, q, tr)
+	}
+	memStart := db.sys.Mem.Stats()
+	hierStart := db.sys.Hier.Stats()
+	fabStart := db.sys.Fab.Stats()
+	res, err := db.execute(kind, t, q, tr)
+	labels := obs.Labels{"engine": string(kind), "table": t.tbl.Name()}
+	db.reg.Counter("rfabric_queries_total", labels).Add(1)
+	if err != nil {
+		db.reg.Counter("rfabric_query_errors_total", labels).Add(1)
+	} else {
+		db.reg.Counter("rfabric_query_cycles_total", labels).Add(res.Breakdown.TotalCycles)
+		db.reg.Histogram("rfabric_query_cycles", labels).Observe(float64(res.Breakdown.TotalCycles))
+		db.reg.Counter("rfabric_rows_scanned_total", labels).Add(uint64(res.RowsScanned))
+		db.reg.Counter("rfabric_rows_passed_total", labels).Add(uint64(res.RowsPassed))
+	}
+	// Hardware counters move on the DB's shared System. PAR morsels run on
+	// private clones whose traffic shows up in the query-level series via
+	// the merged Breakdown instead.
+	db.sys.Mem.Stats().Delta(memStart).Publish(db.reg, labels)
+	db.sys.Hier.Stats().Delta(hierStart).Publish(db.reg, labels)
+	db.sys.Fab.Stats().Delta(fabStart).Publish(db.reg, labels)
+	return res, err
+}
+
+func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result, error) {
 	switch kind {
 	case AUTO:
 		opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: t.col, Index: t.idx}
+		sp := tr.Begin("plan")
 		plan, err := opt.Choose(q)
 		if err != nil {
-			return nil, err
+			tr.End()
+			return nil, fmt.Errorf("rfabric: optimizing query: %w", err)
 		}
-		return db.execute(EngineKind(plan.Chosen), t, q)
+		sp.SetAttr("chosen", plan.Chosen)
+		tr.End()
+		return db.execute(EngineKind(plan.Chosen), t, q, tr)
 	case "IDX":
 		if t.idx == nil {
 			return nil, errors.New("rfabric: no index on this table")
 		}
-		e := &engine.IndexEngine{Tbl: t.tbl, Sys: db.sys, Idx: t.idx}
+		e := &engine.IndexEngine{Tbl: t.tbl, Sys: db.sys, Idx: t.idx, Tracer: tr}
 		return e.Execute(q)
 	case PAR:
 		var cfg engine.ParallelConfig
 		if db.par != nil {
 			cfg = *db.par
 		}
-		e := &engine.ParallelEngine{Tbl: t.tbl, Sys: db.sys, Par: cfg}
+		e := &engine.ParallelEngine{Tbl: t.tbl, Sys: db.sys, Par: cfg, Tracer: tr, Reg: db.reg}
 		return e.Execute(q)
 	case RM:
 		if db.par != nil {
-			return db.execute(PAR, t, q)
+			return db.execute(PAR, t, q, tr)
 		}
-		e := &engine.RMEngine{Tbl: t.tbl, Sys: db.sys}
+		e := &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}
 		return e.Execute(q)
 	case ROW:
-		e := &engine.RowEngine{Tbl: t.tbl, Sys: db.sys}
+		e := &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}
 		return e.Execute(q)
 	case COL:
 		if t.col == nil {
 			store, err := colstore.FromTable(t.tbl, db.sys.Arena)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("rfabric: materializing columnar copy: %w", err)
 			}
 			t.col = store
 		}
-		e := &engine.ColEngine{Store: t.col, Sys: db.sys}
+		e := &engine.ColEngine{Store: t.col, Sys: db.sys, Tracer: tr}
 		return e.Execute(q)
 	default:
-		return nil, errors.New("rfabric: unknown engine kind " + string(kind))
+		return nil, fmt.Errorf("%w %q", ErrUnknownEngine, string(kind))
 	}
 }
 
@@ -266,7 +305,7 @@ func (db *DB) execute(kind EngineKind, t *dbTable, q Query) (*Result, error) {
 func (db *DB) Configure(tableName string, columns []string, opts ...ViewOption) (*Ephemeral, error) {
 	t, ok := db.tables[tableName]
 	if !ok {
-		return nil, fmt.Errorf("rfabric: unknown table %q", tableName)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
 	}
 	geom, err := NewGeometryByName(t.tbl.Schema(), columns...)
 	if err != nil {

@@ -59,7 +59,7 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 	}
 	t, ok := db.tables[st.Table]
 	if !ok {
-		return nil, fmt.Errorf("rfabric: unknown table %q", st.Table)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
 	}
 	q, err := sql.Plan(st, t.tbl.Schema())
 	if err != nil {
@@ -75,9 +75,9 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 func (p *Prepared) Run(kind EngineKind) (*Result, error) {
 	t, ok := p.db.tables[p.table]
 	if !ok {
-		return nil, fmt.Errorf("rfabric: table %q dropped since preparation", p.table)
+		return nil, fmt.Errorf("%w: %q (dropped since preparation)", ErrNoSuchTable, p.table)
 	}
-	return p.db.execute(kind, t, p.query)
+	return p.db.run(kind, t, p.query, nil)
 }
 
 // Text returns the source text of the fragment.

@@ -1,0 +1,101 @@
+package rfabric
+
+import (
+	"fmt"
+
+	"rfabric/internal/obs"
+	"rfabric/internal/sql"
+)
+
+// Observability surface of the DB façade: a metrics registry every query
+// publishes into, and per-query EXPLAIN ANALYZE traces whose span trees
+// reconcile exactly with the modeled Breakdown.
+
+// SetObserver attaches a metrics registry. Every subsequent query publishes
+// rfabric_* series into it: per-query counters and cycle histograms keyed
+// by engine kind and table, plus the DRAM, cache, and fabric counter deltas
+// the run produced. A nil registry detaches the observer; reg.SetDisabled
+// reduces publishing to a single atomic load per metric.
+func (db *DB) SetObserver(reg *Registry) { db.reg = reg }
+
+// Observer returns the attached registry (nil when none).
+func (db *DB) Observer() *Registry { return db.reg }
+
+// LastTrace returns the most recently captured query trace, or nil before
+// the first traced query. The serve endpoint /debug/trace/last reads this.
+func (db *DB) LastTrace() *Trace { return db.last.Load() }
+
+// TraceOption configures a traced query.
+type TraceOption func(*traceOpts)
+
+type traceOpts struct{ kind EngineKind }
+
+// OnEngine routes the traced query to the chosen execution path instead of
+// the default RM.
+func OnEngine(kind EngineKind) TraceOption {
+	return func(o *traceOpts) { o.kind = kind }
+}
+
+// QueryTraced is EXPLAIN ANALYZE: it parses, plans, and executes the
+// statement like Query, and additionally returns the span tree of the run —
+// parse, plan, engine dispatch, per-shard/per-morsel execution, and merge —
+// with per-node modeled cycles, DRAM bytes, cache miss ratios, and
+// row-buffer hit rates. The root span's AttributedCycles reconciles exactly
+// with Result.Breakdown.TotalCycles. The trace is also stored for
+// LastTrace.
+func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, error) {
+	o := traceOpts{kind: RM}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	tr := obs.NewTracer("query")
+	tr.Root().SetAttr("sql", query)
+
+	psp := tr.Begin("parse")
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	psp.SetAttr("table", st.Table)
+	tr.End()
+
+	t, ok := db.tables[st.Table]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	}
+
+	tr.Begin("plan.logical")
+	q, err := sql.Plan(st, t.tbl.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.End()
+
+	return db.runTraced(o.kind, t, q, query, tr)
+}
+
+// ExecuteTraced is the Execute counterpart of QueryTraced, for callers that
+// build logical queries directly.
+func (db *DB) ExecuteTraced(kind EngineKind, tableName string, q Query) (*Result, *Trace, error) {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	tr := obs.NewTracer("query")
+	return db.runTraced(kind, t, q, "", tr)
+}
+
+func (db *DB) runTraced(kind EngineKind, t *dbTable, q Query, text string, tr *obs.Tracer) (*Result, *Trace, error) {
+	res, err := db.run(kind, t, q, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace := &Trace{
+		Query:       text,
+		Engine:      res.Engine,
+		TotalCycles: res.Breakdown.TotalCycles,
+		Root:        tr.Root(),
+	}
+	db.last.Store(trace)
+	return res, trace, nil
+}

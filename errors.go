@@ -1,0 +1,17 @@
+package rfabric
+
+import "errors"
+
+// Sentinel errors for the DB façade's failure modes. Call sites wrap them
+// with %w and the offending name, so callers branch with errors.Is while
+// messages stay specific:
+//
+//	if _, err := db.Query(q); errors.Is(err, rfabric.ErrNoSuchTable) { ... }
+var (
+	// ErrNoSuchTable reports a statement naming a table the catalog does
+	// not hold.
+	ErrNoSuchTable = errors.New("rfabric: no such table")
+	// ErrUnknownEngine reports an EngineKind the executor does not
+	// recognize.
+	ErrUnknownEngine = errors.New("rfabric: unknown engine kind")
+)

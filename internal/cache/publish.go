@@ -1,0 +1,39 @@
+package cache
+
+import "rfabric/internal/obs"
+
+// Delta returns the counters accumulated since prev. All Stats fields are
+// monotonically increasing, so a component-wise subtraction is exact.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Loads:            s.Loads - prev.Loads,
+		L1Hits:           s.L1Hits - prev.L1Hits,
+		L2Hits:           s.L2Hits - prev.L2Hits,
+		PrefetchHits:     s.PrefetchHits - prev.PrefetchHits,
+		DRAMFills:        s.DRAMFills - prev.DRAMFills,
+		OverlappedMisses: s.OverlappedMisses - prev.OverlappedMisses,
+		PrefetchIssued:   s.PrefetchIssued - prev.PrefetchIssued,
+		FabricFills:      s.FabricFills - prev.FabricFills,
+		Cycles:           s.Cycles - prev.Cycles,
+		BytesFromDRAM:    s.BytesFromDRAM - prev.BytesFromDRAM,
+	}
+}
+
+// Publish adds this stats snapshot (typically a Delta) into the registry as
+// rfabric_cache_* counters plus the derived miss-ratio gauge.
+func (s Stats) Publish(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("rfabric_cache_loads_total", labels).Add(s.Loads)
+	reg.Counter("rfabric_cache_l1_hits_total", labels).Add(s.L1Hits)
+	reg.Counter("rfabric_cache_l2_hits_total", labels).Add(s.L2Hits)
+	reg.Counter("rfabric_cache_prefetch_hits_total", labels).Add(s.PrefetchHits)
+	reg.Counter("rfabric_cache_dram_fills_total", labels).Add(s.DRAMFills)
+	reg.Counter("rfabric_cache_overlapped_misses_total", labels).Add(s.OverlappedMisses)
+	reg.Counter("rfabric_cache_prefetch_issued_total", labels).Add(s.PrefetchIssued)
+	reg.Counter("rfabric_cache_fabric_fills_total", labels).Add(s.FabricFills)
+	reg.Counter("rfabric_cache_cycles_total", labels).Add(s.Cycles)
+	reg.Counter("rfabric_cache_bytes_from_dram_total", labels).Add(s.BytesFromDRAM)
+	reg.Gauge("rfabric_cache_miss_ratio", labels).Set(s.MissRatio())
+}

@@ -1,0 +1,45 @@
+package dram
+
+import "rfabric/internal/obs"
+
+// Delta returns the counters accumulated since prev. All Stats fields are
+// monotonically increasing, so a component-wise subtraction is exact.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Accesses:     s.Accesses - prev.Accesses,
+		RowHits:      s.RowHits - prev.RowHits,
+		RowMisses:    s.RowMisses - prev.RowMisses,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		GatherBytes:  s.GatherBytes - prev.GatherBytes,
+		Cycles:       s.Cycles - prev.Cycles,
+		BatchCycles:  s.BatchCycles - prev.BatchCycles,
+		BatchedReqs:  s.BatchedReqs - prev.BatchedReqs,
+		BatchesTotal: s.BatchesTotal - prev.BatchesTotal,
+	}
+}
+
+// RowBufferHitRate returns row-buffer hits over all row activations.
+func (s Stats) RowBufferHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// Publish adds this stats snapshot (typically a Delta) into the registry as
+// rfabric_dram_* counters. Callers attach identity through labels (engine
+// kind, table, component).
+func (s Stats) Publish(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("rfabric_dram_accesses_total", labels).Add(s.Accesses)
+	reg.Counter("rfabric_dram_row_hits_total", labels).Add(s.RowHits)
+	reg.Counter("rfabric_dram_row_misses_total", labels).Add(s.RowMisses)
+	reg.Counter("rfabric_dram_bytes_read_total", labels).Add(s.BytesRead)
+	reg.Counter("rfabric_dram_gather_bytes_total", labels).Add(s.GatherBytes)
+	reg.Counter("rfabric_dram_cycles_total", labels).Add(s.Cycles)
+	reg.Counter("rfabric_dram_batched_requests_total", labels).Add(s.BatchedReqs)
+	reg.Gauge("rfabric_dram_row_buffer_hit_rate", labels).Set(s.RowBufferHitRate())
+}

@@ -46,6 +46,7 @@ func pipelineBreakdown(sys *System, memStart dram.Stats, hierStart cache.Stats, 
 		ProducerCycles:  producer,
 		BytesFromDRAM:   memNow.BytesRead - memStart.BytesRead,
 		BytesToCPU:      shipped,
+		PipelineCycles:  pipeline,
 	}
 	gathered := memNow.GatherBytes - memStart.GatherBytes
 	if gathered > b.BytesFromDRAM {

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"rfabric/internal/colstore"
+	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -18,6 +19,10 @@ import (
 type ColEngine struct {
 	Store *colstore.Store
 	Sys   *System
+
+	// Tracer, when set, receives a span for this execution with leaves
+	// that reconcile with the Breakdown. Nil means no tracing overhead.
+	Tracer *obs.Tracer
 }
 
 // Name implements Executor.
@@ -38,6 +43,9 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 		// design removes.
 		return nil, errors.New("engine: columnar copy does not support MVCC snapshots")
 	}
+
+	sp := beginEngineSpan(e.Tracer, e.Name(), "")
+	defer e.Tracer.End()
 
 	memStart := e.Sys.Mem.Stats()
 	hierStart := e.Sys.Hier.Stats()
@@ -135,5 +143,6 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 
 	res := cons.finish(e.Name(), int64(rows))
 	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"rfabric/internal/expr"
 	"rfabric/internal/index"
+	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -19,6 +20,10 @@ type IndexEngine struct {
 	Tbl *table.Table
 	Sys *System
 	Idx *index.BTree
+
+	// Tracer, when set, receives a span for this execution with leaves
+	// that reconcile with the Breakdown. Nil means no tracing overhead.
+	Tracer *obs.Tracer
 }
 
 // Name implements Executor.
@@ -87,6 +92,9 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 			sch.Column(e.Idx.Column()).Name)
 	}
 
+	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
+	defer e.Tracer.End()
+
 	memStart := e.Sys.Mem.Stats()
 	hierStart := e.Sys.Hier.Stats()
 	var compute uint64
@@ -145,6 +153,7 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 
 	res := cons.finish(e.Name(), int64(len(candidates)))
 	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
 	return res, nil
 }
 

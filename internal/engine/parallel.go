@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"rfabric/internal/expr"
+	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -68,6 +70,15 @@ type ParallelEngine struct {
 	// exactly like RMEngine's fields.
 	PushSelection   bool
 	PushAggregation bool
+
+	// Tracer, when set, receives a span whose schedule/merge leaves
+	// reconcile with the Breakdown; per-morsel sub-traces hang under a
+	// Detail subtree (their modeled time overlaps the makespan). Each
+	// morsel gets its own private tracer, adopted in morsel order after
+	// the workers join, so tracing never perturbs determinism.
+	Tracer *obs.Tracer
+	// Reg, when set, receives rfabric_par_* series describing the run.
+	Reg *obs.Registry
 }
 
 // Name implements Executor.
@@ -96,8 +107,21 @@ func (e *ParallelEngine) Execute(q Query) (*Result, error) {
 		workers = numMorsels
 	}
 
+	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
+	defer e.Tracer.End()
+
 	parts := make([]*Result, numMorsels)
 	errs := make([]error, numMorsels)
+	// Per-morsel tracers: each worker writes only its own slot, and the
+	// sub-roots are adopted in morsel order after the join, keeping the
+	// span tree deterministic under any scheduling.
+	var tracers []*obs.Tracer
+	if sp != nil {
+		tracers = make([]*obs.Tracer, numMorsels)
+		for i := range tracers {
+			tracers[i] = obs.NewTracer(morselSpanName(i))
+		}
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -109,7 +133,11 @@ func (e *ParallelEngine) Execute(q Query) (*Result, error) {
 				if i >= numMorsels {
 					return
 				}
-				parts[i], errs[i] = e.runMorsel(q, i, par.MorselRows, rows)
+				var tr *obs.Tracer
+				if tracers != nil {
+					tr = tracers[i]
+				}
+				parts[i], errs[i] = e.runMorsel(q, i, par.MorselRows, rows, tr)
 			}
 		}()
 	}
@@ -119,7 +147,31 @@ func (e *ParallelEngine) Execute(q Query) (*Result, error) {
 			return nil, fmt.Errorf("engine: morsel %d: %w", i, err)
 		}
 	}
-	return mergePartials(e.Name(), q, parts, workers)
+	res, err := mergePartials(e.Name(), q, parts, workers)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		mergeCharge := uint64(len(parts)) * MergeCyclesPerPartial
+		sp.Leaf("schedule.makespan", res.Breakdown.TotalCycles-mergeCharge, 0)
+		sp.Leaf("merge", mergeCharge, 0)
+		sp.SetAttr("workers", strconv.Itoa(workers))
+		sp.SetAttr("morsels", strconv.Itoa(numMorsels))
+		sp.SetAttr("morsel_rows", strconv.Itoa(par.MorselRows))
+		detail := sp.AddChild("morsels")
+		detail.Detail = true
+		for _, tr := range tracers {
+			detail.Adopt(tr.Root())
+		}
+	}
+	if e.Reg != nil {
+		labels := obs.Labels{"table": e.Tbl.Name()}
+		e.Reg.Counter("rfabric_par_queries_total", labels).Add(1)
+		e.Reg.Counter("rfabric_par_morsels_total", labels).Add(uint64(numMorsels))
+		e.Reg.Counter("rfabric_par_makespan_cycles_total", labels).Add(res.Breakdown.TotalCycles)
+		e.Reg.Histogram("rfabric_par_morsel_cycles", labels).Observe(float64(res.Breakdown.TotalCycles) / float64(numMorsels))
+	}
+	return res, nil
 }
 
 // runMorsel executes one morsel on a fresh System clone. Cloning per morsel
@@ -127,7 +179,7 @@ func (e *ParallelEngine) Execute(q Query) (*Result, error) {
 // how many morsels that worker had already run, which the determinism
 // guarantee needs: arena allocations for delivery windows would otherwise
 // drift with scheduling.
-func (e *ParallelEngine) runMorsel(q Query, i, morselRows, totalRows int) (*Result, error) {
+func (e *ParallelEngine) runMorsel(q Query, i, morselRows, totalRows int, tr *obs.Tracer) (*Result, error) {
 	lo := i * morselRows
 	hi := lo + morselRows
 	if hi > totalRows {
@@ -144,7 +196,7 @@ func (e *ParallelEngine) runMorsel(q Query, i, morselRows, totalRows int) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	eng := &RMEngine{Tbl: slice, Sys: sys, PushSelection: e.PushSelection, PushAggregation: e.PushAggregation}
+	eng := &RMEngine{Tbl: slice, Sys: sys, PushSelection: e.PushSelection, PushAggregation: e.PushAggregation, Tracer: tr}
 	return eng.Execute(q)
 }
 
@@ -181,6 +233,7 @@ func mergePartials(name string, q Query, parts []*Result, workers int) (*Result,
 		out.Breakdown.ProducerCycles += b.ProducerCycles
 		out.Breakdown.BytesFromDRAM += b.BytesFromDRAM
 		out.Breakdown.BytesToCPU += b.BytesToCPU
+		out.Breakdown.PipelineCycles += b.PipelineCycles
 		partTotals[i] = b.TotalCycles
 		if scalarAggs {
 			for j, v := range p.Aggs {

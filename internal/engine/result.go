@@ -23,6 +23,11 @@ type Breakdown struct {
 	// BytesToCPU is the data that crossed into the cache hierarchy:
 	// demand/prefetch lines for ROW and COL, packed fabric lines for RM.
 	BytesToCPU uint64
+	// PipelineCycles is the producer/consumer pipeline total before the
+	// bandwidth floor (RM and PAR paths only; zero on demand paths). It is
+	// what trace spans attribute as "pipeline", with TotalCycles -
+	// PipelineCycles left as the bandwidth stall.
+	PipelineCycles uint64
 	// TotalCycles is the modeled execution time: the CPU path and producer
 	// pipeline combined, floored by DRAM bandwidth occupancy.
 	TotalCycles uint64

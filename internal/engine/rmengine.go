@@ -7,6 +7,7 @@ import (
 	"rfabric/internal/expr"
 	"rfabric/internal/fabric"
 	"rfabric/internal/geometry"
+	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -28,6 +29,10 @@ type RMEngine struct {
 	// and ships only the results (§IV-B). Derived aggregate expressions
 	// always run on the CPU.
 	PushAggregation bool
+
+	// Tracer, when set, receives a span for this execution with leaves
+	// that reconcile with the Breakdown. Nil means no tracing overhead.
+	Tracer *obs.Tracer
 }
 
 // Name implements Executor.
@@ -46,6 +51,9 @@ func (e *RMEngine) Execute(q Query) (*Result, error) {
 		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
 	}
 
+	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
+	defer e.Tracer.End()
+
 	geom, err := geometry.NewGeometry(sch, q.NeededColumns()...)
 	if err != nil {
 		return nil, err
@@ -57,17 +65,24 @@ func (e *RMEngine) Execute(q Query) (*Result, error) {
 	if e.PushSelection && len(q.Selection) > 0 {
 		opts = append(opts, fabric.WithSelection(q.Selection))
 	}
+	cfg := sp.AddChild("fabric.configure")
 	ev, err := e.Sys.Fab.Configure(e.Tbl, geom, opts...)
 	if err != nil {
 		return nil, err
 	}
+	cfg.SetAttr("columns", fmt.Sprint(geom.Columns()))
+	cfg.SetAttr("packed_width", fmt.Sprint(ev.PackedWidth()))
 
 	if e.PushAggregation && len(q.GroupBy) == 0 && len(q.Aggregates) > 0 && e.PushSelection {
 		if specs, ok := pushableAggs(q.Aggregates); ok {
-			return e.executePushedAggregation(q, ev, specs)
+			sp.SetAttr("pushdown", "aggregation")
+			return e.executePushedAggregation(q, ev, specs, sp)
 		}
 	}
-	return e.executeConsume(q, ev, geom)
+	if e.PushSelection && len(q.Selection) > 0 {
+		sp.SetAttr("pushdown", "selection")
+	}
+	return e.executeConsume(q, ev, geom, sp)
 }
 
 // pushableAggs converts aggregate terms to fabric specs when every term is
@@ -90,7 +105,7 @@ func pushableAggs(terms []AggTerm) ([]expr.AggSpec, bool) {
 }
 
 // executePushedAggregation ships only the aggregate results to the CPU.
-func (e *RMEngine) executePushedAggregation(q Query, ev *fabric.Ephemeral, specs []expr.AggSpec) (*Result, error) {
+func (e *RMEngine) executePushedAggregation(q Query, ev *fabric.Ephemeral, specs []expr.AggSpec, sp *obs.Span) (*Result, error) {
 	memStart := e.Sys.Mem.Stats()
 	hierStart := e.Sys.Hier.Stats()
 	agg, err := ev.Aggregate(specs)
@@ -107,6 +122,7 @@ func (e *RMEngine) executePushedAggregation(q Query, ev *fabric.Ephemeral, specs
 		res.Aggs[i] = normalizeAggValue(q.Aggregates[i].Kind, v)
 	}
 	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, 0, agg.ProducerCycles, agg.ProducerCycles, uint64(len(agg.Values)*8))
+	finishPipelineSpan(sp, e.Sys, memStart, hierStart, res)
 	return res, nil
 }
 
@@ -123,7 +139,7 @@ func normalizeAggValue(kind expr.AggKind, v table.Value) table.Value {
 }
 
 // executeConsume runs the chunked producer/consumer pipeline.
-func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.Geometry) (*Result, error) {
+func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.Geometry, sp *obs.Span) (*Result, error) {
 	sch := e.Tbl.Schema()
 	memStart := e.Sys.Mem.Stats()
 	hierStart := e.Sys.Hier.Stats()
@@ -215,7 +231,10 @@ func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.
 	}
 
 	res := cons.finish(e.Name(), scanned)
-	shipped := e.Sys.Fab.Stats().BytesShipped - fabStart.BytesShipped
-	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, compute, pipeline, producer, shipped)
+	fabD := e.Sys.Fab.Stats().Delta(fabStart)
+	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, compute, pipeline, producer, fabD.BytesShipped)
+	finishPipelineSpan(sp, e.Sys, memStart, hierStart, res)
+	sp.SetAttr("fabric_chunks", fmt.Sprint(fabD.Chunks))
+	sp.SetAttr("fabric_bytes_gathered", fmt.Sprint(fabD.BytesGathered))
 	return res, nil
 }

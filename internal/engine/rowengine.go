@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -14,6 +15,10 @@ import (
 type RowEngine struct {
 	Tbl *table.Table
 	Sys *System
+
+	// Tracer, when set, receives a span for this execution with leaves
+	// that reconcile with the Breakdown. Nil means no tracing overhead.
+	Tracer *obs.Tracer
 }
 
 // Name implements Executor.
@@ -31,6 +36,9 @@ func (e *RowEngine) Execute(q Query) (*Result, error) {
 	if q.Snapshot != nil && !e.Tbl.HasMVCC() {
 		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
 	}
+
+	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
+	defer e.Tracer.End()
 
 	memStart := e.Sys.Mem.Stats()
 	hierStart := e.Sys.Hier.Stats()
@@ -94,5 +102,6 @@ func (e *RowEngine) Execute(q Query) (*Result, error) {
 
 	res := cons.finish(e.Name(), scanned)
 	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
 	return res, nil
 }

@@ -1,0 +1,36 @@
+package fabric
+
+import "rfabric/internal/obs"
+
+// Delta returns the counters accumulated since prev. All Stats fields are
+// monotonically increasing, so a component-wise subtraction is exact.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		RowsScanned:   s.RowsScanned - prev.RowsScanned,
+		RowsShipped:   s.RowsShipped - prev.RowsShipped,
+		BytesShipped:  s.BytesShipped - prev.BytesShipped,
+		LinesShipped:  s.LinesShipped - prev.LinesShipped,
+		BytesGathered: s.BytesGathered - prev.BytesGathered,
+		GatherCycles:  s.GatherCycles - prev.GatherCycles,
+		ComputeCycles: s.ComputeCycles - prev.ComputeCycles,
+		Chunks:        s.Chunks - prev.Chunks,
+		Aggregates:    s.Aggregates - prev.Aggregates,
+	}
+}
+
+// Publish adds this stats snapshot (typically a Delta) into the registry as
+// rfabric_fabric_* counters.
+func (s Stats) Publish(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("rfabric_fabric_rows_scanned_total", labels).Add(s.RowsScanned)
+	reg.Counter("rfabric_fabric_rows_shipped_total", labels).Add(s.RowsShipped)
+	reg.Counter("rfabric_fabric_bytes_shipped_total", labels).Add(s.BytesShipped)
+	reg.Counter("rfabric_fabric_lines_shipped_total", labels).Add(s.LinesShipped)
+	reg.Counter("rfabric_fabric_bytes_gathered_total", labels).Add(s.BytesGathered)
+	reg.Counter("rfabric_fabric_gather_cycles_total", labels).Add(s.GatherCycles)
+	reg.Counter("rfabric_fabric_compute_cycles_total", labels).Add(s.ComputeCycles)
+	reg.Counter("rfabric_fabric_chunks_total", labels).Add(s.Chunks)
+	reg.Counter("rfabric_fabric_aggregates_total", labels).Add(s.Aggregates)
+}

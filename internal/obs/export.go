@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4), sorted by name and labels so output is
+// deterministic and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	cs, gs, hs := r.snapshot()
+	var lastType string
+	typeLine := func(name, kind string) {
+		if name != lastType {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+			lastType = name
+		}
+	}
+	for _, c := range cs {
+		typeLine(c.name, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", c.name, c.labels, c.Value())
+	}
+	for _, g := range gs {
+		typeLine(g.name, "gauge")
+		fmt.Fprintf(w, "%s%s %g\n", g.name, g.labels, g.Value())
+	}
+	for _, h := range hs {
+		typeLine(h.name, "histogram")
+		h.mu.Lock()
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, withLabel(h.labels, "le", fmt.Sprintf("%g", bound)), cum)
+		}
+		cum += h.buckets[len(h.bounds)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, withLabel(h.labels, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.name, h.labels, h.sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, h.labels, h.count)
+		h.mu.Unlock()
+	}
+	return nil
+}
+
+// withLabel splices one extra label into an already-canonical label block.
+func withLabel(labels, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+// SeriesJSON is the JSON export shape of one series.
+type SeriesJSON struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Count  uint64  `json:"count,omitempty"`
+	Sum    float64 `json:"sum,omitempty"`
+}
+
+// ExportJSON is the full registry dump.
+type ExportJSON struct {
+	Counters   []SeriesJSON `json:"counters"`
+	Gauges     []SeriesJSON `json:"gauges"`
+	Histograms []SeriesJSON `json:"histograms"`
+}
+
+// WriteJSON renders every series as one JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	cs, gs, hs := r.snapshot()
+	out := ExportJSON{
+		Counters:   make([]SeriesJSON, 0, len(cs)),
+		Gauges:     make([]SeriesJSON, 0, len(gs)),
+		Histograms: make([]SeriesJSON, 0, len(hs)),
+	}
+	for _, c := range cs {
+		out.Counters = append(out.Counters, SeriesJSON{Name: c.name, Labels: c.labels, Value: float64(c.Value())})
+	}
+	for _, g := range gs {
+		out.Gauges = append(out.Gauges, SeriesJSON{Name: g.name, Labels: g.labels, Value: g.Value()})
+	}
+	for _, h := range hs {
+		out.Histograms = append(out.Histograms, SeriesJSON{Name: h.name, Labels: h.labels, Count: h.Count(), Sum: h.Sum()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric series. Handles returned by Counter, Gauge,
+// and Histogram are stable for the registry's lifetime, so hot paths fetch
+// them once and publish through atomics; the registry lock is only taken on
+// first registration and on export. A disabled registry makes every publish
+// a no-op (one atomic load), the opt-out the deterministic experiment
+// harnesses rely on.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	disabled atomic.Bool
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// SetDisabled toggles publishing. Export still renders whatever was
+// recorded while enabled.
+func (r *Registry) SetDisabled(d bool) { r.disabled.Store(d) }
+
+// Disabled reports whether publishing is off.
+func (r *Registry) Disabled() bool { return r.disabled.Load() }
+
+// Counter returns (registering on first use) the counter series name+labels.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	key := name + labels.canonical()
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{name: name, labels: labels.canonical(), disabled: &r.disabled}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge series name+labels.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	key := name + labels.canonical()
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{name: name, labels: labels.canonical(), disabled: &r.disabled}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram series
+// name+labels, bucketed by DefaultBuckets.
+func (r *Registry) Histogram(name string, labels Labels) *Histogram {
+	key := name + labels.canonical()
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[key]; ok {
+		return h
+	}
+	h = &Histogram{
+		name:     name,
+		labels:   labels.canonical(),
+		bounds:   DefaultBuckets(),
+		buckets:  make([]uint64, len(DefaultBuckets())+1),
+		disabled: &r.disabled,
+	}
+	r.hists[key] = h
+	return h
+}
+
+// snapshot returns sorted copies of every series for the exporters.
+func (r *Registry) snapshot() (cs []*Counter, gs []*Gauge, hs []*Histogram) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	for _, g := range r.gauges {
+		gs = append(gs, g)
+	}
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name+cs[i].labels < cs[j].name+cs[j].labels })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name+gs[i].labels < gs[j].name+gs[j].labels })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name+hs[i].labels < hs[j].name+hs[j].labels })
+	return cs, gs, hs
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	name     string
+	labels   string
+	v        atomic.Uint64
+	disabled *atomic.Bool
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || c.disabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time value series.
+type Gauge struct {
+	name     string
+	labels   string
+	bits     atomic.Uint64
+	disabled *atomic.Bool
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.disabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultBuckets returns the exponential bucket bounds shared by every
+// histogram: powers of four from 256 up to ~6.9e10, a range that covers
+// modeled cycle counts from a single cache hit to a paper-scale TPC-H scan.
+func DefaultBuckets() []float64 {
+	out := make([]float64, 0, 14)
+	for b := 256.0; b < 1e11; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket distribution series (cumulative buckets in
+// the Prometheus sense are computed at export time).
+type Histogram struct {
+	name     string
+	labels   string
+	disabled *atomic.Bool
+
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []uint64 // len(bounds)+1; last is the +Inf overflow
+	count   uint64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.disabled.Load() {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}

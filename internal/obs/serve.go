@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NewMux builds the live-export HTTP surface:
+//
+//	GET /metrics          — Prometheus text exposition of reg
+//	GET /metrics.json     — JSON dump of reg
+//	GET /debug/trace/last — the most recent query trace as JSON
+//
+// Both rfbench -serve and embedding applications mount it; tests drive it
+// through net/http/httptest.
+func NewMux(reg *Registry, last *LastTrace) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace/last", func(w http.ResponseWriter, req *http.Request) {
+		t := last.Load()
+		if t == nil {
+			http.Error(w, `{"error":"no trace recorded yet"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t)
+	})
+	return mux
+}

@@ -17,12 +17,14 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"rfabric/internal/engine"
 	"rfabric/internal/expr"
 	"rfabric/internal/geometry"
+	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -40,6 +42,15 @@ type Table struct {
 	// negative means runtime.GOMAXPROCS(0). Results are identical for every
 	// value; only modeled coordinator time and wall-clock time change.
 	Workers int
+
+	// Tracer, when set, receives a span whose schedule/merge leaves
+	// reconcile with Result.Cycles; per-shard sub-traces hang under a
+	// Detail subtree (their modeled time overlaps the makespan). Each
+	// touched shard gets its own private tracer, adopted in shard order
+	// after the workers join, so tracing never perturbs determinism.
+	Tracer *obs.Tracer
+	// Reg, when set, receives rfabric_shard_* series describing each run.
+	Reg *obs.Registry
 }
 
 type node struct {
@@ -203,12 +214,28 @@ func (t *Table) Execute(q engine.Query) (*Result, error) {
 	lo, hi := t.keyRange(q.Selection)
 	touched := t.prune(lo, hi)
 
+	sp := t.Tracer.Begin("SHARD.execute")
+	defer t.Tracer.End()
+	sp.SetAttr("engine", "SHARD")
+	sp.SetAttr("table", t.name)
+
 	workers := t.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(touched) {
 		workers = len(touched)
+	}
+
+	// Per-shard tracers: each worker writes only its own slot; sub-roots
+	// are adopted in shard order after the join so the span tree is
+	// deterministic under any scheduling.
+	var tracers []*obs.Tracer
+	if sp != nil {
+		tracers = make([]*obs.Tracer, len(touched))
+		for i, s := range touched {
+			tracers[i] = obs.NewTracer(fmt.Sprintf("shard[%d]", s))
+		}
 	}
 
 	// Scatter: workers pull touched shards off a shared counter and run
@@ -221,6 +248,9 @@ func (t *Table) Execute(q engine.Query) (*Result, error) {
 		n := t.nodes[touched[i]]
 		n.sys.ResetState()
 		eng := &engine.RMEngine{Tbl: n.tbl, Sys: n.sys, PushSelection: true}
+		if tracers != nil {
+			eng.Tracer = tracers[i]
+		}
 		results[i], errs[i] = eng.Execute(q)
 	}
 	if workers <= 1 {
@@ -285,6 +315,26 @@ func (t *Table) Execute(q engine.Query) (*Result, error) {
 	}
 	out.Cycles = engine.ScheduleCycles(perShard, workers) +
 		uint64(len(touched))*mergeCyclesPerShard
+	if sp != nil {
+		mergeCharge := uint64(len(touched)) * mergeCyclesPerShard
+		sp.Leaf("schedule.makespan", out.Cycles-mergeCharge, 0)
+		sp.Leaf("merge", mergeCharge, 0)
+		sp.SetAttr("workers", strconv.Itoa(workers))
+		sp.SetAttr("shards_touched", strconv.Itoa(len(touched)))
+		sp.SetAttr("shards_total", strconv.Itoa(len(t.nodes)))
+		detail := sp.AddChild("shards")
+		detail.Detail = true
+		for _, tr := range tracers {
+			detail.Adopt(tr.Root())
+		}
+	}
+	if t.Reg != nil {
+		labels := obs.Labels{"table": t.name}
+		t.Reg.Counter("rfabric_shard_queries_total", labels).Add(1)
+		t.Reg.Counter("rfabric_shard_shards_touched_total", labels).Add(uint64(len(touched)))
+		t.Reg.Counter("rfabric_shard_shards_pruned_total", labels).Add(uint64(len(t.nodes) - len(touched)))
+		t.Reg.Counter("rfabric_shard_cycles_total", labels).Add(out.Cycles)
+	}
 
 	if mergedAggs != nil {
 		out.Aggs = make([]table.Value, len(mergedAggs))

@@ -28,6 +28,7 @@ import (
 	"rfabric/internal/fabric"
 	"rfabric/internal/geometry"
 	"rfabric/internal/mvcc"
+	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -194,6 +195,32 @@ func WithSnapshot(ts uint64) ViewOption { return fabric.WithSnapshot(ts) }
 
 // WithSelection pushes predicates into the fabric.
 func WithSelection(preds Conjunction) ViewOption { return fabric.WithSelection(preds) }
+
+// Observability surface.
+type (
+	// Registry holds the metric series the simulated fabric publishes;
+	// attach one with DB.SetObserver and export it with WritePrometheus or
+	// WriteJSON (or serve it through obs.NewMux / rfbench -serve).
+	Registry = obs.Registry
+	// Labels key one metric series (engine kind, table, component).
+	Labels = obs.Labels
+	// Tracer builds one query's span tree; engines accept one through
+	// their Tracer field. Nil means zero tracing overhead.
+	Tracer = obs.Tracer
+	// Span is one node of a trace tree with modeled cycle and byte
+	// attributions.
+	Span = obs.Span
+	// Trace is a finished EXPLAIN ANALYZE artifact; Render writes the
+	// human-readable tree.
+	Trace = obs.Trace
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer starts a trace rooted at a span named name, for callers driving
+// engines directly; DB.QueryTraced does this internally.
+func NewTracer(name string) *Tracer { return obs.NewTracer(name) }
 
 // Transactions.
 type (
