@@ -5,6 +5,8 @@
 //
 //	rfbench [flags] <experiment>...
 //	rfbench -serve :8080
+//	rfbench -bench [-bench-name NAME] [<experiment>...]
+//	rfbench -compare [-tolerance PCT] old.json new.json
 //
 // Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, abl-prefetch,
 // abl-buffer, abl-clock, abl-banks, abl-mvcc, abl-pushdown, abl-index,
@@ -22,7 +24,13 @@
 //	-json           emit results as a JSON array instead of tables
 //	-serve addr     serve live observability over a demo TPC-H database:
 //	                GET /metrics (Prometheus), /metrics.json,
-//	                /debug/trace/last, /query?q=SQL
+//	                /debug/trace/last, /debug/trace/last.chrome, /query?q=SQL
+//	-bench          record the experiments (default: fig5, par-speedup) into
+//	                BENCH_<name>.json for regression gating
+//	-bench-name s   record name for -bench output (default tier1)
+//	-compare        gate new.json against old.json; exits non-zero when any
+//	                cycle metric grew past -tolerance percent
+//	-tolerance T    percent cycle growth -compare tolerates (default 5)
 package main
 
 import (
@@ -45,6 +53,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	serveAddr := flag.String("serve", "", "serve live metrics and traces on this address (e.g. :8080)")
+	benchOut := flag.Bool("bench", false, "record experiments into BENCH_<name>.json for regression gating")
+	benchName := flag.String("bench-name", "tier1", "record name for -bench output")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json records: rfbench -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 5, "percent cycle growth -compare tolerates before failing")
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
@@ -78,6 +90,23 @@ func main() {
 	if *serveAddr != "" {
 		if err := serve(*serveAddr, *rows, *seed); err != nil {
 			fatalf("serve: %v", err)
+		}
+		return
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two record files: rfbench -compare old.json new.json")
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	if *benchOut {
+		if err := runBench(flag.Args(), opt, *benchName); err != nil {
+			fatalf("bench: %v", err)
 		}
 		return
 	}

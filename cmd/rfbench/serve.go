@@ -17,10 +17,12 @@ import (
 // attached and one traced Q6 already run so /metrics and /debug/trace/last
 // are populated from the first scrape.
 //
-//	GET /metrics          — Prometheus text exposition
-//	GET /metrics.json     — the same registry as JSON
-//	GET /debug/trace/last — most recent query trace (span tree) as JSON
-//	GET /query?q=SQL      — run a traced query; returns result + trace
+//	GET /metrics                 — Prometheus text exposition
+//	GET /metrics.json            — the same registry as JSON
+//	GET /debug/trace/last        — most recent query trace (span tree) as JSON
+//	GET /debug/trace/last.chrome — same trace as Chrome Trace Event JSON
+//	                               (open it in ui.perfetto.dev)
+//	GET /query?q=SQL             — run a traced query; returns result + trace
 func serve(addr string, rows int, seed int64) error {
 	db, err := rfabric.Open(rfabric.DefaultConfig())
 	if err != nil {
@@ -39,7 +41,7 @@ func serve(addr string, rows int, seed int64) error {
 	var last obs.LastTrace
 	var mu sync.Mutex // the DB façade is single-threaded; serialize queries
 
-	res, trace, err := db.ExecuteTraced(rfabric.RM, "lineitem", tpch.Q6())
+	res, trace, err := db.ExecuteTraced(rfabric.RM, "lineitem", tpch.Q6(), rfabric.WithTimeline(0))
 	if err != nil {
 		return fmt.Errorf("warmup Q6: %w", err)
 	}
@@ -55,7 +57,7 @@ func serve(addr string, rows int, seed int64) error {
 			return
 		}
 		mu.Lock()
-		res, trace, err := db.QueryTraced(q)
+		res, trace, err := db.QueryTraced(q, rfabric.WithTimeline(0))
 		mu.Unlock()
 		if err != nil {
 			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)

@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	rfquery [-rows N] [-engine RM|ROW|COL|all] "SELECT ... FROM lineitem ..."
+//	rfquery [-rows N] [-engine RM|ROW|COL|all] [-explain] "SELECT ... FROM lineitem ..."
 //
 // With no query argument, rfquery runs a small demo set including TPC-H Q1
-// and Q6.
+// and Q6. With -explain, each query additionally prints its EXPLAIN ANALYZE
+// span tree — parse, plan, engine dispatch, per-morsel/per-chunk execution —
+// with modeled cycles and bytes per node.
 package main
 
 import (
@@ -35,6 +37,7 @@ var demoQueries = []string{
 func main() {
 	rows := flag.Int("rows", 50_000, "lineitem rows to generate")
 	engineFlag := flag.String("engine", "all", "execution path: RM, ROW, COL, AUTO, or all")
+	explain := flag.Bool("explain", false, "print each run's EXPLAIN ANALYZE span tree")
 	flag.Parse()
 
 	db, err := rfabric.Open(rfabric.DefaultConfig())
@@ -78,9 +81,18 @@ func main() {
 		fmt.Println("query:", query)
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "engine\trows\tcycles\tbytes-from-DRAM\tbytes-to-CPU\tresult")
+		var traces []*rfabric.Trace
 		for _, kind := range kinds {
 			db.System().ResetState()
-			res, err := db.QueryOn(kind, query)
+			var res *rfabric.Result
+			var err error
+			if *explain {
+				var trace *rfabric.Trace
+				res, trace, err = db.QueryTraced(query, rfabric.OnEngine(kind))
+				traces = append(traces, trace)
+			} else {
+				res, err = db.QueryOn(kind, query)
+			}
 			if err != nil {
 				fatalf("%s: %v", kind, err)
 			}
@@ -89,6 +101,10 @@ func main() {
 				res.Breakdown.BytesFromDRAM, res.Breakdown.BytesToCPU, summarize(res))
 		}
 		w.Flush()
+		for _, trace := range traces {
+			fmt.Println()
+			trace.Render(os.Stdout)
+		}
 	}
 }
 

@@ -279,7 +279,11 @@ func TestDBWorkerCountDeterminism(t *testing.T) {
 // byte-identical results to each other and to the untraced run, every
 // breakdown component except the modeled makespan matches, each span tree
 // reconciles with its own breakdown, and the per-morsel detail subtrees are
-// identical — morsel boundaries and partials depend only on MorselRows.
+// identical — morsel boundaries and partials depend only on MorselRows. The
+// only worker-dependent detail metadata is the schedule placement (the
+// worker/start_cycles attrs on each morsel root), which describes the list
+// schedule and so varies with the pool size by design; it is stripped
+// before the comparison.
 func TestTracedWorkerCountDeterminism(t *testing.T) {
 	db := itemsDB(t, 4000)
 	stmts := []string{
@@ -315,6 +319,12 @@ func TestTracedWorkerCountDeterminism(t *testing.T) {
 			if detail == nil {
 				t.Fatalf("%s (%d workers): trace has no morsels subtree", stmt, workers)
 			}
+			for _, m := range detail.Children {
+				if _, ok := m.Attr("worker"); !ok {
+					t.Errorf("%s (%d workers): morsel root %s has no schedule placement", stmt, workers, m.Name)
+				}
+				stripScheduleAttrs(m)
+			}
 			morsels, err := json.Marshal(detail)
 			if err != nil {
 				t.Fatal(err)
@@ -340,6 +350,20 @@ func TestTracedWorkerCountDeterminism(t *testing.T) {
 }
 
 // itemsDB builds a plain (non-MVCC) items table for the read-only tests.
+// stripScheduleAttrs removes the worker-count-dependent schedule placement
+// from a morsel sub-root so the rest of the subtree can be compared
+// byte-for-byte across worker sweeps.
+func stripScheduleAttrs(s *Span) {
+	kept := s.Attrs[:0]
+	for _, a := range s.Attrs {
+		if a.Key == "worker" || a.Key == "start_cycles" {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	s.Attrs = kept
+}
+
 func itemsDB(t *testing.T, rows int) *DB {
 	t.Helper()
 	schema, err := NewSchema(

@@ -223,7 +223,9 @@ func (db *DB) Execute(kind EngineKind, tableName string, q Query) (*Result, erro
 // the observer registry. AUTO's recursion goes through execute directly, so
 // a query publishes exactly once no matter how it was routed.
 func (db *DB) run(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result, error) {
-	if db.reg == nil {
+	if db.reg == nil || db.reg.Disabled() {
+		// With no observer — or a disabled one — the query path carries no
+		// observability work at all beyond this check (one atomic load).
 		return db.execute(kind, t, q, tr)
 	}
 	memStart := db.sys.Mem.Stats()
@@ -239,6 +241,11 @@ func (db *DB) run(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result
 		db.reg.Histogram("rfabric_query_cycles", labels).Observe(float64(res.Breakdown.TotalCycles))
 		db.reg.Counter("rfabric_rows_scanned_total", labels).Add(uint64(res.RowsScanned))
 		db.reg.Counter("rfabric_rows_passed_total", labels).Add(uint64(res.RowsPassed))
+		// Latency distribution per resolved engine: AUTO and RM-routed-to-PAR
+		// queries land under the engine that actually ran, so the p50/p95/p99
+		// estimates compare execution paths rather than routing labels.
+		db.reg.Histogram("rfabric_query_latency_cycles", obs.Labels{"engine": res.Engine}).
+			Observe(float64(res.Breakdown.TotalCycles))
 	}
 	// Hardware counters move on the DB's shared System. PAR morsels run on
 	// private clones whose traffic shows up in the query-level series via

@@ -28,12 +28,25 @@ func (db *DB) LastTrace() *Trace { return db.last.Load() }
 // TraceOption configures a traced query.
 type TraceOption func(*traceOpts)
 
-type traceOpts struct{ kind EngineKind }
+type traceOpts struct {
+	kind     EngineKind
+	sample   bool
+	interval uint64
+}
 
 // OnEngine routes the traced query to the chosen execution path instead of
 // the default RM.
 func OnEngine(kind EngineKind) TraceOption {
 	return func(o *traceOpts) { o.kind = kind }
+}
+
+// WithTimeline additionally samples hardware state every everyCycles modeled
+// cycles during the run — row-buffer hit rate, per-bank occupancy, cache
+// miss ratio, fabric pipeline occupancy and stall, busy workers — and
+// attaches the series to the returned Trace (and its Chrome-trace export).
+// Zero means obs.DefaultTimelineInterval.
+func WithTimeline(everyCycles uint64) TraceOption {
+	return func(o *traceOpts) { o.sample = true; o.interval = everyCycles }
 }
 
 // QueryTraced is EXPLAIN ANALYZE: it parses, plans, and executes the
@@ -71,30 +84,45 @@ func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, e
 	}
 	tr.End()
 
-	return db.runTraced(o.kind, t, q, query, tr)
+	return db.runTraced(o, t, q, query, tr)
 }
 
 // ExecuteTraced is the Execute counterpart of QueryTraced, for callers that
-// build logical queries directly.
-func (db *DB) ExecuteTraced(kind EngineKind, tableName string, q Query) (*Result, *Trace, error) {
+// build logical queries directly. The kind argument overrides any OnEngine
+// option.
+func (db *DB) ExecuteTraced(kind EngineKind, tableName string, q Query, opts ...TraceOption) (*Result, *Trace, error) {
 	t, ok := db.tables[tableName]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
 	}
+	o := traceOpts{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.kind = kind
 	tr := obs.NewTracer("query")
-	return db.runTraced(kind, t, q, "", tr)
+	return db.runTraced(o, t, q, "", tr)
 }
 
-func (db *DB) runTraced(kind EngineKind, t *dbTable, q Query, text string, tr *obs.Tracer) (*Result, *Trace, error) {
-	res, err := db.run(kind, t, q, tr)
+func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, text string, tr *obs.Tracer) (*Result, *Trace, error) {
+	var tl *obs.Timeline
+	if o.sample {
+		tl = obs.NewTimeline(o.interval, db.sys.Cfg.DRAM.Banks)
+		tr.AttachTimeline(tl)
+		db.sys.AttachTimeline(tl)
+		defer db.sys.DetachTimeline()
+	}
+	res, err := db.run(o.kind, t, q, tr)
 	if err != nil {
 		return nil, nil, err
 	}
+	tl.Finish(res.Breakdown.TotalCycles)
 	trace := &Trace{
 		Query:       text,
 		Engine:      res.Engine,
 		TotalCycles: res.Breakdown.TotalCycles,
 		Root:        tr.Root(),
+		Timeline:    tl,
 	}
 	db.last.Store(trace)
 	return res, trace, nil

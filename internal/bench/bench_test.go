@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeResult mimics an experiment result shape: nested structs, a slice of
+// points, per-engine maps, plus fields that must NOT become gated metrics.
+type fakeResult struct {
+	Rows   int
+	Label  string // string leaf: dropped
+	Points []fakePoint
+}
+
+type fakePoint struct {
+	Projectivity int
+	Cycles       map[string]uint64
+	WallNanos    int64 // wall-clock: skipped by flatten
+	Speedup      float64
+}
+
+func fake(rmCycles uint64) fakeResult {
+	return fakeResult{
+		Rows:  8000,
+		Label: "demo",
+		Points: []fakePoint{
+			{Projectivity: 1, Cycles: map[string]uint64{"ROW": 5000, "RM": rmCycles}, WallNanos: 123456, Speedup: 1.0},
+			{Projectivity: 2, Cycles: map[string]uint64{"ROW": 9000, "RM": 2 * rmCycles}, WallNanos: 654321, Speedup: 1.5},
+		},
+	}
+}
+
+func record(t *testing.T, rmCycles uint64) *Record {
+	t.Helper()
+	r := NewRecord("test", 8000, 1)
+	if err := r.AddResult("fig5", fake(rmCycles)); err != nil {
+		t.Fatalf("AddResult: %v", err)
+	}
+	return r
+}
+
+func TestFlattenPathsAndSkips(t *testing.T) {
+	r := record(t, 1000)
+	want := map[string]float64{
+		"fig5.rows":                  8000,
+		"fig5.points.0.projectivity": 1,
+		"fig5.points.0.cycles.row":   5000,
+		"fig5.points.0.cycles.rm":    1000,
+		"fig5.points.0.speedup":      1.0,
+		"fig5.points.1.projectivity": 2,
+		"fig5.points.1.cycles.row":   9000,
+		"fig5.points.1.cycles.rm":    2000,
+		"fig5.points.1.speedup":      1.5,
+	}
+	if len(r.Metrics) != len(want) {
+		t.Errorf("got %d metrics, want %d: %v", len(r.Metrics), len(want), r.Metrics)
+	}
+	for k, v := range want {
+		if got, ok := r.Metrics[k]; !ok || got != v {
+			t.Errorf("metric %q = %v (present %v), want %v", k, got, ok, v)
+		}
+	}
+	for k := range r.Metrics {
+		if strings.Contains(k, "wall") || strings.Contains(k, "label") {
+			t.Errorf("non-metric leaf leaked into record: %q", k)
+		}
+	}
+}
+
+// TestCompareDetectsInjectedRegression is the acceptance check: a 10% cycle
+// regression must trip a 5% gate and name the exact metrics that moved.
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	base := record(t, 1000)
+	slower := record(t, 1100) // +10% on every RM cycle metric
+
+	regs, err := Compare(base, slower, 5)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (both RM points): %v", len(regs), regs)
+	}
+	for _, g := range regs {
+		if !strings.Contains(g.Key, "cycles.rm") {
+			t.Errorf("regression on unexpected metric %q", g.Key)
+		}
+		if g.Percent < 9.9 || g.Percent > 10.1 {
+			t.Errorf("regression %q reports %.2f%%, want ~10%%", g.Key, g.Percent)
+		}
+	}
+
+	// The same delta passes a looser gate.
+	regs, err = Compare(base, slower, 15)
+	if err != nil {
+		t.Fatalf("Compare at 15%%: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("15%% gate flagged %v, want none", regs)
+	}
+}
+
+func TestCompareIgnoresImprovementsAndNonCycles(t *testing.T) {
+	base := record(t, 1000)
+	faster := record(t, 900) // -10%: improvements never gate
+	regs, err := Compare(base, faster, 5)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regs)
+	}
+
+	// A non-cycle metric blowing up is not gated.
+	moved := record(t, 1000)
+	moved.Metrics["fig5.points.0.speedup"] = 99
+	if regs, _ = Compare(base, moved, 5); len(regs) != 0 {
+		t.Errorf("non-cycle metric gated: %v", regs)
+	}
+}
+
+func TestCompareMetadataMismatch(t *testing.T) {
+	base := record(t, 1000)
+	other := NewRecord("test", 16000, 1)
+	if _, err := Compare(base, other, 5); err == nil {
+		t.Error("rows mismatch not rejected")
+	}
+	other = NewRecord("test", 8000, 2)
+	if _, err := Compare(base, other, 5); err == nil {
+		t.Error("seed mismatch not rejected")
+	}
+}
+
+func TestCompareMissingMetric(t *testing.T) {
+	base := record(t, 1000)
+	cur := record(t, 1000)
+	delete(cur.Metrics, "fig5.points.0.cycles.rm")
+	regs, err := Compare(base, cur, 5)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 1 || regs[0].New != -1 {
+		t.Fatalf("missing metric not reported: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Errorf("missing-metric message unclear: %q", regs[0])
+	}
+}
+
+func TestRecordRoundTripDeterministic(t *testing.T) {
+	r := record(t, 1000)
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Name != r.Name || got.Rows != r.Rows || got.Seed != r.Seed || len(got.Metrics) != len(r.Metrics) {
+		t.Fatalf("round trip changed the record: %+v vs %+v", got, r)
+	}
+
+	// Two marshals of equal records are byte-identical — the property the
+	// committed baseline relies on.
+	a, _ := json.MarshalIndent(r, "", "  ")
+	b, _ := json.MarshalIndent(record(t, 1000), "", "  ")
+	if !bytes.Equal(a, b) {
+		t.Error("equal records marshal differently")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"rfabric/internal/dram"
+	"rfabric/internal/obs"
 )
 
 // LevelConfig sizes one cache level.
@@ -258,6 +259,7 @@ type Hierarchy struct {
 	streams []stream
 	tick    uint64
 	stats   Stats
+	tl      *obs.Timeline // optional cycle sampler; nil-safe hooks
 
 	// MLP tracking: loads since the last demand miss and the bank it hit.
 	loadsSinceMiss int
@@ -305,6 +307,10 @@ func (h *Hierarchy) Clone(mem *dram.Module) (*Hierarchy, error) {
 	return NewHierarchy(h.cfg, mem)
 }
 
+// SetTimeline attaches (or, with nil, detaches) a cycle sampler. Clones do
+// not inherit it (see dram.Module.SetTimeline).
+func (h *Hierarchy) SetTimeline(tl *obs.Timeline) { h.tl = tl }
+
 // Stats returns a copy of the accumulated statistics.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
@@ -343,6 +349,7 @@ func (h *Hierarchy) Load(addr int64) uint64 {
 	if _, ok := h.l1.lookup(addr); ok {
 		h.stats.L1Hits++
 		h.stats.Cycles += cost
+		h.tl.CacheLoad(false)
 		return cost
 	}
 	cost += uint64(h.cfg.L2.HitCycles)
@@ -359,6 +366,7 @@ func (h *Hierarchy) Load(addr int64) uint64 {
 		h.l1.insert(addr, false)
 		h.train(addr)
 		h.stats.Cycles += cost
+		h.tl.CacheLoad(false)
 		return cost
 	}
 	// Demand miss to DRAM. The full DRAM time always lands in the module's
@@ -384,6 +392,7 @@ func (h *Hierarchy) Load(addr int64) uint64 {
 	h.l1.insert(addr, false)
 	h.train(addr)
 	h.stats.Cycles += cost
+	h.tl.CacheLoad(true)
 	return cost
 }
 

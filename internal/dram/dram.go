@@ -13,6 +13,8 @@ package dram
 
 import (
 	"fmt"
+
+	"rfabric/internal/obs"
 )
 
 // Config parameterizes the DRAM module. All latencies are in CPU cycles.
@@ -111,6 +113,7 @@ type Module struct {
 	cfg     Config
 	openRow []int64 // per-bank open row id, -1 when closed
 	stats   Stats
+	tl      *obs.Timeline // optional cycle sampler; nil-safe hooks
 
 	bankShift uint // log2(LineBytes): bank selected by line index
 	bankMask  int64
@@ -158,6 +161,11 @@ func (m *Module) Config() Config { return m.cfg }
 // clone because a Module is single-owner state.
 func (m *Module) Clone() *Module { return MustNew(m.cfg) }
 
+// SetTimeline attaches (or, with nil, detaches) a cycle sampler. Clones do
+// not inherit it: parallel workers run on private modules whose accesses
+// would double-count against the shared query timeline.
+func (m *Module) SetTimeline(tl *obs.Timeline) { m.tl = tl }
+
 // Stats returns a copy of the accumulated statistics.
 func (m *Module) Stats() Stats { return m.stats }
 
@@ -197,8 +205,9 @@ func (m *Module) Access(addr int64) uint64 {
 func (m *Module) accessCost(addr int64) uint64 {
 	bank := m.bankOf(addr)
 	row := m.rowOf(addr)
+	hit := m.openRow[bank] == row
 	var cost uint64
-	if m.openRow[bank] == row {
+	if hit {
 		m.stats.RowHits++
 		cost = uint64(m.cfg.RowHitCycles)
 	} else {
@@ -206,7 +215,9 @@ func (m *Module) accessCost(addr int64) uint64 {
 		m.openRow[bank] = row
 		cost = uint64(m.cfg.RowMissCycles)
 	}
-	return cost + uint64(m.cfg.BurstCycles)
+	cost += uint64(m.cfg.BurstCycles)
+	m.tl.DRAMAccess(bank, cost, hit)
+	return cost
 }
 
 // AccessBatch serves a set of line addresses that a parallel requester (the

@@ -39,13 +39,15 @@ func (m *Module) GatherBatch(reqs []GatherReq) uint64 {
 			// change), not the full CAS latency — requests to an open row
 			// pipeline at burst rate.
 			cost := uint64(m.cfg.BurstCycles)
-			if m.openRow[bank] == row {
+			hit := m.openRow[bank] == row
+			if hit {
 				m.stats.RowHits++
 			} else {
 				m.stats.RowMisses++
 				m.openRow[bank] = row
 				cost += uint64(m.cfg.RowMissCycles - m.cfg.RowHitCycles)
 			}
+			m.tl.DRAMAccess(bank, cost, hit)
 			perBank[bank] += cost
 			m.stats.Accesses++
 			bytes += uint64(m.cfg.BurstBytes)

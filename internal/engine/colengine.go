@@ -51,6 +51,7 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 	hierStart := e.Sys.Hier.Stats()
 	var compute uint64
 	cons := newConsumer(q, sch, &compute)
+	tk := newTicker(e.Tracer)
 
 	rows := e.Store.NumRows()
 
@@ -76,6 +77,9 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 			// passes read-modify-write it and pay the load.
 			bitmap = make([]bool, rows)
 			for r := 0; r < rows; r++ {
+				if tk.tl != nil {
+					tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+				}
 				e.Sys.Hier.Load(e.Store.ValueAddr(col, r))
 				compute += VectorOpCycles + MaterializeCycles
 				bitmap[r] = p.Eval(table.DecodeColumn(sch.Column(col), data[r*w:]))
@@ -83,6 +87,9 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 			continue
 		}
 		for r := 0; r < rows; r++ {
+			if tk.tl != nil {
+				tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+			}
 			e.Sys.Hier.Load(e.Store.ValueAddr(col, r))
 			e.Sys.Hier.Load(bitmapAddr + int64(r))
 			compute += VectorOpCycles + MaterializeCycles
@@ -119,6 +126,9 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 	var epoch int64
 
 	for _, r := range sel {
+		if tk.tl != nil {
+			tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+		}
 		epoch++
 		row := r
 		fetch := func(col int) table.Value {
@@ -142,6 +152,7 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 	}
 
 	res := cons.finish(e.Name(), int64(rows))
+	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
 	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
 	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
 	return res, nil

@@ -101,6 +101,7 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 	cons := newConsumer(q, sch, &compute)
 
 	candidates := e.Idx.Range(e.Sys.Hier, lo, hi)
+	tk := newTicker(e.Tracer)
 
 	numCols := sch.NumColumns()
 	vals := make([]table.Value, numCols)
@@ -111,6 +112,9 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 	var epoch int64
 
 	for _, r := range candidates {
+		if tk.tl != nil {
+			tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+		}
 		epoch++
 		if e.Tbl.HasMVCC() {
 			e.Sys.Hier.Load(e.Tbl.RowAddr(r))
@@ -152,6 +156,7 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 	}
 
 	res := cons.finish(e.Name(), int64(len(candidates)))
+	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
 	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
 	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
 	return res, nil

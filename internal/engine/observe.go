@@ -83,3 +83,24 @@ func beginEngineSpan(tr *obs.Tracer, engine, tbl string) *obs.Span {
 
 // morselSpanName labels one morsel's sub-trace.
 func morselSpanName(i int) string { return fmt.Sprintf("morsel[%d]", i) }
+
+// ticker drives a traced run's Timeline clock from the engine's natural
+// progress points. Engines feed it the cumulative cycles charged so far
+// (demand-path: hierarchy cycles + compute; pipeline: the running pipeline
+// total) and it forwards monotone deltas to the sampler. With no timeline
+// attached the per-iteration cost is one nil check on tk.tl.
+type ticker struct {
+	tl   *obs.Timeline
+	last uint64
+}
+
+func newTicker(tr *obs.Tracer) ticker { return ticker{tl: tr.Timeline()} }
+
+// advance moves the timeline clock to charged cumulative cycles.
+func (t *ticker) advance(charged uint64) {
+	if t.tl == nil || charged <= t.last {
+		return
+	}
+	t.tl.Tick(charged - t.last)
+	t.last = charged
+}

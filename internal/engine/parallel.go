@@ -160,9 +160,25 @@ func (e *ParallelEngine) Execute(q Query) (*Result, error) {
 		sp.SetAttr("morsel_rows", strconv.Itoa(par.MorselRows))
 		detail := sp.AddChild("morsels")
 		detail.Detail = true
-		for _, tr := range tracers {
-			detail.Adopt(tr.Root())
+		// Replay the deterministic list schedule to place each morsel on a
+		// worker lane; the placement feeds the Chrome-trace worker lanes and
+		// the timeline's busy-worker series.
+		partTotals := make([]uint64, len(parts))
+		for i, p := range parts {
+			partTotals[i] = p.Breakdown.TotalCycles
 		}
+		workerOf, starts, _ := ScheduleAssignments(partTotals, workers)
+		tl := e.Tracer.Timeline()
+		for i, tr := range tracers {
+			root := tr.Root()
+			root.SetAttr("worker", strconv.Itoa(workerOf[i]))
+			root.SetAttr("start_cycles", strconv.FormatUint(starts[i], 10))
+			detail.Adopt(root)
+			tl.AddWorkerSlice(workerOf[i], morselSpanName(i), starts[i], partTotals[i])
+		}
+		// Morsels ran on System clones, which the timeline does not hook, so
+		// the coordinator drives the clock across the makespan itself.
+		tl.TickThrough(res.Breakdown.TotalCycles)
 	}
 	if e.Reg != nil {
 		labels := obs.Labels{"table": e.Tbl.Name()}
@@ -364,8 +380,18 @@ func (m *partialAgg) result() table.Value {
 // deterministic in the parts and worker count, independent of actual
 // goroutine interleaving.
 func ScheduleCycles(parts []uint64, workers int) uint64 {
+	_, _, makespan := ScheduleAssignments(parts, workers)
+	return makespan
+}
+
+// ScheduleAssignments runs the same greedy list schedule as ScheduleCycles
+// and additionally reports the placement: workerOf[i] is the worker part i
+// ran on and starts[i] its start offset on that worker's lane. The timeline
+// sampler and the Chrome-trace exporter use the placement to reconstruct
+// per-worker busy/idle state deterministically.
+func ScheduleAssignments(parts []uint64, workers int) (workerOf []int, starts []uint64, makespan uint64) {
 	if len(parts) == 0 {
-		return 0
+		return nil, nil, 0
 	}
 	if workers < 1 {
 		workers = 1
@@ -374,20 +400,23 @@ func ScheduleCycles(parts []uint64, workers int) uint64 {
 		workers = len(parts)
 	}
 	load := make([]uint64, workers)
-	for _, p := range parts {
+	workerOf = make([]int, len(parts))
+	starts = make([]uint64, len(parts))
+	for pi, p := range parts {
 		mi := 0
 		for i := 1; i < workers; i++ {
 			if load[i] < load[mi] {
 				mi = i
 			}
 		}
+		workerOf[pi] = mi
+		starts[pi] = load[mi]
 		load[mi] += p
 	}
-	var makespan uint64
 	for _, l := range load {
 		if l > makespan {
 			makespan = l
 		}
 	}
-	return makespan
+	return workerOf, starts, makespan
 }

@@ -112,6 +112,8 @@ func (e *RMEngine) executePushedAggregation(q Query, ev *fabric.Ephemeral, specs
 	if err != nil {
 		return nil, err
 	}
+	tk := newTicker(e.Tracer)
+	tk.advance(agg.ProducerCycles)
 	res := &Result{
 		Engine:      e.Name(),
 		RowsScanned: int64(agg.RowsScanned),
@@ -171,6 +173,7 @@ func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.
 
 	var pipeline, producer uint64
 	var scanned int64
+	tk := newTicker(e.Tracer)
 
 	ev.Reset()
 	for {
@@ -228,6 +231,7 @@ func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.
 		} else {
 			pipeline += consumer
 		}
+		tk.advance(pipeline)
 	}
 
 	res := cons.finish(e.Name(), scanned)

@@ -56,7 +56,11 @@ func (e *RowEngine) Execute(q Query) (*Result, error) {
 
 	rows := e.Tbl.NumRows()
 	var scanned int64
+	tk := newTicker(e.Tracer)
 	for r := 0; r < rows; r++ {
+		if tk.tl != nil {
+			tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+		}
 		compute += VolcanoNextCycles
 		scanned++
 		epoch++
@@ -101,6 +105,7 @@ func (e *RowEngine) Execute(q Query) (*Result, error) {
 	}
 
 	res := cons.finish(e.Name(), scanned)
+	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
 	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
 	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"rfabric/internal/cache"
 	"rfabric/internal/dram"
 	"rfabric/internal/fabric"
+	"rfabric/internal/obs"
 )
 
 // SystemConfig bundles the full simulated platform: DRAM, cache hierarchy,
@@ -65,6 +66,18 @@ func MustSystem(cfg SystemConfig) *System {
 	}
 	return s
 }
+
+// AttachTimeline points every hardware layer's sampler hook at tl for the
+// duration of one traced query. Pass nil (or call DetachTimeline) to stop
+// sampling. Clones made while attached do not inherit the hook.
+func (s *System) AttachTimeline(tl *obs.Timeline) {
+	s.Mem.SetTimeline(tl)
+	s.Hier.SetTimeline(tl)
+	s.Fab.SetTimeline(tl)
+}
+
+// DetachTimeline removes the sampler hooks installed by AttachTimeline.
+func (s *System) DetachTimeline() { s.AttachTimeline(nil) }
 
 // ResetState flushes caches, DRAM row buffers, and all statistics, keeping
 // allocations. Call it between measured runs on a shared System.

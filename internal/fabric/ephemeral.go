@@ -286,6 +286,9 @@ func (ev *Ephemeral) Next() (Chunk, bool) {
 		producer = computeCPU
 	}
 	producer += uint64(e.cfg.RefillCycles)
+	// The datapath is busy for its compute time; the rest of the producer
+	// critical path is stall (waiting on gathers / the refill handshake).
+	e.tl.FabricChunk(computeCPU, producer-computeCPU)
 
 	ev.cursor = end
 

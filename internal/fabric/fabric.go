@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"rfabric/internal/dram"
+	"rfabric/internal/obs"
 )
 
 // Config parameterizes the fabric hardware.
@@ -121,6 +122,7 @@ type Engine struct {
 	mem   *dram.Module
 	arena *dram.Arena
 	stats Stats
+	tl    *obs.Timeline // optional cycle sampler; nil-safe hooks
 }
 
 // New attaches a fabric engine to the DRAM module; delivery windows are
@@ -156,6 +158,10 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Clone(mem *dram.Module, arena *dram.Arena) (*Engine, error) {
 	return New(e.cfg, mem, arena)
 }
+
+// SetTimeline attaches (or, with nil, detaches) a cycle sampler. Clones do
+// not inherit it (see dram.Module.SetTimeline).
+func (e *Engine) SetTimeline(tl *obs.Timeline) { e.tl = tl }
 
 // Stats returns a copy of the accumulated statistics.
 func (e *Engine) Stats() Stats { return e.stats }

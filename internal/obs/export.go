@@ -53,13 +53,18 @@ func withLabel(labels, key, value string) string {
 	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
 }
 
-// SeriesJSON is the JSON export shape of one series.
+// SeriesJSON is the JSON export shape of one series. Histograms carry
+// estimated quantiles (linear interpolation within buckets) alongside
+// count and sum.
 type SeriesJSON struct {
 	Name   string  `json:"name"`
 	Labels string  `json:"labels,omitempty"`
 	Value  float64 `json:"value,omitempty"`
 	Count  uint64  `json:"count,omitempty"`
 	Sum    float64 `json:"sum,omitempty"`
+	P50    float64 `json:"p50,omitempty"`
+	P95    float64 `json:"p95,omitempty"`
+	P99    float64 `json:"p99,omitempty"`
 }
 
 // ExportJSON is the full registry dump.
@@ -84,7 +89,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		out.Gauges = append(out.Gauges, SeriesJSON{Name: g.name, Labels: g.labels, Value: g.Value()})
 	}
 	for _, h := range hs {
-		out.Histograms = append(out.Histograms, SeriesJSON{Name: h.name, Labels: h.labels, Count: h.Count(), Sum: h.Sum()})
+		out.Histograms = append(out.Histograms, SeriesJSON{
+			Name: h.name, Labels: h.labels, Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,75 @@
+package obs
+
+import "testing"
+
+// The observability layer's contract is that opting out costs (almost)
+// nothing: a disabled registry reduces every publish to one atomic load, and
+// nil *Tracer / *Timeline hooks no-op. These tests pin the allocation half
+// of that contract; the benchmarks below put a number on the cycle half.
+
+func TestDisabledRegistryPublishesDoNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	labels := Labels{"engine": "RM"}
+	c := reg.Counter("rfabric_test_total", labels)
+	g := reg.Gauge("rfabric_test_gauge", labels)
+	h := reg.Histogram("rfabric_test_cycles", labels)
+	reg.SetDisabled(true)
+
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(42)
+		h.Observe(1234)
+	}); n != 0 {
+		t.Errorf("disabled publishes allocate %.1f times per run, want 0", n)
+	}
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Errorf("disabled publishes still recorded: counter=%d histogram=%d", c.Value(), h.Count())
+	}
+
+	reg.SetDisabled(false)
+	c.Add(1)
+	h.Observe(1234)
+	if c.Value() != 1 || h.Count() != 1 {
+		t.Errorf("re-enabled publishes lost: counter=%d histogram=%d", c.Value(), h.Count())
+	}
+}
+
+func TestNilHooksDoNotAllocate(t *testing.T) {
+	var tr *Tracer
+	var tl *Timeline
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Begin("span")
+		tr.End()
+		tr.Root()
+		tr.Timeline()
+		tl.DRAMAccess(3, 40, true)
+		tl.CacheLoad(false)
+		tl.FabricChunk(100, 20)
+		tl.Tick(500)
+		tl.Finish(1000)
+	}); n != 0 {
+		t.Errorf("nil tracer/timeline hooks allocate %.1f times per run, want 0", n)
+	}
+}
+
+// BenchmarkDisabledCounterAdd measures the hot-path cost the engines pay
+// per publish when a registry is attached but disabled: one atomic load.
+func BenchmarkDisabledCounterAdd(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("rfabric_bench_total", nil)
+	reg.SetDisabled(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkNilTimelineHook measures the per-access cost the DRAM model pays
+// when no timeline is attached: one nil check.
+func BenchmarkNilTimelineHook(b *testing.B) {
+	var tl *Timeline
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tl.DRAMAccess(i&7, 40, i&1 == 0)
+	}
+}

@@ -209,3 +209,45 @@ func (h *Histogram) Sum() float64 {
 	defer h.mu.Unlock()
 	return h.sum
 }
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank, the same
+// estimate Prometheus's histogram_quantile computes. Samples landing in
+// the +Inf overflow bucket clamp to the last finite bound. Returns 0 when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next < rank {
+			cum = next
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*((rank-cum)/float64(n))
+	}
+	return h.bounds[len(h.bounds)-1]
+}

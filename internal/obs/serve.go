@@ -7,9 +7,11 @@ import (
 
 // NewMux builds the live-export HTTP surface:
 //
-//	GET /metrics          — Prometheus text exposition of reg
-//	GET /metrics.json     — JSON dump of reg
-//	GET /debug/trace/last — the most recent query trace as JSON
+//	GET /metrics                  — Prometheus text exposition of reg
+//	GET /metrics.json             — JSON dump of reg
+//	GET /debug/trace/last         — the most recent query trace as JSON
+//	GET /debug/trace/last.chrome  — same trace in Chrome Trace Event
+//	                                Format (open in ui.perfetto.dev)
 //
 // Both rfbench -serve and embedding applications mount it; tests drive it
 // through net/http/httptest.
@@ -33,6 +35,16 @@ func NewMux(reg *Registry, last *LastTrace) *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(t)
+	})
+	mux.HandleFunc("/debug/trace/last.chrome", func(w http.ResponseWriter, req *http.Request) {
+		t := last.Load()
+		if t == nil {
+			http.Error(w, `{"error":"no trace recorded yet"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.chrome.json"`)
+		t.WriteChrome(w)
 	})
 	return mux
 }

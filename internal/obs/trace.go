@@ -146,6 +146,10 @@ type Tracer struct {
 	root *Span
 	// stack holds the open spans; Begin pushes, End pops.
 	stack []*Span
+	// tl is the optional cycle-sampled Timeline riding along with this
+	// trace; engines reach it through Timeline() so the sampler flows to
+	// every layer the tracer already reaches without new plumbing.
+	tl *Timeline
 }
 
 // NewTracer starts a trace rooted at a span named name.
@@ -189,6 +193,23 @@ func (t *Tracer) Root() *Span {
 	return t.root
 }
 
+// AttachTimeline hangs a cycle-sampled Timeline on the tracer. Nil-safe.
+func (t *Tracer) AttachTimeline(tl *Timeline) {
+	if t == nil {
+		return
+	}
+	t.tl = tl
+}
+
+// Timeline returns the attached Timeline (nil when sampling is off —
+// every Timeline hook is nil-safe, so callers use the result directly).
+func (t *Tracer) Timeline() *Timeline {
+	if t == nil {
+		return nil
+	}
+	return t.tl
+}
+
 // Trace is one finished query trace: the EXPLAIN ANALYZE artifact.
 type Trace struct {
 	Query  string `json:"query,omitempty"`
@@ -197,6 +218,9 @@ type Trace struct {
 	// span's AttributedCycles reconciles against.
 	TotalCycles uint64 `json:"total_cycles"`
 	Root        *Span  `json:"root"`
+	// Timeline is the optional cycle-sampled hardware time series recorded
+	// alongside the span tree (WithTimeline trace option).
+	Timeline *Timeline `json:"timeline,omitempty"`
 }
 
 // Render writes the span tree as an EXPLAIN ANALYZE style text block:

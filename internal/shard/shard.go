@@ -324,9 +324,20 @@ func (t *Table) Execute(q engine.Query) (*Result, error) {
 		sp.SetAttr("shards_total", strconv.Itoa(len(t.nodes)))
 		detail := sp.AddChild("shards")
 		detail.Detail = true
-		for _, tr := range tracers {
-			detail.Adopt(tr.Root())
+		// Replay the deterministic list schedule to place each shard on a
+		// worker lane (see engine.ScheduleAssignments).
+		workerOf, starts, _ := engine.ScheduleAssignments(perShard, workers)
+		tl := t.Tracer.Timeline()
+		for i, tr := range tracers {
+			root := tr.Root()
+			root.SetAttr("worker", strconv.Itoa(workerOf[i]))
+			root.SetAttr("start_cycles", strconv.FormatUint(starts[i], 10))
+			detail.Adopt(root)
+			tl.AddWorkerSlice(workerOf[i], fmt.Sprintf("shard[%d]", touched[i]), starts[i], perShard[i])
 		}
+		// Shards ran on their nodes' private Systems, which the timeline does
+		// not hook, so the coordinator drives the clock across the makespan.
+		tl.TickThrough(out.Cycles)
 	}
 	if t.Reg != nil {
 		labels := obs.Labels{"table": t.name}

@@ -211,8 +211,14 @@ type (
 	// attributions.
 	Span = obs.Span
 	// Trace is a finished EXPLAIN ANALYZE artifact; Render writes the
-	// human-readable tree.
+	// human-readable tree and WriteChrome exports Chrome Trace Event JSON
+	// for Perfetto.
 	Trace = obs.Trace
+	// Timeline is the cycle-sampled hardware time series a traced query
+	// records when run with WithTimeline.
+	Timeline = obs.Timeline
+	// TimelineSample is one sampled window of a Timeline.
+	TimelineSample = obs.TimelineSample
 )
 
 // NewRegistry creates an empty metrics registry.
