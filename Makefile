@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench vet
+.PHONY: all build test race fuzz bench bench-wallclock vet
 
 all: vet build test
 
@@ -19,6 +19,10 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Scalar-vs-vectorized wall-clock comparison on the TPC-H scan benchmarks.
+bench-wallclock:
+	$(GO) test ./internal/engine -run '^$$' -bench Wallclock -benchmem
 
 vet:
 	$(GO) vet ./...

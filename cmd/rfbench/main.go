@@ -31,6 +31,8 @@
 //	-compare        gate new.json against old.json; exits non-zero when any
 //	                cycle metric grew past -tolerance percent
 //	-tolerance T    percent cycle growth -compare tolerates (default 5)
+//	-cpuprofile f   write a pprof CPU profile of the run to f
+//	-memprofile f   write a pprof heap profile at exit to f
 package main
 
 import (
@@ -39,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -57,7 +60,32 @@ func main() {
 	benchName := flag.String("bench-name", "tier1", "record name for -bench output")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json records: rfbench -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 5, "percent cycle growth -compare tolerates before failing")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	opt := experiments.DefaultOptions()
 	opt.MicroRows = *rows

@@ -211,8 +211,9 @@ func (l *level) lookup(addr int64) (int, bool) {
 	return -1, false
 }
 
-// insert installs the line containing addr, evicting the LRU way.
-func (l *level) insert(addr int64, prefetch bool) {
+// insert installs the line containing addr, evicting the LRU way, and
+// returns the slot it used.
+func (l *level) insert(addr int64, prefetch bool) int {
 	line := addr >> l.lineBits
 	set := int(line & l.setMask)
 	base := set * l.cfg.Ways
@@ -227,6 +228,7 @@ func (l *level) insert(addr int64, prefetch bool) {
 	l.lru[victim] = l.tick
 	l.prefetched[victim] = prefetch
 	l.fabricNew[victim] = false
+	return victim
 }
 
 // contains probes without touching recency (used by tests).
@@ -265,6 +267,14 @@ type Hierarchy struct {
 	loadsSinceMiss int
 	lastMissBank   int
 	sawMiss        bool
+
+	// L1 same-line fast path: the slot that served the most recent L1 hit
+	// or fill. Scans load the same line many times in a row, and remembering
+	// the slot skips the associative probe while performing the identical
+	// state updates (recency stamp, stats, timeline), so simulated behavior
+	// is unchanged. lastL1Slot is -1 when no mapping is cached.
+	lastL1Line int64
+	lastL1Slot int
 }
 
 // NewHierarchy builds the hierarchy on top of the given DRAM module. The
@@ -280,11 +290,12 @@ func NewHierarchy(cfg HierarchyConfig, mem *dram.Module) (*Hierarchy, error) {
 		return nil, fmt.Errorf("cache: DRAM line %d != cache line %d", mem.LineBytes(), cfg.L1.LineBytes)
 	}
 	return &Hierarchy{
-		cfg:     cfg,
-		l1:      newLevel(cfg.L1),
-		l2:      newLevel(cfg.L2),
-		mem:     mem,
-		streams: make([]stream, cfg.Prefetch.Streams),
+		cfg:        cfg,
+		l1:         newLevel(cfg.L1),
+		l2:         newLevel(cfg.L2),
+		mem:        mem,
+		streams:    make([]stream, cfg.Prefetch.Streams),
+		lastL1Slot: -1,
 	}, nil
 }
 
@@ -329,6 +340,8 @@ func (h *Hierarchy) Reset() {
 	h.loadsSinceMiss = 0
 	h.lastMissBank = 0
 	h.sawMiss = false
+	h.lastL1Line = 0
+	h.lastL1Slot = -1
 }
 
 // LineBytes returns the line size of the hierarchy.
@@ -346,7 +359,20 @@ func (h *Hierarchy) Load(addr int64) uint64 {
 	h.stats.Loads++
 	h.loadsSinceMiss++
 	cost := uint64(h.cfg.L1.HitCycles)
-	if _, ok := h.l1.lookup(addr); ok {
+	line := addr >> h.l1.lineBits
+	if line == h.lastL1Line && h.lastL1Slot >= 0 {
+		// Same line as the previous L1 hit/fill: skip the associative probe
+		// but perform lookup's exact state updates.
+		h.l1.tick++
+		h.l1.lru[h.lastL1Slot] = h.l1.tick
+		h.stats.L1Hits++
+		h.stats.Cycles += cost
+		h.tl.CacheLoad(false)
+		return cost
+	}
+	if slot, ok := h.l1.lookup(addr); ok {
+		h.lastL1Line = line
+		h.lastL1Slot = slot
 		h.stats.L1Hits++
 		h.stats.Cycles += cost
 		h.tl.CacheLoad(false)
@@ -363,7 +389,8 @@ func (h *Hierarchy) Load(addr int64) uint64 {
 			cost += uint64(h.cfg.FabricHitCycles)
 			h.l2.fabricNew[slot] = false
 		}
-		h.l1.insert(addr, false)
+		h.lastL1Line = line
+		h.lastL1Slot = h.l1.insert(addr, false)
 		h.train(addr)
 		h.stats.Cycles += cost
 		h.tl.CacheLoad(false)
@@ -389,7 +416,8 @@ func (h *Hierarchy) Load(addr int64) uint64 {
 	h.stats.DRAMFills++
 	h.stats.BytesFromDRAM += uint64(h.LineBytes())
 	h.l2.insert(addr, false)
-	h.l1.insert(addr, false)
+	h.lastL1Line = line
+	h.lastL1Slot = h.l1.insert(addr, false)
 	h.train(addr)
 	h.stats.Cycles += cost
 	h.tl.CacheLoad(true)

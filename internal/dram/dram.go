@@ -118,6 +118,10 @@ type Module struct {
 	bankShift uint // log2(LineBytes): bank selected by line index
 	bankMask  int64
 	rowShift  uint // log2(RowBufferLen * Banks): row id within bank
+
+	// gatherPerBank is GatherBatch's per-bank cycle accumulator, kept on the
+	// module so the hot gather path allocates nothing per batch.
+	gatherPerBank []uint64
 }
 
 // New returns a module with all banks closed.
@@ -125,7 +129,7 @@ func New(cfg Config) (*Module, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Module{cfg: cfg, openRow: make([]int64, cfg.Banks)}
+	m := &Module{cfg: cfg, openRow: make([]int64, cfg.Banks), gatherPerBank: make([]uint64, cfg.Banks)}
 	for i := range m.openRow {
 		m.openRow[i] = -1
 	}

@@ -22,7 +22,10 @@ func (m *Module) GatherBatch(reqs []GatherReq) uint64 {
 		return 0
 	}
 	burst := int64(m.cfg.BurstBytes)
-	perBank := make(map[int]uint64, m.cfg.Banks)
+	perBank := m.gatherPerBank
+	for i := range perBank {
+		perBank[i] = 0
+	}
 	var bytes uint64
 	for _, r := range reqs {
 		if r.Bytes <= 0 {

@@ -23,6 +23,16 @@ type ColEngine struct {
 	// Tracer, when set, receives a span for this execution with leaves
 	// that reconcile with the Breakdown. Nil means no tracing overhead.
 	Tracer *obs.Tracer
+
+	// ForceScalar pins execution to the value-at-a-time interpreter. The two
+	// paths charge identical modeled costs; the knob exists for equivalence
+	// tests and wall-clock benchmarks.
+	ForceScalar bool
+
+	// scratch is the engine-owned batch workspace, allocated on first
+	// vectorized execution and reused so steady-state scans allocate nothing
+	// per batch.
+	scratch *scanScratch
 }
 
 // Name implements Executor.
@@ -46,6 +56,15 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 
 	sp := beginEngineSpan(e.Tracer, e.Name(), "")
 	defer e.Tracer.End()
+
+	if !e.ForceScalar && e.Store.NumRows() <= vecRowLimit {
+		// The column arrays are dense, so every slot decodes at offset 0 of
+		// its own array; predicates run as bitmap passes outside the
+		// program, hence the empty selection.
+		if prog, ok := compileScanProg(q, sch, nil, q.consumedColumns(), func(int) int { return 0 }, colVecCharges); ok {
+			return e.executeVectorized(q, prog, sp)
+		}
+	}
 
 	memStart := e.Sys.Mem.Stats()
 	hierStart := e.Sys.Hier.Stats()
@@ -124,25 +143,28 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 		fetchedAt[i] = -1
 	}
 	var epoch int64
+	// The fetch closure is defined once outside the reconstruction loop
+	// (capturing the row cursor) so it does not allocate per row.
+	var row int
+	fetch := func(col int) table.Value {
+		if fetchedAt[col] == epoch {
+			return vals[col]
+		}
+		w := sch.Column(col).Width
+		e.Sys.Hier.Load(e.Store.ValueAddr(col, row))
+		compute += VectorOpCycles
+		v := table.DecodeColumn(sch.Column(col), e.Store.ColumnData(col)[row*w:])
+		vals[col] = v
+		fetchedAt[col] = epoch
+		return v
+	}
 
 	for _, r := range sel {
 		if tk.tl != nil {
 			tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
 		}
 		epoch++
-		row := r
-		fetch := func(col int) table.Value {
-			if fetchedAt[col] == epoch {
-				return vals[col]
-			}
-			w := sch.Column(col).Width
-			e.Sys.Hier.Load(e.Store.ValueAddr(col, row))
-			compute += VectorOpCycles
-			v := table.DecodeColumn(sch.Column(col), e.Store.ColumnData(col)[row*w:])
-			vals[col] = v
-			fetchedAt[col] = epoch
-			return v
-		}
+		row = r
 		// Touch consumed columns in declared order so the access pattern is
 		// deterministic row-major interleaving.
 		for _, c := range consumed {

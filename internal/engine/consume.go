@@ -7,40 +7,23 @@ import (
 	"rfabric/internal/expr"
 	"rfabric/internal/geometry"
 	"rfabric/internal/table"
-)
-
-const (
-	fnvOffset = 0xcbf29ce484222325
-	fnvPrime  = 0x100000001b3
+	"rfabric/internal/vec"
 )
 
 // hashValue folds one projected value into the order-insensitive checksum.
 // The encoding is canonical (type-directed), so all engines produce the same
-// hash for the same logical value regardless of physical layout.
+// hash for the same logical value regardless of physical layout. The hash
+// itself lives in internal/vec so the batch checksum kernels share one
+// definition with this boxed-value path.
 func hashValue(col int, v table.Value) uint64 {
-	h := uint64(fnvOffset)
-	mix8 := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= (x >> (8 * uint(i))) & 0xff
-			h *= fnvPrime
-		}
-	}
-	mix8(uint64(col))
 	switch v.Type {
 	case geometry.Float64:
-		mix8(math.Float64bits(v.Float))
+		return vec.HashF64(col, v.Float)
 	case geometry.Char:
-		for _, b := range v.Bytes {
-			if b == 0 {
-				break
-			}
-			h ^= uint64(b)
-			h *= fnvPrime
-		}
+		return vec.HashChar(col, v.Bytes)
 	default:
-		mix8(uint64(v.Int))
+		return vec.HashI64(col, v.Int)
 	}
-	return h
 }
 
 // aggAcc folds rows for one AggTerm. Numeric results are kept in float64 so

@@ -110,6 +110,21 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 		fetchedAt[i] = -1
 	}
 	var epoch int64
+	// The fetch closure is defined once outside the candidate loop
+	// (capturing the row cursor and payload) so it does not allocate per row.
+	var row int
+	var payload []byte
+	fetch := func(col int) table.Value {
+		if fetchedAt[col] == epoch {
+			return vals[col]
+		}
+		e.Sys.Hier.Load(e.Tbl.ColumnAddr(row, col))
+		compute += ExtractCycles
+		v := table.DecodeColumn(sch.Column(col), payload[sch.Offset(col):])
+		vals[col] = v
+		fetchedAt[col] = epoch
+		return v
+	}
 
 	for _, r := range candidates {
 		if tk.tl != nil {
@@ -125,19 +140,8 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 				}
 			}
 		}
-		payload := e.Tbl.RowPayload(r)
-		row := r
-		fetch := func(col int) table.Value {
-			if fetchedAt[col] == epoch {
-				return vals[col]
-			}
-			e.Sys.Hier.Load(e.Tbl.ColumnAddr(row, col))
-			compute += ExtractCycles
-			v := table.DecodeColumn(sch.Column(col), payload[sch.Offset(col):])
-			vals[col] = v
-			fetchedAt[col] = epoch
-			return v
-		}
+		payload = e.Tbl.RowPayload(r)
+		row = r
 		// Residual predicates (the index already enforced the key range,
 		// but equal-column predicates may be tighter than [lo,hi] alone —
 		// re-check everything for correctness).

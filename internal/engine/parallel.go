@@ -71,6 +71,10 @@ type ParallelEngine struct {
 	PushSelection   bool
 	PushAggregation bool
 
+	// ForceScalar pins the per-morsel consumers to the tuple-at-a-time
+	// interpreter, like RMEngine's field.
+	ForceScalar bool
+
 	// Tracer, when set, receives a span whose schedule/merge leaves
 	// reconcile with the Breakdown; per-morsel sub-traces hang under a
 	// Detail subtree (their modeled time overlaps the makespan). Each
@@ -212,7 +216,7 @@ func (e *ParallelEngine) runMorsel(q Query, i, morselRows, totalRows int, tr *ob
 	if err != nil {
 		return nil, err
 	}
-	eng := &RMEngine{Tbl: slice, Sys: sys, PushSelection: e.PushSelection, PushAggregation: e.PushAggregation, Tracer: tr}
+	eng := &RMEngine{Tbl: slice, Sys: sys, PushSelection: e.PushSelection, PushAggregation: e.PushAggregation, Tracer: tr, ForceScalar: e.ForceScalar}
 	return eng.Execute(q)
 }
 

@@ -33,6 +33,16 @@ type RMEngine struct {
 	// Tracer, when set, receives a span for this execution with leaves
 	// that reconcile with the Breakdown. Nil means no tracing overhead.
 	Tracer *obs.Tracer
+
+	// ForceScalar pins the chunk consumer to the tuple-at-a-time
+	// interpreter. The two paths charge identical modeled costs; the knob
+	// exists for equivalence tests and wall-clock benchmarks.
+	ForceScalar bool
+
+	// scratch is the engine-owned batch workspace, allocated on first
+	// vectorized execution and reused so steady-state scans allocate nothing
+	// per batch.
+	scratch *scanScratch
 }
 
 // Name implements Executor.
@@ -81,6 +91,25 @@ func (e *RMEngine) Execute(q Query) (*Result, error) {
 	}
 	if e.PushSelection && len(q.Selection) > 0 {
 		sp.SetAttr("pushdown", "selection")
+	}
+	if !e.ForceScalar {
+		// When selection is pushed down the CPU sees only qualifying rows
+		// and evaluates no predicates.
+		cpuSel := q.Selection
+		if e.PushSelection {
+			cpuSel = nil
+		}
+		offFor := func(col int) int {
+			for i, c := range geom.Columns() {
+				if c == col {
+					return geom.PackedOffset(i)
+				}
+			}
+			panic(fmt.Sprintf("engine: column %d not in RM geometry", col))
+		}
+		if prog, ok := compileScanProg(q, sch, cpuSel, nil, offFor, rmVecCharges); ok {
+			return e.executeConsumeVectorized(q, ev, prog, sp)
+		}
 	}
 	return e.executeConsume(q, ev, geom, sp)
 }
@@ -150,26 +179,48 @@ func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.
 	var compute uint64
 	cons := newConsumer(q, sch, &compute)
 
-	// Packed-layout accessors.
+	// Packed-layout accessors, hoisted into flat arrays indexed by schema
+	// column (only the geometry's columns are ever fetched).
 	packed := ev.PackedWidth()
 	lineBytes := int64(e.Sys.Hier.LineBytes())
-	offs := make(map[int]int, geom.NumColumns())
+	numCols := sch.NumColumns()
+	offs := make([]int, numCols)
 	for i, c := range geom.Columns() {
 		offs[c] = geom.PackedOffset(i)
+	}
+	colDef := make([]geometry.Column, numCols)
+	for i := range colDef {
+		colDef[i] = sch.Column(i)
 	}
 
 	selectOnCPU := !e.PushSelection && len(q.Selection) > 0
 
 	// Per-row lazily fetched value cache over the packed layout,
 	// epoch-invalidated — packed rows are accessed exactly like Fig. 3's
-	// cg[i].field: row-wise over a dense single stream.
-	numCols := sch.NumColumns()
+	// cg[i].field: row-wise over a dense single stream. The fetch closure is
+	// defined once, capturing the chunk and row cursors, so the row loop
+	// does not allocate.
 	vals := make([]table.Value, numCols)
 	fetchedAt := make([]int64, numCols)
 	for i := range fetchedAt {
 		fetchedAt[i] = -1
 	}
 	var epoch int64
+	var ch fabric.Chunk
+	var row int
+	fetch := func(col int) table.Value {
+		if fetchedAt[col] == epoch {
+			return vals[col]
+		}
+		off := offs[col]
+		w := colDef[col].Width
+		e.Sys.Hier.Load(ch.BaseAddr + int64(row*packed+off))
+		compute += VectorOpCycles
+		v := table.DecodeColumn(colDef[col], ch.Data[row*packed+off:row*packed+off+w])
+		vals[col] = v
+		fetchedAt[col] = epoch
+		return v
+	}
 
 	var pipeline, producer uint64
 	var scanned int64
@@ -180,7 +231,8 @@ func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.
 		hierBefore := e.Sys.Hier.Stats().Cycles
 		computeBefore := compute
 
-		ch, ok := ev.Next()
+		var ok bool
+		ch, ok = ev.Next()
 		if !ok {
 			break
 		}
@@ -194,20 +246,7 @@ func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.
 
 		for r := 0; r < ch.Rows; r++ {
 			epoch++
-			row := r
-			fetch := func(col int) table.Value {
-				if fetchedAt[col] == epoch {
-					return vals[col]
-				}
-				off := offs[col]
-				w := sch.Column(col).Width
-				e.Sys.Hier.Load(ch.BaseAddr + int64(row*packed+off))
-				compute += VectorOpCycles
-				v := table.DecodeColumn(sch.Column(col), ch.Data[row*packed+off:row*packed+off+w])
-				vals[col] = v
-				fetchedAt[col] = epoch
-				return v
-			}
+			row = r
 			if selectOnCPU {
 				pass := true
 				for _, p := range q.Selection {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rfabric/internal/geometry"
 	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
@@ -19,6 +20,17 @@ type RowEngine struct {
 	// Tracer, when set, receives a span for this execution with leaves
 	// that reconcile with the Breakdown. Nil means no tracing overhead.
 	Tracer *obs.Tracer
+
+	// ForceScalar pins execution to the tuple-at-a-time interpreter even for
+	// query shapes the batch path handles. The two paths charge identical
+	// modeled costs; the knob exists for equivalence tests and wall-clock
+	// benchmarks.
+	ForceScalar bool
+
+	// scratch is the engine-owned batch workspace, allocated on first
+	// vectorized execution and reused so steady-state scans allocate nothing
+	// per batch.
+	scratch *scanScratch
 }
 
 // Name implements Executor.
@@ -40,19 +52,45 @@ func (e *RowEngine) Execute(q Query) (*Result, error) {
 	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
 	defer e.Tracer.End()
 
+	if !e.ForceScalar && e.Tbl.NumRows() <= vecRowLimit {
+		if prog, ok := compileScanProg(q, sch, q.Selection, nil, sch.Offset, rowVecCharges); ok {
+			return e.executeVectorized(q, prog, sp)
+		}
+	}
+
 	memStart := e.Sys.Mem.Stats()
 	hierStart := e.Sys.Hier.Stats()
 	var compute uint64
 	cons := newConsumer(q, sch, &compute)
 
-	// Per-row lazily fetched value cache, epoch-invalidated.
+	// Per-row lazily fetched value cache, epoch-invalidated. The fetch
+	// closure is defined once outside the row loop (capturing the row cursor
+	// and payload variables) so it does not allocate per row, and the column
+	// metadata the hot path needs is hoisted into flat arrays.
 	numCols := sch.NumColumns()
 	vals := make([]table.Value, numCols)
 	fetchedAt := make([]int64, numCols)
+	colDef := make([]geometry.Column, numCols)
+	colOff := make([]int, numCols)
 	for i := range fetchedAt {
 		fetchedAt[i] = -1
+		colDef[i] = sch.Column(i)
+		colOff[i] = sch.Offset(i)
 	}
 	var epoch int64
+	var row int
+	var payload []byte
+	fetch := func(col int) table.Value {
+		if fetchedAt[col] == epoch {
+			return vals[col]
+		}
+		e.Sys.Hier.Load(e.Tbl.ColumnAddr(row, col))
+		compute += ExtractCycles
+		v := table.DecodeColumn(colDef[col], payload[colOff[col]:])
+		vals[col] = v
+		fetchedAt[col] = epoch
+		return v
+	}
 
 	rows := e.Tbl.NumRows()
 	var scanned int64
@@ -77,18 +115,8 @@ func (e *RowEngine) Execute(q Query) (*Result, error) {
 			}
 		}
 
-		payload := e.Tbl.RowPayload(r)
-		fetch := func(col int) table.Value {
-			if fetchedAt[col] == epoch {
-				return vals[col]
-			}
-			e.Sys.Hier.Load(e.Tbl.ColumnAddr(r, col))
-			compute += ExtractCycles
-			v := table.DecodeColumn(sch.Column(col), payload[sch.Offset(col):])
-			vals[col] = v
-			fetchedAt[col] = epoch
-			return v
-		}
+		row = r
+		payload = e.Tbl.RowPayload(r)
 
 		pass := true
 		for _, p := range q.Selection {

@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+	"rfabric/internal/vec"
+)
+
+// The vectorized scan path splits each engine's hot loop into batch stages:
+// bulk decode of the touched columns into typed lanes, predicate kernels
+// that refine a selection vector (recording where each dropped row failed),
+// a charge-replay loop that issues the *exact* per-row Hier.Load sequence
+// and compute charges of the scalar interpreter, and consumption kernels
+// over the surviving selection. The modeled cost depends only on the
+// ordered Load sequence and the compute totals, and the replay reproduces
+// both — same order, same counts — so Breakdown, spans, and timelines are
+// unchanged; only wall-clock time and allocations drop.
+//
+// scanProg is the per-query compilation of that plan: the distinct columns
+// the scan touches ("slots", in first-touch order), the predicate operands
+// pre-unboxed per type, and — for every short-circuit outcome (failed at
+// predicate d, or passed) — the slots the scalar path would have loaded and
+// the constant compute charge it would have accumulated.
+
+// vecBatchRows is the engines' batch width.
+const vecBatchRows = vec.BatchRows
+
+type slotKind uint8
+
+const (
+	slotI64 slotKind = iota
+	slotI32
+	slotF64
+	slotChar
+)
+
+// vecSlot is one distinct column the scan touches.
+type vecSlot struct {
+	col   int
+	kind  slotKind
+	off   int64 // byte offset within the addressing unit (payload / packed row)
+	width int
+	lane  int // index into the scratch lane pools; -1 for CHAR (read in place)
+}
+
+// vecPred is one predicate with its operand pre-unboxed.
+type vecPred struct {
+	slot int
+	op   expr.CmpOp
+	opI  int64
+	opF  float64
+	opB  []byte // TrimPad-ed CHAR operand
+}
+
+// vecAgg is one aggregate term. simple >= 0 folds straight from that slot's
+// lane; otherwise the term's scalar tree is evaluated over compacted lanes.
+type vecAgg struct {
+	term   AggTerm
+	simple int
+}
+
+// vecCharges parameterizes the per-engine scalar cost constants the replay
+// reproduces.
+type vecCharges struct {
+	perRow   uint64 // charged per visited row (VolcanoNextCycles for ROW, 0 for RM/COL)
+	predEval uint64 // per predicate evaluation
+	fetch    uint64 // per first column touch of a row
+}
+
+var (
+	rowVecCharges = vecCharges{perRow: VolcanoNextCycles, predEval: PredEvalCycles, fetch: ExtractCycles}
+	rmVecCharges  = vecCharges{perRow: 0, predEval: VectorOpCycles, fetch: VectorOpCycles}
+	colVecCharges = vecCharges{perRow: 0, predEval: 0, fetch: VectorOpCycles}
+)
+
+type scanProg struct {
+	slots []vecSlot
+	preds []vecPred
+
+	// loadSlots[d] / loadOffs[d] is the ordered first-touch load program of
+	// a row that fails at predicate d (d < len(preds)) or passes
+	// (d == len(preds)): slot indices and their byte offsets within the
+	// addressing unit. charge[d] is the matching constant compute charge
+	// (predicate evals + column fetches + consumption for the pass case).
+	loadSlots [][]int32
+	loadOffs  [][]int64
+	charge    []uint64
+	perRow    uint64
+
+	// Consumption shape: projCols/projSlot enumerate projection entries
+	// (duplicates included — each entry is charged and folded); aggs hold
+	// aggregate terms.
+	projCols []int
+	projSlot []int32
+	aggs     []vecAgg
+
+	nI64, nF64 int // lane counts by type
+	evalDepth  int // scratch lanes needed by derived scalar evaluation
+}
+
+// compileScanProg builds the batch plan for a query over sch, with sel as
+// the predicates the CPU evaluates (empty when pushed down) and offFor
+// giving each column's byte offset within the scan's addressing unit.
+// consumeVisit, when non-nil, overrides the pass outcome's column visit
+// order (the COL engine explicitly touches every consumed column before
+// consuming; ROW and RM touch lazily in consumption order). ok is false
+// when the query shape must stay on the scalar path (group-by, or a scalar
+// expression form the lane evaluator does not know).
+func compileScanProg(q Query, sch *geometry.Schema, sel expr.Conjunction, consumeVisit []int, offFor func(col int) int, ch vecCharges) (*scanProg, bool) {
+	if len(q.GroupBy) > 0 {
+		return nil, false
+	}
+	p := &scanProg{perRow: ch.perRow}
+
+	slotOf := make(map[int]int, sch.NumColumns())
+	addSlot := func(col int) int {
+		if si, ok := slotOf[col]; ok {
+			return si
+		}
+		c := sch.Column(col)
+		s := vecSlot{col: col, off: int64(offFor(col)), width: c.Width, lane: -1}
+		switch c.Type {
+		case geometry.Int64:
+			s.kind = slotI64
+			s.lane = p.nI64
+			p.nI64++
+		case geometry.Int32, geometry.Date:
+			s.kind = slotI32
+			s.lane = p.nI64
+			p.nI64++
+		case geometry.Float64:
+			s.kind = slotF64
+			s.lane = p.nF64
+			p.nF64++
+		case geometry.Char:
+			s.kind = slotChar
+		}
+		slotOf[col] = len(p.slots)
+		p.slots = append(p.slots, s)
+		return len(p.slots) - 1
+	}
+
+	// Predicates, with the per-fail-depth load programs built as the scalar
+	// short-circuit would first-touch columns.
+	touched := make(map[int]bool, sch.NumColumns())
+	var slotsSeq []int32
+	touch := func(col int) {
+		if !touched[col] {
+			touched[col] = true
+			slotsSeq = append(slotsSeq, int32(addSlot(col)))
+		}
+	}
+	snap := func() ([]int32, []int64) {
+		s := append([]int32(nil), slotsSeq...)
+		offs := make([]int64, len(s))
+		for i, si := range s {
+			offs[i] = p.slots[si].off
+		}
+		return s, offs
+	}
+	for d, pr := range sel {
+		touch(pr.Col)
+		si := slotOf[pr.Col]
+		vp := vecPred{slot: si, op: pr.Op}
+		switch p.slots[si].kind {
+		case slotI64, slotI32:
+			vp.opI = pr.Operand.Int
+		case slotF64:
+			vp.opF = pr.Operand.Float
+		case slotChar:
+			vp.opB = vec.TrimPad(pr.Operand.Bytes)
+		}
+		p.preds = append(p.preds, vp)
+		ls, lo := snap()
+		p.loadSlots = append(p.loadSlots, ls)
+		p.loadOffs = append(p.loadOffs, lo)
+		p.charge = append(p.charge, uint64(d+1)*ch.predEval+uint64(len(ls))*ch.fetch)
+	}
+
+	// Pass outcome: consumed columns in scalar visit order, then the
+	// consumption charge. An explicit visit list (COL) touches everything
+	// up front; the shape loops below then find their columns pre-touched.
+	for _, col := range consumeVisit {
+		touch(col)
+	}
+	var consumeCharge uint64
+	if len(q.Aggregates) == 0 {
+		for _, col := range q.Projection {
+			touch(col)
+			p.projCols = append(p.projCols, col)
+			p.projSlot = append(p.projSlot, int32(slotOf[col]))
+			consumeCharge += ChecksumCycles
+		}
+	} else {
+		for _, t := range q.Aggregates {
+			a := vecAgg{term: t, simple: -1}
+			consumeCharge += AggAddCycles
+			if t.Arg != nil {
+				consumeCharge += uint64(t.Arg.Ops() * ScalarOpCycles)
+				for _, col := range t.Arg.Columns() {
+					touch(col)
+				}
+				if ref, ok := t.Arg.(expr.ColRef); ok {
+					a.simple = slotOf[ref.Col]
+				} else {
+					d, ok := scalarDepth(t.Arg)
+					if !ok {
+						return nil, false
+					}
+					if d > p.evalDepth {
+						p.evalDepth = d
+					}
+				}
+			}
+			p.aggs = append(p.aggs, a)
+		}
+	}
+	ls, lo := snap()
+	p.loadSlots = append(p.loadSlots, ls)
+	p.loadOffs = append(p.loadOffs, lo)
+	p.charge = append(p.charge,
+		uint64(len(sel))*ch.predEval+uint64(len(ls))*ch.fetch+consumeCharge)
+	return p, true
+}
+
+// scalarDepth returns the scratch-lane depth a scalar tree needs, and
+// whether the lane evaluator understands every node.
+func scalarDepth(s expr.Scalar) (int, bool) {
+	switch t := s.(type) {
+	case expr.ColRef, expr.Const:
+		return 0, true
+	case expr.Binary:
+		dl, okL := scalarDepth(t.L)
+		dr, okR := scalarDepth(t.R)
+		if !okL || !okR {
+			return 0, false
+		}
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		return d + 1, true
+	default:
+		return 0, false
+	}
+}
+
+// scanScratch is the reusable per-engine batch workspace. Engines own one
+// lazily and reuse it across executions, so the steady-state batch loop
+// allocates nothing.
+type scanScratch struct {
+	i64  [][]int64
+	f64  [][]float64
+	tmp  [][]float64 // derived-scalar evaluation lanes, one per tree level
+	out  []float64   // compacted derived-scalar results
+	pred []int64     // integer decode buffer for COL bitmap passes
+	sel  []int32
+	fail []int16
+	vis  []bool
+	iota []int32 // identity selection for compacted kernels
+}
+
+// ensure grows the scratch to fit prog.
+func (s *scanScratch) ensure(p *scanProg) {
+	for len(s.i64) < p.nI64 {
+		s.i64 = append(s.i64, make([]int64, vecBatchRows))
+	}
+	for len(s.f64) < p.nF64 {
+		s.f64 = append(s.f64, make([]float64, vecBatchRows))
+	}
+	for len(s.tmp) < p.evalDepth {
+		s.tmp = append(s.tmp, make([]float64, vecBatchRows))
+	}
+	if s.out == nil {
+		s.out = make([]float64, vecBatchRows)
+		s.pred = make([]int64, vecBatchRows)
+		s.sel = make([]int32, 0, vecBatchRows)
+		s.fail = make([]int16, vecBatchRows)
+		s.vis = make([]bool, vecBatchRows)
+		s.iota = make([]int32, vecBatchRows)
+		for i := range s.iota {
+			s.iota[i] = int32(i)
+		}
+	}
+}
+
+// lane returns the typed lane backing slot si, valid for the current batch.
+func (s *scanScratch) laneI64(p *scanProg, si int32) []int64 { return s.i64[p.slots[si].lane] }
+func (s *scanScratch) laneF64(p *scanProg, si int32) []float64 {
+	return s.f64[p.slots[si].lane]
+}
+
+// decodeSlots bulk-decodes every numeric slot's lane for a batch of n rows
+// whose addressing unit starts at byte base of src and advances by stride.
+func (s *scanScratch) decodeSlots(p *scanProg, src []byte, base, stride, n int) {
+	for i := range p.slots {
+		sl := &p.slots[i]
+		off := base + int(sl.off)
+		switch sl.kind {
+		case slotI64:
+			vec.DecodeI64(s.i64[sl.lane][:n], src, off, stride, n)
+		case slotI32:
+			vec.DecodeI32(s.i64[sl.lane][:n], src, off, stride, n)
+		case slotF64:
+			vec.DecodeF64(s.f64[sl.lane][:n], src, off, stride, n)
+		}
+	}
+}
+
+// refine runs the predicate kernels over a decoded batch, narrowing sel and
+// recording each dropped row's failing depth. CHAR predicates read src in
+// place at (base + slot.off + row*stride).
+func (s *scanScratch) refine(p *scanProg, src []byte, base, stride, n int, sel []int32) []int32 {
+	fail := s.fail[:n]
+	for i := range fail {
+		fail[i] = -1
+	}
+	for k := range p.preds {
+		pr := &p.preds[k]
+		sl := &p.slots[pr.slot]
+		switch sl.kind {
+		case slotI64, slotI32:
+			sel = vec.FilterI64(s.i64[sl.lane][:n], pr.op, pr.opI, sel, fail, int16(k))
+		case slotF64:
+			sel = vec.FilterF64(s.f64[sl.lane][:n], pr.op, pr.opF, sel, fail, int16(k))
+		case slotChar:
+			sel = vec.FilterChar(src, base+int(sl.off), stride, sl.width, pr.op, pr.opB, sel, fail, int16(k))
+		}
+	}
+	return sel
+}
+
+// consume folds the surviving selection of one decoded batch into the
+// query's output: projection checksums or aggregate states. CHAR columns
+// are hashed in place from src.
+func (s *scanScratch) consume(p *scanProg, src []byte, base, stride int, sel []int32, checksum *uint64, aggs []vec.AggState) {
+	if len(sel) == 0 {
+		return
+	}
+	if p.aggs == nil {
+		for i, col := range p.projCols {
+			si := p.projSlot[i]
+			sl := &p.slots[si]
+			switch sl.kind {
+			case slotI64, slotI32:
+				*checksum += vec.ChecksumI64(col, s.laneI64(p, si), sel)
+			case slotF64:
+				*checksum += vec.ChecksumF64(col, s.laneF64(p, si), sel)
+			case slotChar:
+				*checksum += vec.ChecksumChar(col, src, base+int(sl.off), stride, sl.width, sel)
+			}
+		}
+		return
+	}
+	s.foldAggs(p, sel, aggs, func(si int32, dst []float64, sel []int32) {
+		sl := &p.slots[si]
+		if sl.kind == slotF64 {
+			vec.CompactLaneF64(dst, s.laneF64(p, si), sel)
+		} else {
+			vec.CompactLaneI64(dst, s.laneI64(p, si), sel)
+		}
+	})
+}
+
+// foldAggs folds sel into the aggregate states. compact widens one slot's
+// selected lanes into a compacted float vector (layout-specific for COL).
+func (s *scanScratch) foldAggs(p *scanProg, sel []int32, aggs []vec.AggState, compact func(si int32, dst []float64, sel []int32)) {
+	for ti := range p.aggs {
+		a := &p.aggs[ti]
+		st := &aggs[ti]
+		if a.term.Arg == nil {
+			st.AddCount(int64(len(sel)))
+			continue
+		}
+		if a.simple >= 0 {
+			si := int32(a.simple)
+			if p.slots[si].kind == slotF64 {
+				vec.AddF64(st, s.laneF64(p, si), sel)
+			} else {
+				vec.AddI64(st, s.laneI64(p, si), sel)
+			}
+			continue
+		}
+		out := s.out[:len(sel)]
+		s.evalScalar(p, a.term.Arg, out, sel, 0, compact)
+		vec.AddVals(st, out)
+	}
+}
+
+// evalScalar evaluates a derived scalar tree over the selection into dst,
+// compacted. Per-row operation order matches Scalar.EvalF (left subtree,
+// right subtree, combine) so float results are bit-identical.
+func (s *scanScratch) evalScalar(p *scanProg, sc expr.Scalar, dst []float64, sel []int32, level int, compact func(si int32, dst []float64, sel []int32)) {
+	switch t := sc.(type) {
+	case expr.ColRef:
+		si := p.slotIndex(t.Col)
+		compact(si, dst, sel)
+	case expr.Const:
+		vec.FillF64(dst, t.V)
+	case expr.Binary:
+		s.evalScalar(p, t.L, dst, sel, level, compact)
+		tmp := s.tmp[level][:len(dst)]
+		s.evalScalar(p, t.R, tmp, sel, level+1, compact)
+		switch t.Op {
+		case expr.Add:
+			vec.AddLanes(dst, tmp)
+		case expr.Sub:
+			vec.SubLanes(dst, tmp)
+		case expr.Mul:
+			vec.MulLanes(dst, tmp)
+		}
+	}
+}
+
+// slotIndex resolves a column to its slot; compile guarantees presence.
+func (p *scanProg) slotIndex(col int) int32 {
+	for i := range p.slots {
+		if p.slots[i].col == col {
+			return int32(i)
+		}
+	}
+	panic("engine: vectorized scan references an uncompiled column")
+}
+
+// assembleVecResult builds the Result the scalar consumer would have built
+// for a non-grouped query.
+func assembleVecResult(name string, q Query, aggs []vec.AggState, scanned, passed int64, checksum uint64) *Result {
+	r := &Result{Engine: name, RowsScanned: scanned, RowsPassed: passed, Checksum: checksum}
+	if len(q.Aggregates) > 0 {
+		r.Aggs = make([]table.Value, len(q.Aggregates))
+		for i := range aggs {
+			acc := aggAcc{term: q.Aggregates[i], count: aggs[i].Count, sum: aggs[i].Sum,
+				min: aggs[i].Min, max: aggs[i].Max, any: aggs[i].Any}
+			r.Aggs[i] = acc.result()
+		}
+	}
+	return r
+}

@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"rfabric/internal/fabric"
+	"rfabric/internal/geometry"
+	"rfabric/internal/obs"
+	"rfabric/internal/table"
+	"rfabric/internal/vec"
+)
+
+// The batch executors below are the vectorized twins of the scalar loops in
+// rowengine.go, rmengine.go, and colengine.go. Each processes vecBatchRows
+// rows per iteration in four stages — visibility, bulk decode, selection
+// refinement, charge replay — then consumes the survivors through typed
+// kernels. The charge-replay stage issues the exact Hier.Load sequence and
+// compute charges of the scalar interpreter (the per-row short-circuit
+// outcome decided by the recorded fail depth selects a precompiled load
+// program), so modeled cycles, Breakdown, spans, and timelines are
+// byte-identical; only wall-clock time and allocations change.
+
+// executeVectorized is RowEngine's batch scan.
+func (e *RowEngine) executeVectorized(q Query, prog *scanProg, sp *obs.Span) (*Result, error) {
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	var compute uint64
+
+	if e.scratch == nil {
+		e.scratch = &scanScratch{}
+	}
+	sc := e.scratch
+	sc.ensure(prog)
+
+	data := e.Tbl.Data()
+	stride := e.Tbl.RowStride()
+	mvcc := e.Tbl.HasMVCC()
+	payloadOff := 0
+	if mvcc {
+		payloadOff = table.MVCCHeaderBytes
+	}
+	rows := e.Tbl.NumRows()
+	baseAddr := e.Tbl.BaseAddr()
+	snapped := mvcc && q.Snapshot != nil
+	var snapTS uint64
+	if snapped {
+		snapTS = *q.Snapshot
+	}
+
+	var aggs []vec.AggState
+	if len(prog.aggs) > 0 {
+		aggs = make([]vec.AggState, len(prog.aggs))
+	}
+	var checksum uint64
+	var passed int64
+	tk := newTicker(e.Tracer)
+	last := len(prog.preds)
+
+	for base := 0; base < rows; base += vecBatchRows {
+		n := rows - base
+		if n > vecBatchRows {
+			n = vecBatchRows
+		}
+		vis := sc.vis[:n]
+		if snapped {
+			vec.VisibleMask(vis, data, stride, base, snapTS)
+		}
+		byteBase := base*stride + payloadOff
+		sc.decodeSlots(prog, data, byteBase, stride, n)
+		sel := sc.sel[:0]
+		if snapped {
+			for i := 0; i < n; i++ {
+				if vis[i] {
+					sel = append(sel, int32(i))
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				sel = append(sel, int32(i))
+			}
+		}
+		sel = sc.refine(prog, data, byteBase, stride, n, sel)
+
+		// Charge replay, row-major like the scalar loop: tick, iterator
+		// overhead, MVCC header touch, then the outcome's load program.
+		fail := sc.fail[:n]
+		rowAddr := baseAddr + int64(base)*int64(stride)
+		for i := 0; i < n; i++ {
+			if tk.tl != nil {
+				tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+			}
+			compute += VolcanoNextCycles
+			if mvcc {
+				e.Sys.Hier.Load(rowAddr)
+				if snapped {
+					compute += TSCheckSoftwareCycles
+					if !vis[i] {
+						rowAddr += int64(stride)
+						continue
+					}
+				}
+			}
+			idx := last
+			if fail[i] >= 0 {
+				idx = int(fail[i])
+			}
+			payloadAddr := rowAddr + int64(payloadOff)
+			for _, off := range prog.loadOffs[idx] {
+				e.Sys.Hier.Load(payloadAddr + off)
+			}
+			compute += prog.charge[idx]
+			rowAddr += int64(stride)
+		}
+
+		passed += int64(len(sel))
+		sc.consume(prog, data, byteBase, stride, sel, &checksum, aggs)
+	}
+
+	res := assembleVecResult(e.Name(), q, aggs, int64(rows), passed, checksum)
+	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
+	return res, nil
+}
+
+// executeConsumeVectorized is RMEngine's batch consumer over fabric chunks.
+// Batches never span chunks, so the per-chunk producer/consumer pipeline
+// accounting sees the same per-chunk deltas as the scalar consumer.
+func (e *RMEngine) executeConsumeVectorized(q Query, ev *fabric.Ephemeral, prog *scanProg, sp *obs.Span) (*Result, error) {
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	fabStart := e.Sys.Fab.Stats()
+	var compute uint64
+
+	if e.scratch == nil {
+		e.scratch = &scanScratch{}
+	}
+	sc := e.scratch
+	sc.ensure(prog)
+
+	packed := ev.PackedWidth()
+	lineBytes := int64(e.Sys.Hier.LineBytes())
+	var aggs []vec.AggState
+	if len(prog.aggs) > 0 {
+		aggs = make([]vec.AggState, len(prog.aggs))
+	}
+	var checksum uint64
+	var passed, scanned int64
+	var pipeline, producer uint64
+	tk := newTicker(e.Tracer)
+	last := len(prog.preds)
+
+	ev.Reset()
+	for {
+		hierBefore := e.Sys.Hier.Stats().Cycles
+		computeBefore := compute
+
+		ch, ok := ev.Next()
+		if !ok {
+			break
+		}
+		scanned += int64(ch.SourceRows)
+
+		lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
+		for i := 0; i < lines; i++ {
+			e.Sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
+		}
+
+		for sub := 0; sub < ch.Rows; sub += vecBatchRows {
+			n := ch.Rows - sub
+			if n > vecBatchRows {
+				n = vecBatchRows
+			}
+			byteBase := sub * packed
+			sc.decodeSlots(prog, ch.Data, byteBase, packed, n)
+			sel := sc.sel[:0]
+			for i := 0; i < n; i++ {
+				sel = append(sel, int32(i))
+			}
+			sel = sc.refine(prog, ch.Data, byteBase, packed, n, sel)
+
+			fail := sc.fail[:n]
+			rowAddr := ch.BaseAddr + int64(byteBase)
+			for i := 0; i < n; i++ {
+				idx := last
+				if fail[i] >= 0 {
+					idx = int(fail[i])
+				}
+				for _, off := range prog.loadOffs[idx] {
+					e.Sys.Hier.Load(rowAddr + off)
+				}
+				compute += prog.charge[idx]
+				rowAddr += int64(packed)
+			}
+
+			passed += int64(len(sel))
+			sc.consume(prog, ch.Data, byteBase, packed, sel, &checksum, aggs)
+		}
+
+		consumer := (e.Sys.Hier.Stats().Cycles - hierBefore) + (compute - computeBefore)
+		producer += ch.ProducerCycles
+		if ch.ProducerCycles > consumer {
+			pipeline += ch.ProducerCycles
+		} else {
+			pipeline += consumer
+		}
+		tk.advance(pipeline)
+	}
+
+	res := assembleVecResult(e.Name(), q, aggs, scanned, passed, checksum)
+	fabD := e.Sys.Fab.Stats().Delta(fabStart)
+	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, compute, pipeline, producer, fabD.BytesShipped)
+	finishPipelineSpan(sp, e.Sys, memStart, hierStart, res)
+	sp.SetAttr("fabric_chunks", fmt.Sprint(fabD.Chunks))
+	sp.SetAttr("fabric_bytes_gathered", fmt.Sprint(fabD.BytesGathered))
+	return res, nil
+}
+
+// executeVectorized is ColEngine's batch scan: bitmap selection passes over
+// dense columns, then batched tuple reconstruction over the qualifying
+// row ids.
+func (e *ColEngine) executeVectorized(q Query, prog *scanProg, sp *obs.Span) (*Result, error) {
+	sch := e.Store.Schema()
+	memStart := e.Sys.Mem.Stats()
+	hierStart := e.Sys.Hier.Stats()
+	var compute uint64
+
+	if e.scratch == nil {
+		e.scratch = &scanScratch{}
+	}
+	sc := e.scratch
+	sc.ensure(prog)
+	tk := newTicker(e.Tracer)
+	rows := e.Store.NumRows()
+
+	var bitmap []bool
+	var bitmapAddr int64
+	if len(q.Selection) > 0 {
+		bitmapAddr = e.Sys.Arena.Alloc(int64(rows))
+		bitmap = make([]bool, rows)
+	}
+	for pi, p := range q.Selection {
+		cdef := sch.Column(p.Col)
+		w := cdef.Width
+		data := e.Store.ColumnData(p.Col)
+		valBase := e.Store.ColumnAddr(p.Col)
+		refinePass := pi > 0
+		var opB []byte
+		if cdef.Type == geometry.Char {
+			opB = vec.TrimPad(p.Operand.Bytes)
+		}
+		for base := 0; base < rows; base += vecBatchRows {
+			n := rows - base
+			if n > vecBatchRows {
+				n = vecBatchRows
+			}
+			// Exact scalar pass order per row: tick, value load, bitmap
+			// load (later passes), charge.
+			addr := valBase + int64(base*w)
+			for i := 0; i < n; i++ {
+				if tk.tl != nil {
+					tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+				}
+				e.Sys.Hier.Load(addr)
+				if refinePass {
+					e.Sys.Hier.Load(bitmapAddr + int64(base+i))
+				}
+				compute += VectorOpCycles + MaterializeCycles
+				addr += int64(w)
+			}
+			dst := bitmap[base : base+n]
+			switch cdef.Type {
+			case geometry.Int64:
+				vec.DecodeI64(sc.pred[:n], data, base*w, w, n)
+				vec.CmpBitmapI64(dst, sc.pred[:n], p.Op, p.Operand.Int, refinePass)
+			case geometry.Int32, geometry.Date:
+				vec.DecodeI32(sc.pred[:n], data, base*w, w, n)
+				vec.CmpBitmapI64(dst, sc.pred[:n], p.Op, p.Operand.Int, refinePass)
+			case geometry.Float64:
+				vec.DecodeF64(sc.out[:n], data, base*w, w, n)
+				vec.CmpBitmapF64(dst, sc.out[:n], p.Op, p.Operand.Float, refinePass)
+			case geometry.Char:
+				vec.CmpBitmapChar(dst, data, w, base, p.Op, opB, refinePass)
+			}
+		}
+	}
+
+	var sel32 []int32
+	if bitmap != nil {
+		sel32 = make([]int32, 0, rows)
+		for r, ok := range bitmap {
+			if ok {
+				sel32 = append(sel32, int32(r))
+			}
+		}
+		compute += uint64(len(sel32) * MaterializeCycles)
+	}
+
+	// Reconstruction: the pass program (index len(preds)==0 here — compile
+	// saw no CPU predicates) is the consumed columns in declared order.
+	loads := prog.loadSlots[len(prog.preds)]
+	passCharge := prog.charge[len(prog.preds)]
+	var aggs []vec.AggState
+	if len(prog.aggs) > 0 {
+		aggs = make([]vec.AggState, len(prog.aggs))
+	}
+	var checksum uint64
+	var passed int64
+
+	process := func(group []int32) {
+		m := len(group)
+		for _, r := range group {
+			if tk.tl != nil {
+				tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+			}
+			for _, si := range loads {
+				sl := &prog.slots[si]
+				e.Sys.Hier.Load(e.Store.ValueAddr(sl.col, int(r)))
+			}
+			compute += passCharge
+		}
+		for _, si := range loads {
+			sl := &prog.slots[si]
+			cdata := e.Store.ColumnData(sl.col)
+			switch sl.kind {
+			case slotI64:
+				vec.GatherI64(sc.i64[sl.lane][:m], cdata, sl.width, group)
+			case slotI32:
+				vec.GatherI32(sc.i64[sl.lane][:m], cdata, sl.width, group)
+			case slotF64:
+				vec.GatherF64(sc.f64[sl.lane][:m], cdata, sl.width, group)
+			}
+		}
+		idsel := sc.iota[:m]
+		if prog.aggs == nil {
+			for i, col := range prog.projCols {
+				si := prog.projSlot[i]
+				sl := &prog.slots[si]
+				switch sl.kind {
+				case slotI64, slotI32:
+					checksum += vec.ChecksumI64(col, sc.i64[sl.lane], idsel)
+				case slotF64:
+					checksum += vec.ChecksumF64(col, sc.f64[sl.lane], idsel)
+				case slotChar:
+					checksum += vec.ChecksumCharGather(col, e.Store.ColumnData(col), sl.width, group)
+				}
+			}
+		} else {
+			sc.foldAggs(prog, idsel, aggs, func(si int32, dst []float64, s2 []int32) {
+				sl := &prog.slots[si]
+				if sl.kind == slotF64 {
+					vec.CompactLaneF64(dst, sc.f64[sl.lane], s2)
+				} else {
+					vec.CompactLaneI64(dst, sc.i64[sl.lane], s2)
+				}
+			})
+		}
+		passed += int64(m)
+	}
+
+	if bitmap == nil {
+		for base := 0; base < rows; base += vecBatchRows {
+			n := rows - base
+			if n > vecBatchRows {
+				n = vecBatchRows
+			}
+			group := sc.sel[:0]
+			for i := 0; i < n; i++ {
+				group = append(group, int32(base+i))
+			}
+			process(group)
+		}
+	} else {
+		for s0 := 0; s0 < len(sel32); s0 += vecBatchRows {
+			s1 := s0 + vecBatchRows
+			if s1 > len(sel32) {
+				s1 = len(sel32)
+			}
+			process(sel32[s0:s1])
+		}
+	}
+
+	res := assembleVecResult(e.Name(), q, aggs, int64(rows), passed, checksum)
+	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
+	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
+	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
+	return res, nil
+}
+
+// vecRowLimit guards the int32 selection representation; tables past it use
+// the scalar paths (none of the reproduction's workloads come close).
+const vecRowLimit = math.MaxInt32

@@ -1,0 +1,120 @@
+package engine_test
+
+import (
+	"testing"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/table"
+	"rfabric/internal/tpch"
+)
+
+// Wall-clock benchmarks for the vectorized scan paths. The modeled cycles of
+// the scalar and batch paths are identical by construction (the charge-replay
+// equivalence tests enforce it); these benchmarks measure the thing that DID
+// change — host time and allocations per executed query. Run with:
+//
+//	go test ./internal/engine -run '^$' -bench Wallclock -benchmem
+//
+// Each sub-benchmark reports scalar/ and vectorized/ variants of the same
+// engine and query, so the speedup and the allocation reduction read directly
+// off the output. The benchmarks live in package engine_test so they can use
+// the TPC-H generator (which itself imports engine for the query builders).
+
+const benchRows = 64 * 1024
+
+func benchLineitem(b *testing.B, sys *engine.System) *table.Table {
+	b.Helper()
+	sch := tpch.LineitemSchema()
+	base := sys.Arena.Alloc(int64(benchRows * sch.RowBytes()))
+	tbl, err := tpch.NewLineitem(benchRows, 1, table.WithBaseAddr(base))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl
+}
+
+// scanQuery is the full-table scan: every row passes and every column is
+// consumed. This is the shape where tuple-at-a-time interpretation pays the
+// most per row (one closure call, one boxed decode, and one hash per value),
+// so it is the benchmark the vectorized path is gated on.
+func scanQuery() engine.Query {
+	sch := tpch.LineitemSchema()
+	proj := make([]int, sch.NumColumns())
+	for i := range proj {
+		proj[i] = i
+	}
+	return engine.Query{Projection: proj}
+}
+
+func runWallclock(b *testing.B, build func(forceScalar bool) engine.Executor, reset func()) {
+	b.Helper()
+	for _, mode := range []struct {
+		name        string
+		forceScalar bool
+	}{{"scalar", true}, {"vectorized", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := build(mode.forceScalar)
+			q := scanQuery()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+				if _, err := eng.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRowScanWallclock(b *testing.B) {
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	tbl := benchLineitem(b, sys)
+	runWallclock(b, func(fs bool) engine.Executor {
+		return &engine.RowEngine{Tbl: tbl, Sys: sys, ForceScalar: fs}
+	}, sys.ResetState)
+}
+
+func BenchmarkRMScanWallclock(b *testing.B) {
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	tbl := benchLineitem(b, sys)
+	runWallclock(b, func(fs bool) engine.Executor {
+		return &engine.RMEngine{Tbl: tbl, Sys: sys, PushSelection: true, ForceScalar: fs}
+	}, sys.ResetState)
+}
+
+func BenchmarkQ6Wallclock(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		forceScalar bool
+	}{{"scalar", true}, {"vectorized", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := engine.MustSystem(engine.DefaultSystemConfig())
+			tbl := benchLineitem(b, sys)
+			eng := &engine.RowEngine{Tbl: tbl, Sys: sys, ForceScalar: mode.forceScalar}
+			q := tpch.Q6()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys.ResetState()
+				b.StartTimer()
+				if _, err := eng.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParScanWallclock(b *testing.B) {
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	tbl := benchLineitem(b, sys)
+	runWallclock(b, func(fs bool) engine.Executor {
+		return &engine.ParallelEngine{Tbl: tbl, Sys: sys,
+			Par:           engine.ParallelConfig{Workers: 8},
+			PushSelection: true, ForceScalar: fs}
+	}, sys.ResetState)
+}

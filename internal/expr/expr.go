@@ -47,8 +47,10 @@ func (op CmpOp) String() string {
 	}
 }
 
-// apply evaluates `cmp op 0` where cmp is a three-way comparison result.
-func (op CmpOp) apply(cmp int) bool {
+// Holds evaluates `cmp op 0` where cmp is a three-way comparison result.
+// It is the single definition of the comparison operators, shared by the
+// scalar Predicate.Eval path and the vectorized kernels in internal/vec.
+func (op CmpOp) Holds(cmp int) bool {
 	switch op {
 	case Lt:
 		return cmp < 0
@@ -76,7 +78,7 @@ type Predicate struct {
 
 // Eval applies the predicate to a column value.
 func (p Predicate) Eval(v table.Value) bool {
-	return p.Op.apply(v.Compare(p.Operand))
+	return p.Op.Holds(v.Compare(p.Operand))
 }
 
 // Validate checks the predicate against a schema.

@@ -1,0 +1,168 @@
+// Package vec implements the fixed-size columnar batch kernels behind the
+// engines' vectorized scan paths. A batch is BatchRows rows of one or more
+// typed lanes ([]int64 for BIGINT/INT/DATE, []float64 for DOUBLE; CHAR
+// columns are accessed in place in the source buffer), narrowed by a
+// selection vector of row indices. The kernels are pure wall-clock
+// optimizations: they carry no modeled cost of their own. The engines still
+// charge every PredEvalCycles/ExtractCycles/Hier.Load exactly as the scalar
+// interpreters do — the kernels only replace the per-row closure dispatch,
+// Value boxing, and per-value DecodeColumn calls with tight typed loops.
+//
+// Every kernel replicates the corresponding scalar semantics bit for bit:
+// comparisons follow table.Value.Compare (three-way compare, then
+// expr.CmpOp.Holds; CHAR compares with trailing-NUL padding stripped),
+// checksums follow the engine's FNV-1a value hash (CHAR hashes bytes up to
+// the first NUL), and aggregation follows the engine accumulator's exact
+// update order so float results stay bit-identical.
+package vec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+)
+
+// BatchRows is the batch width of the vectorized scan paths. 1024 rows keeps
+// a handful of 8-byte lanes comfortably inside L1 of the *host* machine while
+// amortizing per-batch bookkeeping; it deliberately matches the modeled
+// engines' VectorSize so the simulator's batching mirrors what it simulates.
+const BatchRows = 1024
+
+// FNV-1a constants, identical to the engine consumer's checksum hash.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func mix8(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (x >> (8 * uint(i))) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashI64 hashes one integer-family value exactly like the engine consumer:
+// FNV offset, then the column index, then the sign-extended payload.
+func HashI64(col int, x int64) uint64 {
+	return mix8(mix8(fnvOffset, uint64(col)), uint64(x))
+}
+
+// HashF64 hashes one DOUBLE value (by its IEEE-754 bits).
+func HashF64(col int, x float64) uint64 {
+	return mix8(mix8(fnvOffset, uint64(col)), math.Float64bits(x))
+}
+
+// HashChar hashes one CHAR field: bytes up to (excluding) the first NUL.
+func HashChar(col int, b []byte) uint64 {
+	h := mix8(fnvOffset, uint64(col))
+	for _, c := range b {
+		if c == 0 {
+			break
+		}
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// TrimPad strips trailing NUL padding, mirroring table.Value's CHAR
+// comparison semantics.
+func TrimPad(b []byte) []byte {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return b[:end]
+}
+
+// CmpI64 is the three-way integer compare of table.Value.Compare.
+func CmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// CmpF64 is the three-way float compare of table.Value.Compare. NaN compares
+// as neither less nor greater — cmp 0 — exactly like the scalar path.
+func CmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// CmpChar compares a padded CHAR field against a pre-trimmed operand.
+func CmpChar(field, operand []byte) int {
+	return bytes.Compare(TrimPad(field), operand)
+}
+
+// AggState mirrors the engine aggregate accumulator field for field so folds
+// produce bit-identical float results. Add replicates the accumulator's
+// update order exactly (including its NaN behavior: `!any || x < min`).
+type AggState struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Any   bool
+}
+
+// Add folds one value, replicating the scalar accumulator's exact semantics.
+func (a *AggState) Add(x float64) {
+	a.Count++
+	a.Sum += x
+	if !a.Any || x < a.Min {
+		a.Min = x
+	}
+	if !a.Any || x > a.Max {
+		a.Max = x
+	}
+	a.Any = true
+}
+
+// AddCount registers n qualifying rows for COUNT(*) terms.
+func (a *AggState) AddCount(n int64) { a.Count += n }
+
+// AddI64 folds the selected lanes of an integer lane, in selection order, so
+// float accumulation is sequential exactly like the scalar loop.
+func AddI64(a *AggState, lane []int64, sel []int32) {
+	for _, r := range sel {
+		a.Add(float64(lane[r]))
+	}
+}
+
+// AddF64 folds the selected lanes of a float lane in selection order.
+func AddF64(a *AggState, lane []float64, sel []int32) {
+	for _, r := range sel {
+		a.Add(lane[r])
+	}
+}
+
+// AddVals folds an already-compacted value vector in order.
+func AddVals(a *AggState, xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// VisibleMask computes MVCC visibility for rows [start, start+len(vis)) of a
+// row heap with the 16-byte timestamp header at each row start: visible iff
+// begin <= ts < end.
+func VisibleMask(vis []bool, data []byte, stride, start int, ts uint64) {
+	off := start * stride
+	for i := range vis {
+		row := data[off : off+16]
+		begin := binary.LittleEndian.Uint64(row[0:8])
+		end := binary.LittleEndian.Uint64(row[8:16])
+		vis[i] = begin <= ts && ts < end
+		off += stride
+	}
+}
