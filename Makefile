@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-wallclock vet
+.PHONY: all build test race fuzz bench bench-wallclock vet lint
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ race:
 
 # Short fuzz smoke of the SQL front end; CI runs the same target.
 fuzz:
-	$(GO) test ./internal/sql -fuzz FuzzParseSQL -fuzztime=10s
+	$(GO) test ./internal/sql -fuzz FuzzParseSQL -fuzztime=20s
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -26,3 +26,12 @@ bench-wallclock:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: staticcheck when installed (go install
+# honnef.co/go/tools/cmd/staticcheck@latest), always go vet.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only"; \
+	fi

@@ -32,6 +32,10 @@ var demoQueries = []string{
 	"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), " +
 		"SUM(l_extendedprice * (1 - l_discount)), COUNT(*) FROM lineitem " +
 		"WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag, l_linestatus",
+	"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), " +
+		"SUM(l_extendedprice * (1 - l_discount)), COUNT(*) FROM lineitem " +
+		"WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag, l_linestatus " +
+		"ORDER BY 3 DESC, l_returnflag LIMIT 4",
 }
 
 func main() {

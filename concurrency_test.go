@@ -349,6 +349,79 @@ func TestTracedWorkerCountDeterminism(t *testing.T) {
 	}
 }
 
+// TestConcurrentCreateTableAndColumnarQueries pits catalog growth against
+// the COL path under the race detector: one goroutine queries on the
+// columnar copy — whose first run lazily materializes the copy through the
+// shared Arena — while writers create tables, insert into them, and list the
+// catalog. The querier stays single so the shared System keeps its one-owner
+// rule; the contention under test is the catalog map, the per-table lazy
+// columnar copy, and the address arena.
+func TestConcurrentCreateTableAndColumnarQueries(t *testing.T) {
+	db := itemsDB(t, 2000)
+	stmt := "SELECT COUNT(*), SUM(price), MIN(price), MAX(qty) FROM items WHERE qty < 50"
+	want, err := db.QueryOn(ROW, stmt) // baseline before any columnar copy exists
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schema, err := NewSchema(
+		Column{Name: "k", Type: Int64, Width: 8},
+		Column{Name: "v", Type: Float64, Width: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const creators, tablesPerCreator, sweeps = 3, 15, 40
+	errc := make(chan error, creators+1)
+	var wg sync.WaitGroup
+	for c := 0; c < creators; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < tablesPerCreator; i++ {
+				name := fmt.Sprintf("scratch_%d_%d", c, i)
+				if _, err := db.CreateTable(name, schema, 4); err != nil {
+					errc <- fmt.Errorf("creator %d: %w", c, err)
+					return
+				}
+				if err := db.Insert(name, I64(int64(i)), F64(float64(i))); err != nil {
+					errc <- fmt.Errorf("creator %d: %w", c, err)
+					return
+				}
+				if _, err := db.Table(name); err != nil {
+					errc <- fmt.Errorf("creator %d: %w", c, err)
+					return
+				}
+				db.TableNames()
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < sweeps; i++ {
+			res, err := db.QueryOn(COL, stmt)
+			if err != nil {
+				errc <- fmt.Errorf("querier: %w", err)
+				return
+			}
+			if err := want.EquivalentTo(res, 0); err != nil {
+				errc <- fmt.Errorf("querier: catalog growth changed the answer: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := creators*tablesPerCreator + 1; len(db.TableNames()) != got {
+		t.Errorf("catalog holds %d tables, want %d", len(db.TableNames()), got)
+	}
+}
+
 // itemsDB builds a plain (non-MVCC) items table for the read-only tests.
 // stripScheduleAttrs removes the worker-count-dependent schedule placement
 // from a morsel sub-root so the rest of the subtree can be compared

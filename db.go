@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"rfabric/internal/colstore"
 	"rfabric/internal/engine"
@@ -19,13 +20,20 @@ import (
 // paper's thesis is that with the fabric present there is no reason to keep
 // a second layout — but the two baselines stay available for comparison.
 //
-// A DB is not safe for concurrent use; wrap MVCC tables in a TxnManager for
-// concurrent ingest (see the htap example).
+// The catalog is safe for concurrent use: CreateTable, CreateIndex, Prepare,
+// and lookups take the DB's lock, so sessions may grow the schema while
+// another goroutine queries. Query *execution* still follows the System's
+// ownership rule — one goroutine drives the shared simulated machine at a
+// time, except on the PAR path, which clones it per morsel. Wrap MVCC tables
+// in a TxnManager for concurrent ingest (see the htap example).
 type DB struct {
-	sys    *System
+	sys *System
+
+	mu     sync.RWMutex // guards tables, each dbTable's col/idx, and plans
 	tables map[string]*dbTable
 	plans  *planCache
-	par    *engine.ParallelConfig // nil: single-goroutine execution
+
+	par *engine.ParallelConfig // nil: single-goroutine execution
 
 	reg  *obs.Registry // nil: no metrics publishing
 	last obs.LastTrace // most recent traced query, for /debug/trace/last
@@ -62,6 +70,8 @@ func WithMVCC() TableOption { return func(o *tableOpts) { o.mvcc = true } }
 // CreateTable registers a new row table with room for capacity rows at a
 // fixed place in the simulated address space.
 func (db *DB) CreateTable(name string, schema *Schema, capacity int, opts ...TableOption) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("rfabric: table %q already exists", name)
 	}
@@ -89,21 +99,34 @@ func (db *DB) CreateTable(name string, schema *Schema, capacity int, opts ...Tab
 	return tbl, nil
 }
 
-// Table returns a registered table.
-func (db *DB) Table(name string) (*Table, error) {
+// lookup fetches a catalog entry under the read lock.
+func (db *DB) lookup(name string) (*dbTable, error) {
+	db.mu.RLock()
 	t, ok := db.tables[name]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, err := db.lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return t.tbl, nil
 }
 
 // TableNames lists the catalog in sorted order.
 func (db *DB) TableNames() []string {
+	db.mu.RLock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
 	}
+	db.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -111,6 +134,8 @@ func (db *DB) TableNames() []string {
 // Insert appends one row, respecting the table's reserved capacity (the
 // simulated address space behind it is fixed at creation).
 func (db *DB) Insert(name string, vals ...Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
@@ -133,6 +158,8 @@ func (db *DB) Insert(name string, vals ...Value) error {
 // CreateIndex builds a B+tree over the named column and keeps it maintained
 // on future inserts. The AUTO engine prices it as an access path.
 func (db *DB) CreateIndex(tableName, column string) (*index.BTree, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, ok := db.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
@@ -192,46 +219,60 @@ func (db *DB) Query(query string) (*Result, error) {
 	return db.QueryOn(RM, query)
 }
 
-// QueryOn parses, plans, and executes the statement on the chosen path.
+// QueryOn parses, lowers, and executes the statement on the chosen path: the
+// statement becomes a physical plan chain (internal/plan), the chain splits
+// into the pipeline query plus its ORDER BY / LIMIT sinks, and the pipeline
+// runs on the selected Source.
 func (db *DB) QueryOn(kind EngineKind, query string) (*Result, error) {
 	st, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	t, ok := db.tables[st.Table]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
-	}
-	q, err := sql.Plan(st, t.tbl.Schema())
+	t, err := db.lookup(st.Table)
 	if err != nil {
 		return nil, err
 	}
-	return db.run(kind, t, q, nil)
+	root, err := sql.Lower(st, t.tbl.Schema())
+	if err != nil {
+		return nil, err
+	}
+	q, sk, err := engine.FromPlan(root)
+	if err != nil {
+		return nil, err
+	}
+	return db.run(kind, t, q, sk, nil)
 }
 
 // Execute runs an already-built logical query on the chosen path.
 func (db *DB) Execute(kind EngineKind, tableName string, q Query) (*Result, error) {
-	t, ok := db.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return nil, err
 	}
-	return db.run(kind, t, q, nil)
+	return db.run(kind, t, q, engine.Sinks{}, nil)
 }
 
 // run is the measured entry point: it snapshots the simulated hardware
 // counters, dispatches, and publishes the deltas plus per-query series into
 // the observer registry. AUTO's recursion goes through execute directly, so
 // a query publishes exactly once no matter how it was routed.
-func (db *DB) run(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result, error) {
+func (db *DB) run(kind EngineKind, t *dbTable, q Query, sk engine.Sinks, tr *obs.Tracer) (*Result, error) {
 	if db.reg == nil || db.reg.Disabled() {
 		// With no observer — or a disabled one — the query path carries no
 		// observability work at all beyond this check (one atomic load).
-		return db.execute(kind, t, q, tr)
+		res, err := db.execute(kind, t, q, tr)
+		if err == nil {
+			applySinks(res, sk, tr)
+		}
+		return res, err
 	}
 	memStart := db.sys.Mem.Stats()
 	hierStart := db.sys.Hier.Stats()
 	fabStart := db.sys.Fab.Stats()
 	res, err := db.execute(kind, t, q, tr)
+	if err == nil {
+		applySinks(res, sk, tr)
+	}
 	labels := obs.Labels{"engine": string(kind), "table": t.tbl.Name()}
 	db.reg.Counter("rfabric_queries_total", labels).Add(1)
 	if err != nil {
@@ -256,25 +297,28 @@ func (db *DB) run(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result
 	return res, err
 }
 
+// execute dispatches by selecting a Source for the chosen access path and
+// handing it to the shared pipeline (engine.Run). Only two paths sit outside
+// that shape: AUTO, which prices the physical plan first and recurses with
+// the chosen source stamped in, and PAR, the morsel executor that runs the
+// RM source on private System clones.
 func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result, error) {
 	switch kind {
 	case AUTO:
-		opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: t.col, Index: t.idx}
+		db.mu.RLock()
+		store, idx := t.col, t.idx
+		db.mu.RUnlock()
+		opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
+		root := engine.PlanOf(q, t.tbl.Name())
 		sp := tr.Begin("plan")
-		plan, err := opt.Choose(q)
+		p, err := opt.ChoosePlan(root)
 		if err != nil {
 			tr.End()
 			return nil, fmt.Errorf("rfabric: optimizing query: %w", err)
 		}
-		sp.SetAttr("chosen", plan.Chosen)
+		sp.SetAttr("chosen", p.Chosen)
 		tr.End()
-		return db.execute(EngineKind(plan.Chosen), t, q, tr)
-	case "IDX":
-		if t.idx == nil {
-			return nil, errors.New("rfabric: no index on this table")
-		}
-		e := &engine.IndexEngine{Tbl: t.tbl, Sys: db.sys, Idx: t.idx, Tracer: tr}
-		return e.Execute(q)
+		return db.execute(EngineKind(p.Chosen), t, q, tr)
 	case PAR:
 		var cfg engine.ParallelConfig
 		if db.par != nil {
@@ -286,23 +330,78 @@ func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Re
 		if db.par != nil {
 			return db.execute(PAR, t, q, tr)
 		}
-		e := &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}
-		return e.Execute(q)
+	}
+	src, err := db.source(kind, t, tr)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(src, q)
+}
+
+// source builds the engine Source for one access path. Each engine struct is
+// only a Source now — the scan/consume loop lives in the shared pipeline.
+func (db *DB) source(kind EngineKind, t *dbTable, tr *obs.Tracer) (engine.Source, error) {
+	switch kind {
+	case RM:
+		return &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}, nil
 	case ROW:
-		e := &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}
-		return e.Execute(q)
-	case COL:
-		if t.col == nil {
-			store, err := colstore.FromTable(t.tbl, db.sys.Arena)
-			if err != nil {
-				return nil, fmt.Errorf("rfabric: materializing columnar copy: %w", err)
-			}
-			t.col = store
+		return &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}, nil
+	case "IDX":
+		db.mu.RLock()
+		idx := t.idx
+		db.mu.RUnlock()
+		if idx == nil {
+			return nil, errors.New("rfabric: no index on this table")
 		}
-		e := &engine.ColEngine{Store: t.col, Sys: db.sys, Tracer: tr}
-		return e.Execute(q)
+		return &engine.IndexEngine{Tbl: t.tbl, Sys: db.sys, Idx: idx, Tracer: tr}, nil
+	case COL:
+		store, err := db.columnarCopy(t)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.ColEngine{Store: store, Sys: db.sys, Tracer: tr}, nil
 	default:
 		return nil, fmt.Errorf("%w %q", ErrUnknownEngine, string(kind))
+	}
+}
+
+// columnarCopy returns the table's columnar copy, materializing it on first
+// use (the duplication the paper removes — kept as the COL baseline).
+// Double-checked under the DB lock so a concurrent catalog writer cannot
+// race the lazy build.
+func (db *DB) columnarCopy(t *dbTable) (*colstore.Store, error) {
+	db.mu.RLock()
+	store := t.col
+	db.mu.RUnlock()
+	if store != nil {
+		return store, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t.col == nil {
+		store, err := colstore.FromTable(t.tbl, db.sys.Arena)
+		if err != nil {
+			return nil, fmt.Errorf("rfabric: materializing columnar copy: %w", err)
+		}
+		t.col = store
+	}
+	return t.col, nil
+}
+
+// applySinks runs the plan's ORDER BY / LIMIT sinks over a finished result
+// and, when the run is traced, attributes the modeled sort cycles to a sink
+// span so the root still reconciles with Breakdown.TotalCycles.
+func applySinks(res *Result, sk engine.Sinks, tr *obs.Tracer) {
+	if sk.Empty() {
+		return
+	}
+	cycles := engine.ApplySinks(res, sk)
+	sp := tr.Root().Leaf("sink", cycles, 0)
+	if len(sk.Keys) > 0 {
+		sp.SetAttr("orderby_keys", fmt.Sprint(len(sk.Keys)))
+	}
+	if sk.HasLimit {
+		sp.SetAttr("limit", fmt.Sprint(sk.Limit))
 	}
 }
 

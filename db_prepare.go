@@ -3,18 +3,20 @@ package rfabric
 import (
 	"fmt"
 
+	"rfabric/internal/engine"
 	"rfabric/internal/sql"
 )
 
 // Plan caching. §III-B observes that with the fabric there are no buffered
 // data layouts to manage, so the evaluation engine "can buffer more code
 // fragments and reuse previously compiled code fragments more aggressively".
-// Compilation here is parse+plan; a Prepared statement is the reusable
-// fragment, and the DB keeps a cache keyed by query text so repeated ad-hoc
-// queries reuse their fragments automatically.
+// Compilation here is parse+lower; a Prepared statement is the reusable
+// fragment — the pipeline query plus its ORDER BY / LIMIT sinks — and the DB
+// keeps a cache keyed by query text so repeated ad-hoc queries reuse their
+// fragments automatically.
 
 // CompileCycles is the modeled cost of compiling one query fragment
-// (parse, resolve, plan) — charged once per distinct query text.
+// (parse, resolve, lower) — charged once per distinct query text.
 const CompileCycles = 25_000
 
 // Prepared is a compiled query fragment bound to a table.
@@ -22,6 +24,7 @@ type Prepared struct {
 	db    *DB
 	table string
 	query Query
+	sinks engine.Sinks
 	text  string
 }
 
@@ -41,8 +44,11 @@ type planCache struct {
 }
 
 // Prepare compiles the statement (or fetches its cached fragment) and
-// returns the reusable Prepared.
+// returns the reusable Prepared. Safe for concurrent use with queries and
+// catalog growth: cache and catalog are consulted under the DB lock.
 func (db *DB) Prepare(query string) (*Prepared, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.plans == nil {
 		db.plans = &planCache{frags: map[string]*Prepared{}}
 	}
@@ -61,11 +67,15 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
 	}
-	q, err := sql.Plan(st, t.tbl.Schema())
+	root, err := sql.Lower(st, t.tbl.Schema())
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{db: db, table: st.Table, query: q, text: query}
+	q, sk, err := engine.FromPlan(root)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{db: db, table: st.Table, query: q, sinks: sk, text: query}
 	db.plans.frags[query] = p
 	db.plans.stats.Resident = len(db.plans.frags)
 	return p, nil
@@ -73,11 +83,11 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 
 // Run executes the fragment on the chosen path.
 func (p *Prepared) Run(kind EngineKind) (*Result, error) {
-	t, ok := p.db.tables[p.table]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q (dropped since preparation)", ErrNoSuchTable, p.table)
+	t, err := p.db.lookup(p.table)
+	if err != nil {
+		return nil, fmt.Errorf("%w (dropped since preparation)", err)
 	}
-	return p.db.run(kind, t, p.query, nil)
+	return p.db.run(kind, t, p.query, p.sinks, nil)
 }
 
 // Text returns the source text of the fragment.
@@ -85,6 +95,11 @@ func (p *Prepared) Text() string { return p.text }
 
 // PlanCache returns the fragment-cache statistics.
 func (db *DB) PlanCache() PlanCacheStats {
+	if db == nil {
+		return PlanCacheStats{}
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.plans == nil {
 		return PlanCacheStats{}
 	}

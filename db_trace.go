@@ -1,9 +1,11 @@
 package rfabric
 
 import (
-	"fmt"
+	"strings"
 
+	"rfabric/internal/engine"
 	"rfabric/internal/obs"
+	"rfabric/internal/plan"
 	"rfabric/internal/sql"
 )
 
@@ -49,13 +51,13 @@ func WithTimeline(everyCycles uint64) TraceOption {
 	return func(o *traceOpts) { o.sample = true; o.interval = everyCycles }
 }
 
-// QueryTraced is EXPLAIN ANALYZE: it parses, plans, and executes the
+// QueryTraced is EXPLAIN ANALYZE: it parses, lowers, and executes the
 // statement like Query, and additionally returns the span tree of the run —
-// parse, plan, engine dispatch, per-shard/per-morsel execution, and merge —
-// with per-node modeled cycles, DRAM bytes, cache miss ratios, and
-// row-buffer hit rates. The root span's AttributedCycles reconciles exactly
-// with Result.Breakdown.TotalCycles. The trace is also stored for
-// LastTrace.
+// parse, plan (with the physical operator chain as one span per operator),
+// engine dispatch, per-shard/per-morsel execution, and merge — with per-node
+// modeled cycles, DRAM bytes, cache miss ratios, and row-buffer hit rates.
+// The root span's AttributedCycles reconciles exactly with
+// Result.Breakdown.TotalCycles. The trace is also stored for LastTrace.
 func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, error) {
 	o := traceOpts{kind: RM}
 	for _, opt := range opts {
@@ -72,28 +74,32 @@ func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, e
 	psp.SetAttr("table", st.Table)
 	tr.End()
 
-	t, ok := db.tables[st.Table]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTable, st.Table)
+	t, err := db.lookup(st.Table)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	tr.Begin("plan.logical")
-	q, err := sql.Plan(st, t.tbl.Schema())
+	root, err := sql.Lower(st, t.tbl.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	q, sk, err := engine.FromPlan(root)
 	if err != nil {
 		return nil, nil, err
 	}
 	tr.End()
 
-	return db.runTraced(o, t, q, query, tr)
+	return db.runTraced(o, t, q, sk, query, tr)
 }
 
 // ExecuteTraced is the Execute counterpart of QueryTraced, for callers that
 // build logical queries directly. The kind argument overrides any OnEngine
 // option.
 func (db *DB) ExecuteTraced(kind EngineKind, tableName string, q Query, opts ...TraceOption) (*Result, *Trace, error) {
-	t, ok := db.tables[tableName]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return nil, nil, err
 	}
 	o := traceOpts{}
 	for _, opt := range opts {
@@ -101,10 +107,11 @@ func (db *DB) ExecuteTraced(kind EngineKind, tableName string, q Query, opts ...
 	}
 	o.kind = kind
 	tr := obs.NewTracer("query")
-	return db.runTraced(o, t, q, "", tr)
+	return db.runTraced(o, t, q, engine.Sinks{}, "", tr)
 }
 
-func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, text string, tr *obs.Tracer) (*Result, *Trace, error) {
+func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text string, tr *obs.Tracer) (*Result, *Trace, error) {
+	planSpan := attachPlanSpans(tr.Root(), planChain(q, t.tbl.Name(), sk), t.tbl.Schema())
 	var tl *obs.Timeline
 	if o.sample {
 		tl = obs.NewTimeline(o.interval, db.sys.Cfg.DRAM.Banks)
@@ -112,9 +119,14 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, text string, tr *obs.T
 		db.sys.AttachTimeline(tl)
 		defer db.sys.DetachTimeline()
 	}
-	res, err := db.run(o.kind, t, q, tr)
+	res, err := db.run(o.kind, t, q, sk, tr)
 	if err != nil {
 		return nil, nil, err
+	}
+	// The access path is only known after the run (AUTO prices it, RM may
+	// route to PAR); stamp it onto the operator tree's Scan span.
+	if sp := planSpan.Find("op.scan"); sp != nil {
+		sp.SetAttr("source", res.Engine)
 	}
 	tl.Finish(res.Breakdown.TotalCycles)
 	trace := &Trace{
@@ -126,4 +138,68 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, text string, tr *obs.T
 	}
 	db.last.Store(trace)
 	return res, trace, nil
+}
+
+// planChain rebuilds the physical plan the run executes: the pipeline query
+// plus its sinks. For QueryTraced this reproduces the lowered statement; for
+// ExecuteTraced it derives the chain from the hand-built query.
+func planChain(q Query, table string, sk engine.Sinks) *plan.Node {
+	root := engine.PlanOf(q, table)
+	if len(sk.Keys) > 0 {
+		root = root.OrderBy(sk.Keys)
+	}
+	if sk.HasLimit {
+		root = root.Limit(sk.Limit)
+	}
+	return root
+}
+
+// attachPlanSpans renders the operator chain under a plan.physical span, one
+// nested child span per physical operator, outermost first. The spans carry
+// no cycles — they are the EXPLAIN structure; attribution stays on the
+// execution spans — so the root's reconciliation is untouched.
+func attachPlanSpans(parent *obs.Span, root *plan.Node, sch *Schema) *obs.Span {
+	if parent == nil {
+		return nil
+	}
+	top := parent.AddChild("plan.physical")
+	lines := strings.Split(root.Explain(sch), "\n")
+	cur, i := top, 0
+	root.Walk(func(n *plan.Node) {
+		cur = cur.AddChild("op." + strings.ToLower(n.Op.String()))
+		if i < len(lines) {
+			cur.SetAttr("expr", strings.TrimPrefix(strings.TrimLeft(lines[i], " "), "└─ "))
+		}
+		i++
+	})
+	return top
+}
+
+// ExplainPlan parses and lowers the statement and returns its physical plan
+// chain — EXPLAIN without ANALYZE. The Scan's source renders as "?" until a
+// run prices it (or the caller stamps Scan().Source).
+func (db *DB) ExplainPlan(query string) (*plan.Node, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	return sql.Lower(st, t.tbl.Schema())
+}
+
+// Explain renders the physical plan for a statement as an indented operator
+// tree, the same shape QueryTraced attaches under plan.physical.
+func (db *DB) Explain(query string) (string, error) {
+	root, err := db.ExplainPlan(query)
+	if err != nil {
+		return "", err
+	}
+	t, err := db.lookup(root.Scan().Table)
+	if err != nil {
+		return "", err
+	}
+	return root.Explain(t.tbl.Schema()), nil
 }

@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Arena hands out disjoint simulated address ranges. Tables, column arrays,
 // and fabric delivery buffers each allocate their range from one arena so
@@ -8,7 +11,12 @@ import "fmt"
 // conflict in sets, exactly like separately allocated buffers on the real
 // platform. The arena manages addresses only; the owning structures hold
 // their own bytes.
+//
+// An Arena is safe for concurrent use: catalog operations (CreateTable,
+// index builds, lazy columnar copies) may allocate from goroutines other
+// than the one driving the simulated system.
 type Arena struct {
+	mu    sync.Mutex
 	next  int64
 	align int64
 }
@@ -42,10 +50,16 @@ func (a *Arena) Alloc(size int64) int64 {
 	if size < 0 {
 		panic(fmt.Sprintf("dram: negative allocation %d", size))
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	addr := a.next
 	a.next = alignUp(a.next+size, a.align)
 	return addr
 }
 
 // Next returns the next address the arena would hand out.
-func (a *Arena) Next() int64 { return a.next }
+func (a *Arena) Next() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}

@@ -5,17 +5,18 @@ import (
 
 	"rfabric/internal/colstore"
 	"rfabric/internal/obs"
-	"rfabric/internal/table"
 )
 
-// ColEngine executes queries column-at-a-time over a materialized columnar
-// copy — the paper's COL baseline (§V). Selection runs as full-column
-// passes that narrow a row-id vector; consumption then reconstructs tuples
-// by reading every consumed column at each qualifying row id. That
-// reconstruction is the layout's Achilles' heel: it reads the consumed
-// arrays in interleaved row-major order, so once a query touches more
-// parallel streams than the prefetcher tracks (> 4 on the paper's
-// platform), the gathers degrade to demand misses.
+// ColEngine is the column-at-a-time access path over a materialized
+// columnar copy — the paper's COL baseline (§V). Selection runs as
+// full-column passes that narrow a row-id vector; consumption then
+// reconstructs tuples by reading every consumed column at each qualifying
+// row id. That reconstruction is the layout's Achilles' heel: it reads the
+// consumed arrays in interleaved row-major order, so once a query touches
+// more parallel streams than the prefetcher tracks (> 4 on the paper's
+// platform), the gathers degrade to demand misses. As a Source it
+// contributes the decomposed layout's addressing and the bitmap-selection
+// prepare pass; the scan and consume loops live in the shared pipeline.
 type ColEngine struct {
 	Store *colstore.Store
 	Sys   *System
@@ -38,8 +39,19 @@ type ColEngine struct {
 // Name implements Executor.
 func (e *ColEngine) Name() string { return "COL" }
 
+// The columnar copy is derived from a base table; the engine span carries
+// no table label of its own.
+func (e *ColEngine) tableLabel() string { return "" }
+
+func (e *ColEngine) sysTracer() (*System, *obs.Tracer) { return e.Sys, e.Tracer }
+
 // Execute runs q and returns its result with the modeled cost.
-func (e *ColEngine) Execute(q Query) (*Result, error) {
+func (e *ColEngine) Execute(q Query) (*Result, error) { return Run(e, q) }
+
+// openScan implements Source: selection happens up front as full-column
+// bitmap passes (the prepare hook), leaving the pipeline an explicit row-id
+// list whose reconstruction touches each consumed column per row.
+func (e *ColEngine) openScan(q Query, _ *obs.Span) (*scan, error) {
 	if e.Store == nil || e.Sys == nil {
 		return nil, errors.New("engine: ColEngine needs a column store and a system")
 	}
@@ -54,128 +66,41 @@ func (e *ColEngine) Execute(q Query) (*Result, error) {
 		return nil, errors.New("engine: columnar copy does not support MVCC snapshots")
 	}
 
-	sp := beginEngineSpan(e.Tracer, e.Name(), "")
-	defer e.Tracer.End()
+	store := e.Store
+	rows := store.NumRows()
+	s := &scan{
+		sch:         sch,
+		fetchCycles: VectorOpCycles,
+		tickPerRow:  true,
+		visit:       q.consumedColumns(),
+	}
 
-	if !e.ForceScalar && e.Store.NumRows() <= vecRowLimit {
+	if !e.ForceScalar && rows <= vecRowLimit {
 		// The column arrays are dense, so every slot decodes at offset 0 of
 		// its own array; predicates run as bitmap passes outside the
 		// program, hence the empty selection.
 		if prog, ok := compileScanProg(q, sch, nil, q.consumedColumns(), func(int) int { return 0 }, colVecCharges); ok {
-			return e.executeVectorized(q, prog, sp)
+			s.prog = prog
+			s.colVec = &colVecLayout{store: store}
+			if e.scratch == nil {
+				e.scratch = &scanScratch{}
+			}
+			s.scratch = e.scratch
+			return s, nil
 		}
 	}
 
-	memStart := e.Sys.Mem.Stats()
-	hierStart := e.Sys.Hier.Stats()
-	var compute uint64
-	cons := newConsumer(q, sch, &compute)
-	tk := newTicker(e.Tracer)
-
-	rows := e.Store.NumRows()
-
-	// Selection: one full-column pass per predicate, MonetDB-style — each
-	// pass streams the entire column (dense, prefetch-friendly) and
-	// materializes a full-length match bitmap, which the next pass ANDs
-	// into. This is the materialized-intermediate discipline of true
-	// column-at-a-time processing; it trades extra value touches for
-	// perfectly sequential access.
-	var bitmap []bool
-	var bitmapAddr int64
-	if len(q.Selection) > 0 {
-		// The match bitmap is itself a memory-resident intermediate; every
-		// pass streams it alongside the predicate column.
-		bitmapAddr = e.Sys.Arena.Alloc(int64(rows))
+	s.prepare = func(pr *pipeRun) ([]int, error) {
+		return colBitmapSelect(pr, e.Sys, store, sch, q.Selection), nil
 	}
-	for pi, p := range q.Selection {
-		col := p.Col
+	// One segment: the qualifying row ids; every source row was scanned by
+	// the selection passes.
+	s.segs = func(pr *pipeRun) segIter {
+		return oneShotIter(segment{ids: pr.ids, sourceRows: int64(rows)})
+	}
+	s.colAt = func(_ *segment, row, col int) (int64, []byte) {
 		w := sch.Column(col).Width
-		data := e.Store.ColumnData(col)
-		if pi == 0 {
-			// The first pass only writes the bitmap (streaming store); later
-			// passes read-modify-write it and pay the load.
-			bitmap = make([]bool, rows)
-			for r := 0; r < rows; r++ {
-				if tk.tl != nil {
-					tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-				}
-				e.Sys.Hier.Load(e.Store.ValueAddr(col, r))
-				compute += VectorOpCycles + MaterializeCycles
-				bitmap[r] = p.Eval(table.DecodeColumn(sch.Column(col), data[r*w:]))
-			}
-			continue
-		}
-		for r := 0; r < rows; r++ {
-			if tk.tl != nil {
-				tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-			}
-			e.Sys.Hier.Load(e.Store.ValueAddr(col, r))
-			e.Sys.Hier.Load(bitmapAddr + int64(r))
-			compute += VectorOpCycles + MaterializeCycles
-			if bitmap[r] {
-				bitmap[r] = p.Eval(table.DecodeColumn(sch.Column(col), data[r*w:]))
-			}
-		}
+		return store.ValueAddr(col, row), store.ColumnData(col)[row*w:]
 	}
-	sel := make([]int, 0, rows)
-	if bitmap == nil {
-		for r := 0; r < rows; r++ {
-			sel = append(sel, r)
-		}
-	} else {
-		for r, ok := range bitmap {
-			if ok {
-				sel = append(sel, r)
-			}
-		}
-		compute += uint64(len(sel) * MaterializeCycles)
-	}
-
-	// Tuple reconstruction + consumption: for each qualifying row id, read
-	// every consumed column. The loads interleave across the consumed
-	// arrays in row-major order — the strided multi-stream pattern that
-	// exhausts the prefetcher when more than Streams columns are touched.
-	consumed := q.consumedColumns()
-	numCols := sch.NumColumns()
-	vals := make([]table.Value, numCols)
-	fetchedAt := make([]int64, numCols)
-	for i := range fetchedAt {
-		fetchedAt[i] = -1
-	}
-	var epoch int64
-	// The fetch closure is defined once outside the reconstruction loop
-	// (capturing the row cursor) so it does not allocate per row.
-	var row int
-	fetch := func(col int) table.Value {
-		if fetchedAt[col] == epoch {
-			return vals[col]
-		}
-		w := sch.Column(col).Width
-		e.Sys.Hier.Load(e.Store.ValueAddr(col, row))
-		compute += VectorOpCycles
-		v := table.DecodeColumn(sch.Column(col), e.Store.ColumnData(col)[row*w:])
-		vals[col] = v
-		fetchedAt[col] = epoch
-		return v
-	}
-
-	for _, r := range sel {
-		if tk.tl != nil {
-			tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-		}
-		epoch++
-		row = r
-		// Touch consumed columns in declared order so the access pattern is
-		// deterministic row-major interleaving.
-		for _, c := range consumed {
-			fetch(c)
-		}
-		cons.consumeRow(fetch)
-	}
-
-	res := cons.finish(e.Name(), int64(rows))
-	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
-	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
-	return res, nil
+	return s, nil
 }

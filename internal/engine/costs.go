@@ -40,6 +40,10 @@ const (
 	// HashGroupCycles is the per-row cost of hashing group keys and probing
 	// the aggregation hash table (hash, probe, key compare, pointer chase).
 	HashGroupCycles = 40
+	// SortCmpCycles is the per-comparison cost of the ORDER BY sink over
+	// grouped output (compare, swap amortized). The sink charges
+	// n·⌈log₂n⌉·SortCmpCycles for n groups.
+	SortCmpCycles = 4
 	// VectorSize is the batch width of the vectorized engines.
 	VectorSize = 1024
 )

@@ -1,10 +1,11 @@
 package engine
 
-// Executor is the common face of the three execution paths. All executors
-// of the same logical data produce equivalent Results; only their Breakdown
-// differs.
+// Executor is the common face of the execution paths. All executors of the
+// same logical data produce equivalent Results; only their Breakdown
+// differs. Every single-table executor is also a Source — Execute is just
+// Run(engine, q) through the shared pipeline.
 type Executor interface {
-	// Name returns the engine's short label (ROW, COL, RM).
+	// Name returns the engine's short label (ROW, COL, RM, IDX).
 	Name() string
 	// Execute runs the query and returns its result with the modeled cost.
 	Execute(q Query) (*Result, error)
@@ -14,4 +15,10 @@ var (
 	_ Executor = (*RowEngine)(nil)
 	_ Executor = (*ColEngine)(nil)
 	_ Executor = (*RMEngine)(nil)
+	_ Executor = (*IndexEngine)(nil)
+
+	_ Source = (*RowEngine)(nil)
+	_ Source = (*ColEngine)(nil)
+	_ Source = (*RMEngine)(nil)
+	_ Source = (*IndexEngine)(nil)
 )

@@ -11,11 +11,14 @@ import (
 	"rfabric/internal/table"
 )
 
-// IndexEngine executes queries whose selection pins the indexed column:
-// the B+tree yields candidate rows, the remaining predicates and the
-// projection are evaluated row-wise on just those rows. This is the
-// paper's residual role for indexes (§III-A) turned into an access path the
-// constructive optimizer can price against the fabric.
+// IndexEngine is the access path for queries whose selection pins the
+// indexed column: the B+tree yields candidate rows, the remaining
+// predicates and the projection are evaluated row-wise on just those rows.
+// This is the paper's residual role for indexes (§III-A) turned into an
+// access path the constructive optimizer can price against the fabric. As
+// a Source it contributes the tree descent (the prepare hook) and the
+// candidate-row addressing; the scan and consume loops live in the shared
+// pipeline.
 type IndexEngine struct {
 	Tbl *table.Table
 	Sys *System
@@ -28,6 +31,15 @@ type IndexEngine struct {
 
 // Name implements Executor.
 func (e *IndexEngine) Name() string { return "IDX" }
+
+func (e *IndexEngine) tableLabel() string {
+	if e.Tbl == nil {
+		return ""
+	}
+	return e.Tbl.Name()
+}
+
+func (e *IndexEngine) sysTracer() (*System, *obs.Tracer) { return e.Sys, e.Tracer }
 
 // indexBounds extracts the [lo, hi] range the selection imposes on the
 // indexed column; ok is false when the selection does not constrain it.
@@ -75,7 +87,12 @@ func indexBounds(sel expr.Conjunction, col int) (lo, hi int64, ok bool) {
 // Execute runs q through the index. It fails when the selection does not
 // constrain the indexed column — the optimizer never routes such queries
 // here.
-func (e *IndexEngine) Execute(q Query) (*Result, error) {
+func (e *IndexEngine) Execute(q Query) (*Result, error) { return Run(e, q) }
+
+// openScan implements Source: descend the tree inside the measured window
+// (the prepare hook), then visit the candidate rows through the base
+// heap's addressing, re-checking every predicate for correctness.
+func (e *IndexEngine) openScan(q Query, _ *obs.Span) (*scan, error) {
 	if e.Tbl == nil || e.Sys == nil || e.Idx == nil {
 		return nil, errors.New("engine: IndexEngine needs a table, a system, and an index")
 	}
@@ -92,78 +109,33 @@ func (e *IndexEngine) Execute(q Query) (*Result, error) {
 			sch.Column(e.Idx.Column()).Name)
 	}
 
-	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
-	defer e.Tracer.End()
-
-	memStart := e.Sys.Mem.Stats()
-	hierStart := e.Sys.Hier.Stats()
-	var compute uint64
-	cons := newConsumer(q, sch, &compute)
-
-	candidates := e.Idx.Range(e.Sys.Hier, lo, hi)
-	tk := newTicker(e.Tracer)
-
-	numCols := sch.NumColumns()
-	vals := make([]table.Value, numCols)
-	fetchedAt := make([]int64, numCols)
-	for i := range fetchedAt {
-		fetchedAt[i] = -1
+	// Residual predicates (the index already enforced the key range, but
+	// equal-column predicates may be tighter than [lo,hi] alone — re-check
+	// everything for correctness). No per-row iterator overhead: candidates
+	// arrive as a materialized id list.
+	s := &scan{
+		sch:         sch,
+		predCycles:  PredEvalCycles,
+		fetchCycles: ExtractCycles,
+		tickPerRow:  true,
+		cpuSel:      q.Selection,
 	}
-	var epoch int64
-	// The fetch closure is defined once outside the candidate loop
-	// (capturing the row cursor and payload) so it does not allocate per row.
-	var row int
-	var payload []byte
-	fetch := func(col int) table.Value {
-		if fetchedAt[col] == epoch {
-			return vals[col]
-		}
-		e.Sys.Hier.Load(e.Tbl.ColumnAddr(row, col))
-		compute += ExtractCycles
-		v := table.DecodeColumn(sch.Column(col), payload[sch.Offset(col):])
-		vals[col] = v
-		fetchedAt[col] = epoch
-		return v
+	if e.Tbl.HasMVCC() {
+		s.mvccTbl = e.Tbl
 	}
 
-	for _, r := range candidates {
-		if tk.tl != nil {
-			tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-		}
-		epoch++
-		if e.Tbl.HasMVCC() {
-			e.Sys.Hier.Load(e.Tbl.RowAddr(r))
-			if q.Snapshot != nil {
-				compute += TSCheckSoftwareCycles
-				if !e.Tbl.VisibleAt(r, *q.Snapshot) {
-					continue
-				}
-			}
-		}
-		payload = e.Tbl.RowPayload(r)
-		row = r
-		// Residual predicates (the index already enforced the key range,
-		// but equal-column predicates may be tighter than [lo,hi] alone —
-		// re-check everything for correctness).
-		pass := true
-		for _, p := range q.Selection {
-			compute += PredEvalCycles
-			if !p.Eval(fetch(p.Col)) {
-				pass = false
-				break
-			}
-		}
-		if !pass {
-			continue
-		}
-		cons.consumeRow(fetch)
+	s.prepare = func(*pipeRun) ([]int, error) {
+		return e.Idx.Range(e.Sys.Hier, lo, hi), nil
+	}
+	s.segs = func(pr *pipeRun) segIter {
+		return oneShotIter(segment{ids: pr.ids, sourceRows: int64(len(pr.ids))})
 	}
 
-	res := cons.finish(e.Name(), int64(len(candidates)))
-	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
-	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
-	return res, nil
+	tbl := e.Tbl
+	s.colAt = func(_ *segment, row, col int) (int64, []byte) {
+		return tbl.ColumnAddr(row, col), tbl.RowPayload(row)[sch.Offset(col):]
+	}
+	return s, nil
 }
 
 // estimateIDX prices the index path for the optimizer: tree descent plus a

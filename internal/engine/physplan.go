@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"math/bits"
+	"sort"
+
+	"rfabric/internal/plan"
+)
+
+// This file bridges the engine to the physical plan IR in internal/plan:
+// lowering a logical Query to an operator chain, extracting the executable
+// Query and sink operators back out, pricing a plan's access paths, and
+// running the sinks over grouped output.
+
+// PlanOf lowers a logical Query to the physical plan IR: a Scan over the
+// columns the query touches, a Filter when it selects, and the consumption
+// shape (Project or Aggregate). The scan's source is left for the optimizer
+// (or the caller's dispatch) to stamp.
+func PlanOf(q Query, table string) *plan.Node {
+	scan := plan.NewScan(table, "", q.NeededColumns())
+	scan.Snapshot = q.Snapshot
+	root := scan
+	if len(q.Selection) > 0 {
+		root = root.Filter(q.Selection)
+	}
+	if len(q.Aggregates) > 0 {
+		aggs := make([]plan.Agg, len(q.Aggregates))
+		for i, a := range q.Aggregates {
+			aggs[i] = plan.Agg{Kind: a.Kind, Arg: a.Arg}
+		}
+		root = root.Aggregate(q.GroupBy, aggs)
+	} else {
+		root = root.Project(q.Projection)
+	}
+	return root
+}
+
+// Sinks are the plan operators that run over the pipeline's grouped output
+// rather than inside it: a deterministic sort and a row limit.
+type Sinks struct {
+	Keys     []plan.SortKey
+	Limit    int64
+	HasLimit bool
+}
+
+// Empty reports whether there is no sink work to do.
+func (s Sinks) Empty() bool { return len(s.Keys) == 0 && !s.HasLimit }
+
+// FromPlan validates an IR chain and splits it into the Query the pipeline
+// executes and the sinks that run over its output.
+func FromPlan(root *plan.Node) (Query, Sinks, error) {
+	var q Query
+	var sk Sinks
+	if err := root.Validate(); err != nil {
+		return q, sk, err
+	}
+	for cur := root; cur != nil; cur = cur.Input {
+		switch cur.Op {
+		case plan.OpScan:
+			q.Snapshot = cur.Snapshot
+		case plan.OpFilter:
+			q.Selection = cur.Preds
+		case plan.OpProject:
+			q.Projection = cur.Cols
+		case plan.OpAggregate:
+			q.GroupBy = cur.GroupBy
+			q.Aggregates = make([]AggTerm, len(cur.Aggs))
+			for i, a := range cur.Aggs {
+				q.Aggregates[i] = AggTerm{Kind: a.Kind, Arg: a.Arg}
+			}
+		case plan.OpOrderBy:
+			sk.Keys = cur.Keys
+		case plan.OpLimit:
+			sk.Limit = cur.N
+			sk.HasLimit = true
+		}
+	}
+	return q, sk, nil
+}
+
+// ChoosePlan prices the plan's access paths, stamps the winner on the Scan
+// node, and returns the decision. This is the constructive optimizer's IR
+// entry point; Choose remains for callers holding a raw Query.
+func (o *Optimizer) ChoosePlan(root *plan.Node) (*Plan, error) {
+	q, _, err := FromPlan(root)
+	if err != nil {
+		return nil, err
+	}
+	p, err := o.Choose(q)
+	if err != nil {
+		return nil, err
+	}
+	root.Scan().Source = p.Chosen
+	return p, nil
+}
+
+// ApplySinks runs the sink operators over a grouped result in place: a
+// stable sort by the plan's keys (ties keep the pipeline's deterministic
+// key order, so output order is reproducible across engines), then the
+// limit. It charges n·⌈log₂n⌉·SortCmpCycles of modeled compute for the
+// sort, adds it to the result's breakdown, and returns the charge so traced
+// runs can attribute it.
+func ApplySinks(res *Result, sk Sinks) uint64 {
+	if sk.Empty() {
+		return 0
+	}
+	var cycles uint64
+	if len(sk.Keys) > 0 {
+		n := len(res.Groups)
+		sort.SliceStable(res.Groups, func(i, j int) bool {
+			a, b := &res.Groups[i], &res.Groups[j]
+			for _, k := range sk.Keys {
+				var c int
+				if k.Key >= 0 {
+					c = a.Key[k.Key].Compare(b.Key[k.Key])
+				} else {
+					c = a.Aggs[k.Agg].Compare(b.Aggs[k.Agg])
+				}
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		if n > 1 {
+			cycles = uint64(n) * uint64(bits.Len(uint(n-1))) * SortCmpCycles
+		}
+		res.Breakdown.ComputeCycles += cycles
+		res.Breakdown.TotalCycles += cycles
+	}
+	if sk.HasLimit && int64(len(res.Groups)) > sk.Limit {
+		res.Groups = res.Groups[:sk.Limit]
+	}
+	return cycles
+}

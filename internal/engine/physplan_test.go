@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"testing"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/plan"
+	"rfabric/internal/table"
+)
+
+func TestPlanOfRoundTrip(t *testing.T) {
+	snap := uint64(7)
+	q := Query{
+		Selection:  expr.Conjunction{{Col: 1, Op: expr.Lt, Operand: table.F64(5)}},
+		GroupBy:    []int{2},
+		Aggregates: []AggTerm{{Kind: expr.Count}, {Kind: expr.Sum, Arg: expr.ColRef{Col: 1}}},
+		Snapshot:   &snap,
+	}
+	root := PlanOf(q, "items")
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, sk, err := FromPlan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Empty() {
+		t.Errorf("unexpected sinks: %+v", sk)
+	}
+	if got.Snapshot == nil || *got.Snapshot != snap {
+		t.Errorf("snapshot lost in round trip")
+	}
+	if len(got.Selection) != 1 || len(got.GroupBy) != 1 || len(got.Aggregates) != 2 {
+		t.Errorf("round trip mangled query: %+v", got)
+	}
+	if root.Scan().Table != "items" {
+		t.Errorf("scan table = %q", root.Scan().Table)
+	}
+}
+
+func TestFromPlanExtractsSinks(t *testing.T) {
+	q := Query{
+		GroupBy:    []int{0},
+		Aggregates: []AggTerm{{Kind: expr.Count}},
+	}
+	root := PlanOf(q, "t").
+		OrderBy([]plan.SortKey{{Key: -1, Agg: 0, Desc: true}}).
+		Limit(2)
+	_, sk, err := FromPlan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sk.Keys) != 1 || !sk.Keys[0].Desc || !sk.HasLimit || sk.Limit != 2 {
+		t.Errorf("sinks = %+v", sk)
+	}
+}
+
+func sinkResult() *Result {
+	return &Result{
+		Groups: []GroupRow{
+			{Key: []table.Value{table.I64(1)}, Aggs: []table.Value{table.F64(10)}, Count: 2},
+			{Key: []table.Value{table.I64(2)}, Aggs: []table.Value{table.F64(30)}, Count: 1},
+			{Key: []table.Value{table.I64(3)}, Aggs: []table.Value{table.F64(10)}, Count: 3},
+		},
+	}
+}
+
+func TestApplySinksSortAndLimit(t *testing.T) {
+	res := sinkResult()
+	cycles := ApplySinks(res, Sinks{Keys: []plan.SortKey{{Key: -1, Agg: 0, Desc: true}}})
+	if cycles == 0 {
+		t.Errorf("sort over %d groups charged nothing", len(res.Groups))
+	}
+	if res.Breakdown.ComputeCycles != cycles || res.Breakdown.TotalCycles != cycles {
+		t.Errorf("sink cycles not added to breakdown: %+v", res.Breakdown)
+	}
+	// 30 first; the two ties (both 10) keep their key order — stable sort.
+	if res.Groups[0].Aggs[0].Float != 30 {
+		t.Errorf("descending sort: first agg = %v", res.Groups[0].Aggs[0])
+	}
+	if res.Groups[1].Key[0].Int != 1 || res.Groups[2].Key[0].Int != 3 {
+		t.Errorf("ties not stable: keys %v, %v", res.Groups[1].Key[0], res.Groups[2].Key[0])
+	}
+
+	res2 := sinkResult()
+	ApplySinks(res2, Sinks{Limit: 1, HasLimit: true})
+	if len(res2.Groups) != 1 || res2.Groups[0].Key[0].Int != 1 {
+		t.Errorf("limit: groups = %+v", res2.Groups)
+	}
+}
+
+func TestApplySinksLimitZero(t *testing.T) {
+	res := sinkResult()
+	cycles := ApplySinks(res, Sinks{Limit: 0, HasLimit: true})
+	if cycles != 0 {
+		t.Errorf("LIMIT 0 charged %d cycles", cycles)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("LIMIT 0 left %d groups", len(res.Groups))
+	}
+}
+
+func TestApplySinksEmptyNoCharge(t *testing.T) {
+	res := sinkResult()
+	if cycles := ApplySinks(res, Sinks{}); cycles != 0 {
+		t.Errorf("empty sinks charged %d cycles", cycles)
+	}
+	if len(res.Groups) != 3 {
+		t.Errorf("empty sinks mutated groups")
+	}
+}
+
+func TestChoosePlanStampsSource(t *testing.T) {
+	fx := newFixture(t, 4, 512, false)
+	o := &Optimizer{Tbl: fx.tbl, Sys: fx.sys}
+	tbl := fx.tbl
+	q := Query{Projection: []int{0, 1}}
+	root := PlanOf(q, tbl.Name())
+	p, err := o.ChoosePlan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Scan().Source == "" || root.Scan().Source != p.Chosen {
+		t.Errorf("scan source %q vs chosen %q", root.Scan().Source, p.Chosen)
+	}
+}

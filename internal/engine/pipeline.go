@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"fmt"
+
+	"rfabric/internal/cache"
+	"rfabric/internal/colstore"
+	"rfabric/internal/dram"
+	"rfabric/internal/expr"
+	"rfabric/internal/fabric"
+	"rfabric/internal/geometry"
+	"rfabric/internal/obs"
+	"rfabric/internal/table"
+)
+
+// The shared operator pipeline. Every access path executes here: the
+// scalar interpreter below drives any opened scan row-at-a-time, and
+// pipeline_vec.go holds its batch twin. The loops are written once and
+// parameterized by the scan the source opened — per-touch charge
+// constants, segment layout, addressing, MVCC policy, pipeline accounting —
+// so ROW, COL, RM, and IDX differ only in what a touched byte costs and
+// where it comes from, never in how the operators run.
+
+// pipeRun is one execution's measured window: the hardware-counter
+// baselines plus the running compute charge and timeline ticker. Sources'
+// prepare hooks charge through it (index descent, COL bitmap passes).
+type pipeRun struct {
+	memStart  dram.Stats
+	hierStart cache.Stats
+	fabStart  fabric.Stats
+	compute   uint64
+	tk        ticker
+	ids       []int // prepare's explicit row-id list, if any
+}
+
+// run dispatches an opened scan to its execution mode.
+func (s *scan) run(q Query) (*Result, error) {
+	if s.direct != nil {
+		return s.direct()
+	}
+	if s.prog != nil {
+		if s.colVec != nil {
+			return s.runColVec(q)
+		}
+		return s.runVec(q)
+	}
+	return s.runScalar(q)
+}
+
+// begin opens the measured window: everything charged from here on is the
+// query's modeled cost.
+func (s *scan) begin() *pipeRun {
+	pr := &pipeRun{memStart: s.sys.Mem.Stats(), hierStart: s.sys.Hier.Stats()}
+	if s.pipelined {
+		pr.fabStart = s.sys.Fab.Stats()
+	}
+	pr.tk = newTicker(s.tracer)
+	return pr
+}
+
+// finishRun closes the measured window: breakdown, final timeline tick,
+// span attribution.
+func (s *scan) finishRun(pr *pipeRun, res *Result, pipeline, producer uint64) (*Result, error) {
+	if s.pipelined {
+		fabD := s.sys.Fab.Stats().Delta(pr.fabStart)
+		res.Breakdown = pipelineBreakdown(s.sys, pr.memStart, pr.hierStart, pr.compute, pipeline, producer, fabD.BytesShipped)
+		finishPipelineSpan(s.sp, s.sys, pr.memStart, pr.hierStart, res)
+		s.sp.SetAttr("fabric_chunks", fmt.Sprint(fabD.Chunks))
+		s.sp.SetAttr("fabric_bytes_gathered", fmt.Sprint(fabD.BytesGathered))
+		return res, nil
+	}
+	pr.tk.advance(s.sys.Hier.Stats().Cycles - pr.hierStart.Cycles + pr.compute)
+	res.Breakdown = demandBreakdown(s.sys, pr.memStart, pr.hierStart, pr.compute)
+	finishDemandSpan(s.sp, s.sys, pr.memStart, pr.hierStart, res)
+	return res, nil
+}
+
+// runScalar is the interpreted pipeline: for each segment the source
+// delivers, visit each row (dense or by explicit id), pay the iterator
+// overhead, check visibility, evaluate the CPU-resident predicates with
+// short-circuit, touch the visit-list columns, and fold survivors into the
+// consumer. Per-row fetches are cached by epoch so a column is loaded and
+// charged at most once per row, whichever operator touches it first.
+func (s *scan) runScalar(q Query) (*Result, error) {
+	pr := s.begin()
+	cons := newConsumer(q, s.sch, &pr.compute)
+
+	// Per-row lazily fetched value cache, epoch-invalidated. The fetch
+	// closure is defined once (capturing the row and segment cursors) so
+	// the row loop does not allocate, and the column metadata the hot path
+	// needs is hoisted into a flat array.
+	numCols := s.sch.NumColumns()
+	vals := make([]table.Value, numCols)
+	fetchedAt := make([]int64, numCols)
+	colDef := make([]geometry.Column, numCols)
+	for i := range fetchedAt {
+		fetchedAt[i] = -1
+		colDef[i] = s.sch.Column(i)
+	}
+	var epoch int64
+	var row int
+	var seg segment
+	fetch := func(col int) table.Value {
+		if fetchedAt[col] == epoch {
+			return vals[col]
+		}
+		addr, src := s.colAt(&seg, row, col)
+		s.sys.Hier.Load(addr)
+		pr.compute += s.fetchCycles
+		v := table.DecodeColumn(colDef[col], src)
+		vals[col] = v
+		fetchedAt[col] = epoch
+		return v
+	}
+
+	if s.prepare != nil {
+		ids, err := s.prepare(pr)
+		if err != nil {
+			return nil, err
+		}
+		pr.ids = ids
+	}
+
+	var pipeline, producer uint64
+	var scanned int64
+	next := s.segs(pr)
+	for {
+		hierBefore := s.sys.Hier.Stats().Cycles
+		computeBefore := pr.compute
+
+		var ok bool
+		seg, ok = next()
+		if !ok {
+			break
+		}
+		scanned += seg.sourceRows
+
+		n := seg.rows
+		if seg.ids != nil {
+			n = len(seg.ids)
+		}
+		for i := 0; i < n; i++ {
+			r := i
+			if seg.ids != nil {
+				r = seg.ids[i]
+			}
+			if s.tickPerRow && pr.tk.tl != nil {
+				pr.tk.advance(s.sys.Hier.Stats().Cycles - pr.hierStart.Cycles + pr.compute)
+			}
+			pr.compute += s.perRow
+			epoch++
+
+			if s.mvccTbl != nil {
+				// The software path must read the row header to check
+				// visibility — one more touch of the row's first line.
+				s.sys.Hier.Load(s.mvccTbl.RowAddr(r))
+				if q.Snapshot != nil {
+					pr.compute += TSCheckSoftwareCycles
+					if !s.mvccTbl.VisibleAt(r, *q.Snapshot) {
+						continue
+					}
+				}
+			}
+
+			row = r
+			pass := true
+			for _, p := range s.cpuSel {
+				pr.compute += s.predCycles
+				if !p.Eval(fetch(p.Col)) {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+			// Explicit visit list (COL's reconstruction order): touch every
+			// consumed column before folding, so the access pattern is
+			// deterministic row-major interleaving.
+			for _, c := range s.visit {
+				fetch(c)
+			}
+			cons.consumeRow(fetch)
+		}
+
+		if s.pipelined {
+			consumer := (s.sys.Hier.Stats().Cycles - hierBefore) + (pr.compute - computeBefore)
+			producer += seg.producer
+			if seg.producer > consumer {
+				pipeline += seg.producer
+			} else {
+				pipeline += consumer
+			}
+			pr.tk.advance(pipeline)
+		}
+	}
+
+	res := cons.finish(s.name, scanned)
+	return s.finishRun(pr, res, pipeline, producer)
+}
+
+// oneShotIter yields a single segment then stops — the iterator shape of
+// every non-chunked source.
+func oneShotIter(seg segment) segIter {
+	done := false
+	return func() (segment, bool) {
+		if done {
+			return segment{}, false
+		}
+		done = true
+		return seg, true
+	}
+}
+
+// colBitmapSelect runs the decomposed layout's selection: one full-column
+// pass per predicate, MonetDB-style — each pass streams the entire column
+// (dense, prefetch-friendly) and materializes a full-length match bitmap,
+// which the next pass ANDs into. This is the materialized-intermediate
+// discipline of true column-at-a-time processing; it trades extra value
+// touches for perfectly sequential access. The returned row-id list is the
+// qualifying set in row order.
+func colBitmapSelect(pr *pipeRun, sys *System, store *colstore.Store, sch *geometry.Schema, selection expr.Conjunction) []int {
+	rows := store.NumRows()
+	var bitmap []bool
+	var bitmapAddr int64
+	if len(selection) > 0 {
+		// The match bitmap is itself a memory-resident intermediate; every
+		// pass streams it alongside the predicate column.
+		bitmapAddr = sys.Arena.Alloc(int64(rows))
+	}
+	for pi, p := range selection {
+		col := p.Col
+		w := sch.Column(col).Width
+		data := store.ColumnData(col)
+		if pi == 0 {
+			// The first pass only writes the bitmap (streaming store); later
+			// passes read-modify-write it and pay the load.
+			bitmap = make([]bool, rows)
+			for r := 0; r < rows; r++ {
+				if pr.tk.tl != nil {
+					pr.tk.advance(sys.Hier.Stats().Cycles - pr.hierStart.Cycles + pr.compute)
+				}
+				sys.Hier.Load(store.ValueAddr(col, r))
+				pr.compute += VectorOpCycles + MaterializeCycles
+				bitmap[r] = p.Eval(table.DecodeColumn(sch.Column(col), data[r*w:]))
+			}
+			continue
+		}
+		for r := 0; r < rows; r++ {
+			if pr.tk.tl != nil {
+				pr.tk.advance(sys.Hier.Stats().Cycles - pr.hierStart.Cycles + pr.compute)
+			}
+			sys.Hier.Load(store.ValueAddr(col, r))
+			sys.Hier.Load(bitmapAddr + int64(r))
+			pr.compute += VectorOpCycles + MaterializeCycles
+			if bitmap[r] {
+				bitmap[r] = p.Eval(table.DecodeColumn(sch.Column(col), data[r*w:]))
+			}
+		}
+	}
+	sel := make([]int, 0, rows)
+	if bitmap == nil {
+		for r := 0; r < rows; r++ {
+			sel = append(sel, r)
+		}
+	} else {
+		for r, ok := range bitmap {
+			if ok {
+				sel = append(sel, r)
+			}
+		}
+		pr.compute += uint64(len(sel) * MaterializeCycles)
+	}
+	return sel
+}
+
+// runPushedAgg is the direct mode behind RM's aggregation pushdown: the
+// fabric computes plain-column aggregates and ships only the results, so
+// there is no pipeline to drive — just the producer's time and a handful of
+// shipped bytes.
+func runPushedAgg(sys *System, tracer *obs.Tracer, sp *obs.Span, name string, q Query, ev *fabric.Ephemeral, specs []expr.AggSpec) (*Result, error) {
+	memStart := sys.Mem.Stats()
+	hierStart := sys.Hier.Stats()
+	agg, err := ev.Aggregate(specs)
+	if err != nil {
+		return nil, err
+	}
+	tk := newTicker(tracer)
+	tk.advance(agg.ProducerCycles)
+	res := &Result{
+		Engine:      name,
+		RowsScanned: int64(agg.RowsScanned),
+		RowsPassed:  int64(agg.RowsQualified),
+		Aggs:        make([]table.Value, len(agg.Values)),
+	}
+	for i, v := range agg.Values {
+		res.Aggs[i] = normalizeAggValue(q.Aggregates[i].Kind, v)
+	}
+	res.Breakdown = pipelineBreakdown(sys, memStart, hierStart, 0, agg.ProducerCycles, agg.ProducerCycles, uint64(len(agg.Values)*8))
+	finishPipelineSpan(sp, sys, memStart, hierStart, res)
+	return res, nil
+}

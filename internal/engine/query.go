@@ -1,11 +1,17 @@
-// Package engine implements the three query-execution paths the paper
-// compares (ICDE 2023, §V): a volcano-style tuple-at-a-time engine over the
-// row-oriented base data (ROW), a vectorized column-at-a-time engine over a
-// materialized columnar copy (COL), and a vectorized engine over Relational
-// Memory's ephemeral views (RM). All three run the same logical queries,
-// produce identical results, and charge their work to a shared performance
-// model (simulated CPU cycles + the cache/DRAM hierarchy), so their relative
-// execution times reproduce the paper's figures.
+// Package engine implements the query-execution paths the paper compares
+// (ICDE 2023, §V) as access-path Sources plugged into one shared operator
+// pipeline: a volcano-style tuple-at-a-time path over the row-oriented base
+// data (ROW), a column-at-a-time path over a materialized columnar copy
+// (COL), a path over Relational Memory's ephemeral views (RM), and a B+tree
+// path for selections that pin an indexed column (IDX). Each Source
+// describes only where a query's bytes live and what each touched byte
+// costs; the scan and consume loops — scalar interpreter and vectorized
+// batch executor alike — live once, in pipeline.go and pipeline_vec.go. All
+// paths run the same logical queries, produce identical results, and charge
+// their work to a shared performance model (simulated CPU cycles + the
+// cache/DRAM hierarchy), so their relative execution times reproduce the
+// paper's figures. physplan.go bridges to the physical plan IR in
+// internal/plan (lowering, pricing, sink operators).
 package engine
 
 import (

@@ -11,11 +11,13 @@ import (
 	"rfabric/internal/table"
 )
 
-// RMEngine executes queries over Relational Memory: it configures an
-// ephemeral view of exactly the columns the query needs and consumes the
-// packed chunks the fabric delivers. The consumer is vectorized — the packed
-// layout is precisely the "optimal layout" the paper argues every query
-// should see (§II).
+// RMEngine is the Relational Memory access path: it configures an ephemeral
+// view of exactly the columns the query needs and delivers the packed
+// chunks the fabric produces as the pipeline's segments — the packed layout
+// is precisely the "optimal layout" the paper argues every query should see
+// (§II). As a Source it contributes chunk delivery, packed addressing, and
+// the producer/consumer pipeline accounting; the scan and consume loops
+// live in the shared pipeline.
 type RMEngine struct {
 	Tbl *table.Table
 	Sys *System
@@ -48,8 +50,22 @@ type RMEngine struct {
 // Name implements Executor.
 func (e *RMEngine) Name() string { return "RM" }
 
+func (e *RMEngine) tableLabel() string {
+	if e.Tbl == nil {
+		return ""
+	}
+	return e.Tbl.Name()
+}
+
+func (e *RMEngine) sysTracer() (*System, *obs.Tracer) { return e.Sys, e.Tracer }
+
 // Execute runs q and returns its result with the modeled cost.
-func (e *RMEngine) Execute(q Query) (*Result, error) {
+func (e *RMEngine) Execute(q Query) (*Result, error) { return Run(e, q) }
+
+// openScan implements Source: configure the ephemeral view, then describe
+// the chunked pipeline — or, when the whole aggregation is pushable, hand
+// the pipeline a direct mode that ships only the aggregate results.
+func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 	if e.Tbl == nil || e.Sys == nil {
 		return nil, errors.New("engine: RMEngine needs a table and a system")
 	}
@@ -60,9 +76,6 @@ func (e *RMEngine) Execute(q Query) (*Result, error) {
 	if q.Snapshot != nil && !e.Tbl.HasMVCC() {
 		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
 	}
-
-	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
-	defer e.Tracer.End()
 
 	geom, err := geometry.NewGeometry(sch, q.NeededColumns()...)
 	if err != nil {
@@ -83,22 +96,73 @@ func (e *RMEngine) Execute(q Query) (*Result, error) {
 	cfg.SetAttr("columns", fmt.Sprint(geom.Columns()))
 	cfg.SetAttr("packed_width", fmt.Sprint(ev.PackedWidth()))
 
+	s := &scan{sch: sch}
+
 	if e.PushAggregation && len(q.GroupBy) == 0 && len(q.Aggregates) > 0 && e.PushSelection {
 		if specs, ok := pushableAggs(q.Aggregates); ok {
 			sp.SetAttr("pushdown", "aggregation")
-			return e.executePushedAggregation(q, ev, specs, sp)
+			s.direct = func() (*Result, error) {
+				return runPushedAgg(e.Sys, e.Tracer, sp, e.Name(), q, ev, specs)
+			}
+			return s, nil
 		}
 	}
 	if e.PushSelection && len(q.Selection) > 0 {
 		sp.SetAttr("pushdown", "selection")
 	}
-	if !e.ForceScalar {
-		// When selection is pushed down the CPU sees only qualifying rows
-		// and evaluates no predicates.
-		cpuSel := q.Selection
-		if e.PushSelection {
-			cpuSel = nil
+
+	// When selection is pushed down the CPU sees only qualifying rows and
+	// evaluates no predicates.
+	cpuSel := q.Selection
+	if e.PushSelection {
+		cpuSel = nil
+	}
+	s.cpuSel = cpuSel
+	s.predCycles = VectorOpCycles
+	s.fetchCycles = VectorOpCycles
+	s.pipelined = true
+
+	// Packed-layout addressing, hoisted into a flat array indexed by schema
+	// column (only the geometry's columns are ever fetched) — packed rows
+	// are accessed exactly like Fig. 3's cg[i].field: row-wise over a dense
+	// single stream.
+	packed := ev.PackedWidth()
+	offs := make([]int, sch.NumColumns())
+	for i, c := range geom.Columns() {
+		offs[c] = geom.PackedOffset(i)
+	}
+	s.colAt = func(seg *segment, row, col int) (int64, []byte) {
+		off := row*packed + offs[col]
+		return seg.baseAddr + int64(off), seg.data[off:]
+	}
+
+	// Each fabric chunk is one pipeline segment; delivering it fills the
+	// hierarchy's lines from the fabric side and carries the producer's
+	// cycles for the max(producer, consumer) pipeline accounting.
+	lineBytes := int64(e.Sys.Hier.LineBytes())
+	s.segs = func(*pipeRun) segIter {
+		ev.Reset()
+		return func() (segment, bool) {
+			ch, ok := ev.Next()
+			if !ok {
+				return segment{}, false
+			}
+			lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
+			for i := 0; i < lines; i++ {
+				e.Sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
+			}
+			return segment{
+				data:       ch.Data,
+				baseAddr:   ch.BaseAddr,
+				stride:     packed,
+				rows:       ch.Rows,
+				sourceRows: int64(ch.SourceRows),
+				producer:   ch.ProducerCycles,
+			}, true
 		}
+	}
+
+	if !e.ForceScalar {
 		offFor := func(col int) int {
 			for i, c := range geom.Columns() {
 				if c == col {
@@ -108,10 +172,14 @@ func (e *RMEngine) Execute(q Query) (*Result, error) {
 			panic(fmt.Sprintf("engine: column %d not in RM geometry", col))
 		}
 		if prog, ok := compileScanProg(q, sch, cpuSel, nil, offFor, rmVecCharges); ok {
-			return e.executeConsumeVectorized(q, ev, prog, sp)
+			s.prog = prog
+			if e.scratch == nil {
+				e.scratch = &scanScratch{}
+			}
+			s.scratch = e.scratch
 		}
 	}
-	return e.executeConsume(q, ev, geom, sp)
+	return s, nil
 }
 
 // pushableAggs converts aggregate terms to fabric specs when every term is
@@ -133,30 +201,6 @@ func pushableAggs(terms []AggTerm) ([]expr.AggSpec, bool) {
 	return specs, true
 }
 
-// executePushedAggregation ships only the aggregate results to the CPU.
-func (e *RMEngine) executePushedAggregation(q Query, ev *fabric.Ephemeral, specs []expr.AggSpec, sp *obs.Span) (*Result, error) {
-	memStart := e.Sys.Mem.Stats()
-	hierStart := e.Sys.Hier.Stats()
-	agg, err := ev.Aggregate(specs)
-	if err != nil {
-		return nil, err
-	}
-	tk := newTicker(e.Tracer)
-	tk.advance(agg.ProducerCycles)
-	res := &Result{
-		Engine:      e.Name(),
-		RowsScanned: int64(agg.RowsScanned),
-		RowsPassed:  int64(agg.RowsQualified),
-		Aggs:        make([]table.Value, len(agg.Values)),
-	}
-	for i, v := range agg.Values {
-		res.Aggs[i] = normalizeAggValue(q.Aggregates[i].Kind, v)
-	}
-	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, 0, agg.ProducerCycles, agg.ProducerCycles, uint64(len(agg.Values)*8))
-	finishPipelineSpan(sp, e.Sys, memStart, hierStart, res)
-	return res, nil
-}
-
 // normalizeAggValue converts fabric integer aggregates to the float64
 // convention the software engines report, keeping COUNT integral.
 func normalizeAggValue(kind expr.AggKind, v table.Value) table.Value {
@@ -167,117 +211,4 @@ func normalizeAggValue(kind expr.AggKind, v table.Value) table.Value {
 		return v
 	}
 	return table.F64(float64(v.Int))
-}
-
-// executeConsume runs the chunked producer/consumer pipeline.
-func (e *RMEngine) executeConsume(q Query, ev *fabric.Ephemeral, geom *geometry.Geometry, sp *obs.Span) (*Result, error) {
-	sch := e.Tbl.Schema()
-	memStart := e.Sys.Mem.Stats()
-	hierStart := e.Sys.Hier.Stats()
-	fabStart := e.Sys.Fab.Stats()
-
-	var compute uint64
-	cons := newConsumer(q, sch, &compute)
-
-	// Packed-layout accessors, hoisted into flat arrays indexed by schema
-	// column (only the geometry's columns are ever fetched).
-	packed := ev.PackedWidth()
-	lineBytes := int64(e.Sys.Hier.LineBytes())
-	numCols := sch.NumColumns()
-	offs := make([]int, numCols)
-	for i, c := range geom.Columns() {
-		offs[c] = geom.PackedOffset(i)
-	}
-	colDef := make([]geometry.Column, numCols)
-	for i := range colDef {
-		colDef[i] = sch.Column(i)
-	}
-
-	selectOnCPU := !e.PushSelection && len(q.Selection) > 0
-
-	// Per-row lazily fetched value cache over the packed layout,
-	// epoch-invalidated — packed rows are accessed exactly like Fig. 3's
-	// cg[i].field: row-wise over a dense single stream. The fetch closure is
-	// defined once, capturing the chunk and row cursors, so the row loop
-	// does not allocate.
-	vals := make([]table.Value, numCols)
-	fetchedAt := make([]int64, numCols)
-	for i := range fetchedAt {
-		fetchedAt[i] = -1
-	}
-	var epoch int64
-	var ch fabric.Chunk
-	var row int
-	fetch := func(col int) table.Value {
-		if fetchedAt[col] == epoch {
-			return vals[col]
-		}
-		off := offs[col]
-		w := colDef[col].Width
-		e.Sys.Hier.Load(ch.BaseAddr + int64(row*packed+off))
-		compute += VectorOpCycles
-		v := table.DecodeColumn(colDef[col], ch.Data[row*packed+off:row*packed+off+w])
-		vals[col] = v
-		fetchedAt[col] = epoch
-		return v
-	}
-
-	var pipeline, producer uint64
-	var scanned int64
-	tk := newTicker(e.Tracer)
-
-	ev.Reset()
-	for {
-		hierBefore := e.Sys.Hier.Stats().Cycles
-		computeBefore := compute
-
-		var ok bool
-		ch, ok = ev.Next()
-		if !ok {
-			break
-		}
-		scanned += int64(ch.SourceRows)
-
-		// The fabric delivers the chunk's packed lines toward the CPU.
-		lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
-		for i := 0; i < lines; i++ {
-			e.Sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
-		}
-
-		for r := 0; r < ch.Rows; r++ {
-			epoch++
-			row = r
-			if selectOnCPU {
-				pass := true
-				for _, p := range q.Selection {
-					compute += VectorOpCycles
-					if !p.Eval(fetch(p.Col)) {
-						pass = false
-						break
-					}
-				}
-				if !pass {
-					continue
-				}
-			}
-			cons.consumeRow(fetch)
-		}
-
-		consumer := (e.Sys.Hier.Stats().Cycles - hierBefore) + (compute - computeBefore)
-		producer += ch.ProducerCycles
-		if ch.ProducerCycles > consumer {
-			pipeline += ch.ProducerCycles
-		} else {
-			pipeline += consumer
-		}
-		tk.advance(pipeline)
-	}
-
-	res := cons.finish(e.Name(), scanned)
-	fabD := e.Sys.Fab.Stats().Delta(fabStart)
-	res.Breakdown = pipelineBreakdown(e.Sys, memStart, hierStart, compute, pipeline, producer, fabD.BytesShipped)
-	finishPipelineSpan(sp, e.Sys, memStart, hierStart, res)
-	sp.SetAttr("fabric_chunks", fmt.Sprint(fabD.Chunks))
-	sp.SetAttr("fabric_bytes_gathered", fmt.Sprint(fabD.BytesGathered))
-	return res, nil
 }

@@ -4,15 +4,16 @@ import (
 	"errors"
 	"fmt"
 
-	"rfabric/internal/geometry"
 	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
-// RowEngine executes queries tuple-at-a-time over the row-oriented base
-// table — the paper's ROW baseline. Every row pulls its full cache line(s)
-// through the hierarchy whether or not the query needs the other attributes,
-// which is precisely the pollution Relational Memory removes.
+// RowEngine is the row-oriented access path — the paper's ROW baseline.
+// Every visited row pulls its full cache line(s) through the hierarchy
+// whether or not the query needs the other attributes, which is precisely
+// the pollution Relational Memory removes. As a Source it contributes the
+// N-ary heap's layout and charges; the scan and consume loops live in the
+// shared pipeline.
 type RowEngine struct {
 	Tbl *table.Table
 	Sys *System
@@ -36,8 +37,22 @@ type RowEngine struct {
 // Name implements Executor.
 func (e *RowEngine) Name() string { return "ROW" }
 
+func (e *RowEngine) tableLabel() string {
+	if e.Tbl == nil {
+		return ""
+	}
+	return e.Tbl.Name()
+}
+
+func (e *RowEngine) sysTracer() (*System, *obs.Tracer) { return e.Sys, e.Tracer }
+
 // Execute runs q and returns its result with the modeled cost.
-func (e *RowEngine) Execute(q Query) (*Result, error) {
+func (e *RowEngine) Execute(q Query) (*Result, error) { return Run(e, q) }
+
+// openScan implements Source: the base heap is one strided segment whose
+// per-row cost is the volcano iterator overhead plus an extract per touched
+// column, with the MVCC header touch when the table versions rows.
+func (e *RowEngine) openScan(q Query, _ *obs.Span) (*scan, error) {
 	if e.Tbl == nil || e.Sys == nil {
 		return nil, errors.New("engine: RowEngine needs a table and a system")
 	}
@@ -49,92 +64,50 @@ func (e *RowEngine) Execute(q Query) (*Result, error) {
 		return nil, fmt.Errorf("engine: snapshot query over table %q without MVCC", e.Tbl.Name())
 	}
 
-	sp := beginEngineSpan(e.Tracer, e.Name(), e.Tbl.Name())
-	defer e.Tracer.End()
-
-	if !e.ForceScalar && e.Tbl.NumRows() <= vecRowLimit {
-		if prog, ok := compileScanProg(q, sch, q.Selection, nil, sch.Offset, rowVecCharges); ok {
-			return e.executeVectorized(q, prog, sp)
-		}
+	s := &scan{
+		sch:         sch,
+		perRow:      VolcanoNextCycles,
+		predCycles:  PredEvalCycles,
+		fetchCycles: ExtractCycles,
+		tickPerRow:  true,
+		cpuSel:      q.Selection,
 	}
-
-	memStart := e.Sys.Mem.Stats()
-	hierStart := e.Sys.Hier.Stats()
-	var compute uint64
-	cons := newConsumer(q, sch, &compute)
-
-	// Per-row lazily fetched value cache, epoch-invalidated. The fetch
-	// closure is defined once outside the row loop (capturing the row cursor
-	// and payload variables) so it does not allocate per row, and the column
-	// metadata the hot path needs is hoisted into flat arrays.
-	numCols := sch.NumColumns()
-	vals := make([]table.Value, numCols)
-	fetchedAt := make([]int64, numCols)
-	colDef := make([]geometry.Column, numCols)
-	colOff := make([]int, numCols)
-	for i := range fetchedAt {
-		fetchedAt[i] = -1
-		colDef[i] = sch.Column(i)
-		colOff[i] = sch.Offset(i)
-	}
-	var epoch int64
-	var row int
-	var payload []byte
-	fetch := func(col int) table.Value {
-		if fetchedAt[col] == epoch {
-			return vals[col]
-		}
-		e.Sys.Hier.Load(e.Tbl.ColumnAddr(row, col))
-		compute += ExtractCycles
-		v := table.DecodeColumn(colDef[col], payload[colOff[col]:])
-		vals[col] = v
-		fetchedAt[col] = epoch
-		return v
+	if e.Tbl.HasMVCC() {
+		s.mvccTbl = e.Tbl
 	}
 
 	rows := e.Tbl.NumRows()
-	var scanned int64
-	tk := newTicker(e.Tracer)
-	for r := 0; r < rows; r++ {
-		if tk.tl != nil {
-			tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-		}
-		compute += VolcanoNextCycles
-		scanned++
-		epoch++
+	payloadOff := 0
+	if e.Tbl.HasMVCC() {
+		payloadOff = table.MVCCHeaderBytes
+	}
+	seg := segment{
+		data:       e.Tbl.Data(),
+		baseAddr:   e.Tbl.BaseAddr(),
+		stride:     e.Tbl.RowStride(),
+		payloadOff: payloadOff,
+		rows:       rows,
+		sourceRows: int64(rows),
+	}
+	s.segs = func(*pipeRun) segIter { return oneShotIter(seg) }
 
-		if e.Tbl.HasMVCC() {
-			// The software path must read the row header to check
-			// visibility — one more touch of the row's first line.
-			e.Sys.Hier.Load(e.Tbl.RowAddr(r))
-			if q.Snapshot != nil {
-				compute += TSCheckSoftwareCycles
-				if !e.Tbl.VisibleAt(r, *q.Snapshot) {
-					continue
-				}
-			}
-		}
-
-		row = r
-		payload = e.Tbl.RowPayload(r)
-
-		pass := true
-		for _, p := range q.Selection {
-			compute += PredEvalCycles
-			if !p.Eval(fetch(p.Col)) {
-				pass = false
-				break
-			}
-		}
-		if !pass {
-			continue
-		}
-		cons.consumeRow(fetch)
+	tbl := e.Tbl
+	colOff := make([]int, sch.NumColumns())
+	for i := range colOff {
+		colOff[i] = sch.Offset(i)
+	}
+	s.colAt = func(_ *segment, row, col int) (int64, []byte) {
+		return tbl.ColumnAddr(row, col), tbl.RowPayload(row)[colOff[col]:]
 	}
 
-	res := cons.finish(e.Name(), scanned)
-	tk.advance(e.Sys.Hier.Stats().Cycles - hierStart.Cycles + compute)
-	res.Breakdown = demandBreakdown(e.Sys, memStart, hierStart, compute)
-	finishDemandSpan(sp, e.Sys, memStart, hierStart, res)
-	return res, nil
+	if !e.ForceScalar && rows <= vecRowLimit {
+		if prog, ok := compileScanProg(q, sch, q.Selection, nil, sch.Offset, rowVecCharges); ok {
+			s.prog = prog
+			if e.scratch == nil {
+				e.scratch = &scanScratch{}
+			}
+			s.scratch = e.scratch
+		}
+	}
+	return s, nil
 }

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/obs"
+	"rfabric/internal/table"
+)
+
+// A Source is an access path: it knows where a query's bytes live and what
+// each touched byte costs — nothing else. Opening a source against a query
+// yields a scan plan (layout, per-touch charges, optional compiled batch
+// program) that the shared pipeline in pipeline.go / pipeline_vec.go
+// executes. The engines (ROW, COL, RM, IDX) are Sources; every scan and
+// consume loop lives once, in the pipeline, parameterized by the scan the
+// source opened.
+//
+// The contract a source's openScan must honor:
+//
+//   - validate the query against its schema and fail without charging;
+//   - do all cost-free setup (fabric configuration, vectorized program
+//     compilation) before returning — the pipeline captures the hardware
+//     counters only after open succeeds;
+//   - describe every modeled charge declaratively: perRow / predCycles /
+//     fetchCycles constants, the segment iterator, the colAt addressing
+//     function, and (for work that must run inside the measured window,
+//     like index descent or COL's bitmap passes) a prepare hook.
+type Source interface {
+	// Name is the access path's short label (ROW, COL, RM, IDX).
+	Name() string
+	// tableLabel names the base table for the engine span ("" when the
+	// path reads a derived structure with no table of its own).
+	tableLabel() string
+	// sysTracer exposes the simulated machine and the optional tracer.
+	sysTracer() (*System, *obs.Tracer)
+	// openScan validates q and builds the scan the pipeline will drive.
+	openScan(q Query, sp *obs.Span) (*scan, error)
+}
+
+// Run executes q by opening the source's scan and driving it through the
+// shared pipeline. This is the single execution entry point behind every
+// engine's Execute method and the DB façade's dispatch.
+func Run(src Source, q Query) (*Result, error) {
+	sys, tr := src.sysTracer()
+	sp := beginEngineSpan(tr, src.Name(), src.tableLabel())
+	defer tr.End()
+	s, err := src.openScan(q, sp)
+	if err != nil {
+		return nil, err
+	}
+	s.name = src.Name()
+	s.sys = sys
+	s.tracer = tr
+	s.sp = sp
+	return s.run(q)
+}
+
+// segment is one contiguous delivery of rows from a source: the whole base
+// heap (ROW), the column store's row range (COL), one fabric chunk (RM), or
+// an index candidate list (IDX).
+type segment struct {
+	// data/baseAddr/stride describe a dense row-major region: data holds
+	// the encoded rows, baseAddr is the simulated address of data[0], and
+	// each row occupies stride bytes. payloadOff is the byte offset of the
+	// column payload within a row (the MVCC header size on ROW heaps).
+	// Sources with non-strided layouts (COL, IDX) leave these zero and
+	// address through the scan's colAt hook instead.
+	data       []byte
+	baseAddr   int64
+	stride     int
+	payloadOff int
+
+	// rows is the dense row count; ids, when non-nil, is the explicit
+	// visit list (index candidates, COL's qualifying row ids) and takes
+	// precedence over rows.
+	rows int
+	ids  []int
+
+	// sourceRows is how many source rows this segment accounts for in
+	// Result.RowsScanned.
+	sourceRows int64
+	// producer is the fabric-side production time of this segment
+	// (pipelined sources only).
+	producer uint64
+}
+
+// segIter yields segments; it is created inside the measured window so
+// resets and per-segment gathers charge to the run.
+type segIter func() (segment, bool)
+
+// scan is an opened access path: everything the shared pipeline needs to
+// execute a query over one source. Exactly one of three modes applies:
+// direct (the source computed the result itself, e.g. fabric aggregation
+// pushdown), batch (prog compiled — the vectorized executor replays the
+// scalar charge sequence), or scalar (the interpreted loop).
+type scan struct {
+	// Filled by Run.
+	name   string
+	sys    *System
+	tracer *obs.Tracer
+	sp     *obs.Span
+
+	sch *geometry.Schema
+
+	// direct bypasses the pipeline: the source produces the Result under
+	// its own accounting (it still runs inside the measured window).
+	direct func() (*Result, error)
+
+	// prog, when non-nil, routes execution to the batch path. colStore
+	// marks the decomposed-layout variant (bitmap selection passes over
+	// dense column arrays instead of strided decode).
+	prog    *scanProg
+	scratch *scanScratch
+
+	// Per-touch charge constants (the source's cost model).
+	perRow      uint64 // charged per visited row (volcano iterator overhead)
+	predCycles  uint64 // per predicate evaluation
+	fetchCycles uint64 // per first touch of a column in a row
+
+	// Behavior flags.
+	tickPerRow bool // advance the timeline clock per row (demand paths)
+	pipelined  bool // per-segment producer/consumer pipeline accounting (RM)
+
+	// mvccTbl, when non-nil, makes the pipeline touch each row's version
+	// header; with q.Snapshot set it also pays the software visibility
+	// check and skips invisible rows.
+	mvccTbl *table.Table
+
+	// cpuSel is the predicate set the pipeline evaluates (nil when the
+	// source pushed selection down); visit lists columns to touch before
+	// consumption (COL's explicit reconstruction order).
+	cpuSel expr.Conjunction
+	visit  []int
+
+	// prepare runs inside the measured window before iteration and may
+	// return an explicit row-id list for the (single) segment: index
+	// descent, COL's full-column bitmap selection passes.
+	prepare func(pr *pipeRun) ([]int, error)
+
+	// segs builds the segment iterator (called inside the measured
+	// window; RM resets the ephemeral view here).
+	segs func(pr *pipeRun) segIter
+
+	// colAt resolves (segment, row, column) to the value's simulated
+	// address and its encoded bytes — the one place a source's physical
+	// layout meets the pipeline's fetch path.
+	colAt func(seg *segment, row, col int) (int64, []byte)
+
+	// colVec, when non-nil alongside prog, is the decomposed-layout batch
+	// driver's view of the column store (COL only).
+	colVec *colVecLayout
+}

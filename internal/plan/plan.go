@@ -1,0 +1,335 @@
+// Package plan defines the physical plan IR every execution path shares.
+//
+// The paper's constructive optimizer (§III-B) prices *access paths*, not
+// operator implementations: with the fabric present, any data geometry is
+// available on demand, so the only real decision is where the bytes come
+// from and what each touched byte costs. The IR encodes that split. A plan
+// is a straight-line operator chain
+//
+//	Scan → [Filter] → (Project | Aggregate) → [OrderBy] → [Limit]
+//
+// where the Scan node names the table and the chosen access path (its
+// Source: ROW, COL, RM, IDX, PAR — or AUTO before pricing), and everything
+// above it is engine-independent. One shared pipeline in internal/engine
+// executes the chain; each engine contributes only its Source.
+//
+// The package depends only on the expression and schema layers so both the
+// SQL front end and the engines can build and inspect plans without import
+// cycles.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+)
+
+// Op enumerates the physical operators.
+type Op uint8
+
+// Physical operators, innermost (Scan) to outermost (Limit).
+const (
+	OpScan Op = iota
+	OpFilter
+	OpProject
+	OpAggregate
+	OpOrderBy
+	OpLimit
+)
+
+// String returns the operator's EXPLAIN spelling.
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "Scan"
+	case OpFilter:
+		return "Filter"
+	case OpProject:
+		return "Project"
+	case OpAggregate:
+		return "Aggregate"
+	case OpOrderBy:
+		return "OrderBy"
+	case OpLimit:
+		return "Limit"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Agg is one aggregate output term: COUNT(*) when Arg is nil, otherwise
+// Kind over an arbitrary scalar expression.
+type Agg struct {
+	Kind expr.AggKind
+	Arg  expr.Scalar
+}
+
+// Format renders the term against a schema.
+func (a Agg) Format(s *geometry.Schema) string {
+	if a.Arg == nil {
+		return a.Kind.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, a.Arg.Format(s))
+}
+
+// SortKey orders grouped output by one output column of the Aggregate
+// below: either group key GroupBy[Key] (Agg == -1) or aggregate Aggs[Agg]
+// (Key == -1). Exactly one of the two indices is >= 0.
+type SortKey struct {
+	Key  int // index into the aggregate's group keys, or -1
+	Agg  int // index into the aggregate's output terms, or -1
+	Desc bool
+}
+
+// Node is one operator in the chain. Input is nil only for Scan. Which
+// fields are meaningful depends on Op:
+//
+//	Scan      Table, Source, Snapshot, Cols (columns the path must deliver)
+//	Filter    Preds
+//	Project   Cols (projected columns, duplicates allowed)
+//	Aggregate GroupBy, Aggs
+//	OrderBy   Keys
+//	Limit     N
+type Node struct {
+	Op    Op
+	Input *Node
+
+	Table    string
+	Source   string
+	Snapshot *uint64
+	Cols     []int
+
+	Preds expr.Conjunction
+
+	GroupBy []int
+	Aggs    []Agg
+
+	Keys []SortKey
+
+	N int64
+}
+
+// NewScan starts a chain at an access-path scan. source may be empty until
+// the optimizer prices the plan.
+func NewScan(table, source string, cols []int) *Node {
+	return &Node{Op: OpScan, Table: table, Source: source, Cols: cols}
+}
+
+// Filter appends a predicate operator and returns the new chain head.
+func (n *Node) Filter(preds expr.Conjunction) *Node {
+	return &Node{Op: OpFilter, Input: n, Preds: preds}
+}
+
+// Project appends a projection (checksum consumption) operator.
+func (n *Node) Project(cols []int) *Node {
+	return &Node{Op: OpProject, Input: n, Cols: cols}
+}
+
+// Aggregate appends a (possibly grouped) aggregation operator.
+func (n *Node) Aggregate(groupBy []int, aggs []Agg) *Node {
+	return &Node{Op: OpAggregate, Input: n, GroupBy: groupBy, Aggs: aggs}
+}
+
+// OrderBy appends a sort sink over grouped output.
+func (n *Node) OrderBy(keys []SortKey) *Node {
+	return &Node{Op: OpOrderBy, Input: n, Keys: keys}
+}
+
+// Limit appends a row-limit sink.
+func (n *Node) Limit(count int64) *Node {
+	return &Node{Op: OpLimit, Input: n, N: count}
+}
+
+// Scan returns the chain's innermost node, which Validate guarantees is the
+// access-path scan.
+func (n *Node) Scan() *Node {
+	cur := n
+	for cur.Input != nil {
+		cur = cur.Input
+	}
+	return cur
+}
+
+// Aggregation returns the chain's Aggregate node, or nil.
+func (n *Node) Aggregation() *Node {
+	for cur := n; cur != nil; cur = cur.Input {
+		if cur.Op == OpAggregate {
+			return cur
+		}
+	}
+	return nil
+}
+
+// Walk visits the chain outermost-first.
+func (n *Node) Walk(f func(*Node)) {
+	for cur := n; cur != nil; cur = cur.Input {
+		f(cur)
+	}
+}
+
+// Validate checks the chain's structure: operators in pipeline order, one
+// consumption shape (Project or Aggregate), sinks only above an Aggregate,
+// sort keys referencing its output.
+func (n *Node) Validate() error {
+	// Collect outermost-first, then check the order against the grammar
+	// Scan [Filter] (Project|Aggregate) [OrderBy] [Limit].
+	var ops []*Node
+	n.Walk(func(c *Node) { ops = append(ops, c) })
+	i := len(ops) - 1
+	if ops[i].Op != OpScan {
+		return fmt.Errorf("plan: chain must start at a Scan, found %s", ops[i].Op)
+	}
+	if ops[i].Table == "" {
+		return errors.New("plan: Scan has no table")
+	}
+	i--
+	if i >= 0 && ops[i].Op == OpFilter {
+		i--
+	}
+	if i < 0 || (ops[i].Op != OpProject && ops[i].Op != OpAggregate) {
+		return errors.New("plan: chain needs exactly one Project or Aggregate above the Scan")
+	}
+	consume := ops[i]
+	if consume.Op == OpAggregate {
+		if len(consume.Aggs) == 0 {
+			return errors.New("plan: Aggregate with no aggregate terms")
+		}
+	} else if len(consume.Cols) == 0 {
+		return errors.New("plan: Project with no columns")
+	}
+	i--
+	if i >= 0 && ops[i].Op == OpOrderBy {
+		ob := ops[i]
+		if consume.Op != OpAggregate || len(consume.GroupBy) == 0 {
+			return errors.New("plan: OrderBy requires grouped aggregation output")
+		}
+		if len(ob.Keys) == 0 {
+			return errors.New("plan: OrderBy with no keys")
+		}
+		for _, k := range ob.Keys {
+			switch {
+			case k.Key >= 0 && k.Agg < 0:
+				if k.Key >= len(consume.GroupBy) {
+					return fmt.Errorf("plan: sort key references group key %d of %d", k.Key, len(consume.GroupBy))
+				}
+			case k.Agg >= 0 && k.Key < 0:
+				if k.Agg >= len(consume.Aggs) {
+					return fmt.Errorf("plan: sort key references aggregate %d of %d", k.Agg, len(consume.Aggs))
+				}
+			default:
+				return errors.New("plan: sort key must name exactly one of group key or aggregate")
+			}
+		}
+		i--
+	}
+	if i >= 0 && ops[i].Op == OpLimit {
+		lim := ops[i]
+		if consume.Op != OpAggregate || len(consume.GroupBy) == 0 {
+			return errors.New("plan: Limit requires grouped aggregation output")
+		}
+		if lim.N < 0 {
+			return fmt.Errorf("plan: negative Limit %d", lim.N)
+		}
+		i--
+	}
+	if i >= 0 {
+		return fmt.Errorf("plan: operator %s out of pipeline order", ops[i].Op)
+	}
+	return nil
+}
+
+// Explain renders the chain as an indented operator tree, outermost first.
+// sch may be nil; columns then print as ordinals.
+func (n *Node) Explain(sch *geometry.Schema) string {
+	var b strings.Builder
+	depth := 0
+	n.Walk(func(c *Node) {
+		if depth > 0 {
+			b.WriteString("\n")
+			b.WriteString(strings.Repeat("  ", depth-1))
+			b.WriteString("└─ ")
+		}
+		b.WriteString(c.describe(sch))
+		depth++
+	})
+	return b.String()
+}
+
+func (c *Node) describe(sch *geometry.Schema) string {
+	colName := func(col int) string {
+		if sch != nil && col >= 0 && col < sch.NumColumns() {
+			return sch.Column(col).Name
+		}
+		return fmt.Sprintf("#%d", col)
+	}
+	colList := func(cols []int) string {
+		parts := make([]string, len(cols))
+		for i, col := range cols {
+			parts[i] = colName(col)
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch c.Op {
+	case OpScan:
+		src := c.Source
+		if src == "" {
+			src = "?"
+		}
+		s := fmt.Sprintf("Scan[%s source=%s cols=(%s)]", c.Table, src, colList(c.Cols))
+		if c.Snapshot != nil {
+			s += fmt.Sprintf(" @snapshot=%d", *c.Snapshot)
+		}
+		return s
+	case OpFilter:
+		if sch != nil {
+			return fmt.Sprintf("Filter[%s]", c.Preds.Format(sch))
+		}
+		return fmt.Sprintf("Filter[%d predicates]", len(c.Preds))
+	case OpProject:
+		return fmt.Sprintf("Project[%s]", colList(c.Cols))
+	case OpAggregate:
+		terms := make([]string, len(c.Aggs))
+		for i, a := range c.Aggs {
+			if sch != nil {
+				terms[i] = a.Format(sch)
+			} else if a.Arg == nil {
+				terms[i] = a.Kind.String() + "(*)"
+			} else {
+				terms[i] = a.Kind.String() + "(…)"
+			}
+		}
+		if len(c.GroupBy) == 0 {
+			return fmt.Sprintf("Aggregate[%s]", strings.Join(terms, ", "))
+		}
+		return fmt.Sprintf("Aggregate[group=(%s) aggs=(%s)]", colList(c.GroupBy), strings.Join(terms, ", "))
+	case OpOrderBy:
+		agg := c
+		for agg != nil && agg.Op != OpAggregate {
+			agg = agg.Input
+		}
+		parts := make([]string, len(c.Keys))
+		for i, k := range c.Keys {
+			var label string
+			switch {
+			case k.Key >= 0 && agg != nil && k.Key < len(agg.GroupBy):
+				label = colName(agg.GroupBy[k.Key])
+			case k.Key >= 0:
+				label = fmt.Sprintf("key#%d", k.Key)
+			default:
+				label = fmt.Sprintf("agg#%d", k.Agg)
+			}
+			if k.Desc {
+				label += " DESC"
+			}
+			parts[i] = label
+		}
+		return fmt.Sprintf("OrderBy[%s]", strings.Join(parts, ", "))
+	case OpLimit:
+		return fmt.Sprintf("Limit[%d]", c.N)
+	default:
+		return c.Op.String()
+	}
+}

@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+func testSchema() *geometry.Schema {
+	return geometry.MustSchema(
+		geometry.Column{Name: "id", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "qty", Type: geometry.Float64, Width: 8},
+		geometry.Column{Name: "flag", Type: geometry.Char, Width: 1},
+	)
+}
+
+func TestValidateProjectionChain(t *testing.T) {
+	n := NewScan("items", "RM", []int{0, 1}).
+		Filter(expr.Conjunction{{Col: 1, Op: expr.Lt, Operand: table.F64(5)}}).
+		Project([]int{0, 1})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Scan().Table != "items" {
+		t.Errorf("scan table = %q", n.Scan().Table)
+	}
+}
+
+func TestValidateSinkChain(t *testing.T) {
+	agg := NewScan("items", "", []int{2, 1}).
+		Aggregate([]int{2}, []Agg{{Kind: expr.Count}, {Kind: expr.Sum, Arg: expr.ColRef{Col: 1}}})
+	n := agg.OrderBy([]SortKey{{Key: -1, Agg: 1, Desc: true}}).Limit(3)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformedChains(t *testing.T) {
+	cases := map[string]*Node{
+		"no consume": NewScan("t", "", []int{0}).
+			Filter(nil).Limit(2),
+		"orderby over projection": NewScan("t", "", []int{0}).
+			Project([]int{0}).OrderBy([]SortKey{{Key: 0, Agg: -1}}),
+		"limit over scalar agg": NewScan("t", "", []int{1}).
+			Aggregate(nil, []Agg{{Kind: expr.Count}}).Limit(1),
+		"sort key out of range": NewScan("t", "", []int{2}).
+			Aggregate([]int{2}, []Agg{{Kind: expr.Count}}).
+			OrderBy([]SortKey{{Key: 3, Agg: -1}}),
+		"sort key names both": NewScan("t", "", []int{2}).
+			Aggregate([]int{2}, []Agg{{Kind: expr.Count}}).
+			OrderBy([]SortKey{{Key: 0, Agg: 0}}),
+		"negative limit": NewScan("t", "", []int{2}).
+			Aggregate([]int{2}, []Agg{{Kind: expr.Count}}).Limit(-1),
+	}
+	for name, n := range cases {
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted malformed chain", name)
+		}
+	}
+}
+
+func TestExplainRendersOperatorTree(t *testing.T) {
+	sch := testSchema()
+	n := NewScan("items", "RM", []int{2, 1}).
+		Filter(expr.Conjunction{{Col: 1, Op: expr.Lt, Operand: table.F64(5)}}).
+		Aggregate([]int{2}, []Agg{{Kind: expr.Sum, Arg: expr.ColRef{Col: 1}}}).
+		OrderBy([]SortKey{{Key: -1, Agg: 0, Desc: true}}).
+		Limit(10)
+	got := n.Explain(sch)
+	for _, want := range []string{
+		"Limit[10]",
+		"OrderBy[agg#0 DESC]",
+		"Aggregate[group=(flag) aggs=(SUM(qty))]",
+		"Filter[qty < 5]",
+		"Scan[items source=RM cols=(flag, qty)]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, got)
+		}
+	}
+	// Outermost operator first.
+	if !strings.HasPrefix(got, "Limit") {
+		t.Errorf("Explain should start with the outermost operator:\n%s", got)
+	}
+}
+
+func TestExplainWithoutSchema(t *testing.T) {
+	n := NewScan("t", "", []int{0}).Project([]int{0})
+	got := n.Explain(nil)
+	if !strings.Contains(got, "source=?") || !strings.Contains(got, "#0") {
+		t.Errorf("schema-less Explain = %q", got)
+	}
+}

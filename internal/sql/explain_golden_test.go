@@ -1,0 +1,73 @@
+package sql
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rfabric/internal/tpch"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden EXPLAIN files")
+
+// TestExplainGolden pins the lowered operator tree for the TPC-H workload
+// queries (the same three rfquery demos) under every access path. The golden
+// files are the EXPLAIN contract: a change to lowering or to the plan
+// renderer must show up here as a reviewed diff, not drift silently.
+func TestExplainGolden(t *testing.T) {
+	sch := tpch.LineitemSchema()
+	queries := []struct{ name, sql string }{
+		{"projection",
+			"SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity < 5"},
+		{"q6",
+			"SELECT SUM(l_extendedprice * l_discount) FROM lineitem " +
+				"WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' " +
+				"AND l_discount BETWEEN 0.049 AND 0.071 AND l_quantity < 24"},
+		{"q1",
+			"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), " +
+				"SUM(l_extendedprice * (1 - l_discount)), COUNT(*) FROM lineitem " +
+				"WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag, l_linestatus"},
+		{"q1_topn",
+			"SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), " +
+				"SUM(l_extendedprice * (1 - l_discount)), COUNT(*) FROM lineitem " +
+				"WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag, l_linestatus " +
+				"ORDER BY 3 DESC, l_returnflag LIMIT 4"},
+	}
+	sources := []string{"ROW", "COL", "RM", "IDX", "PAR", "AUTO"}
+
+	for _, qc := range queries {
+		t.Run(qc.name, func(t *testing.T) {
+			root, err := CompilePlan(qc.sql, sch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "query: %s\n", qc.sql)
+			for _, src := range sources {
+				if src == "AUTO" {
+					root.Scan().Source = "" // renders as "?" until the optimizer prices it
+				} else {
+					root.Scan().Source = src
+				}
+				fmt.Fprintf(&b, "\n-- source=%s\n%s\n", src, root.Explain(sch))
+			}
+			got := b.String()
+			path := filepath.Join("testdata", "explain_"+qc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

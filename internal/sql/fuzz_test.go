@@ -9,9 +9,10 @@ import (
 // FuzzParseSQL drives arbitrary bytes through the full front end. The
 // contract under fuzzing: Parse never panics — it returns a *Stmt or an
 // error — and any statement it does accept must survive planning against a
-// representative schema and validation of the resulting logical query,
-// again without panicking. Planning is allowed to reject the statement
-// (unknown columns, type mismatches); it is not allowed to crash.
+// representative schema, lowering to the physical plan IR, and validation
+// of the results, again without panicking. Planning is allowed to reject
+// the statement (unknown columns, type mismatches); it is not allowed to
+// crash.
 func FuzzParseSQL(f *testing.F) {
 	seeds := []string{
 		"SELECT id, price FROM items",
@@ -30,6 +31,10 @@ func FuzzParseSQL(f *testing.F) {
 		"SELECT a FROM t WHERE d = DATE '19x4-01-01'",
 		"SELECT a,,b FROM t",
 		"\x00\xff SELECT \xf0 FROM \x9f",
+		"SELECT flag, COUNT(*) FROM t GROUP BY flag ORDER BY flag DESC LIMIT 10",
+		"SELECT flag, SUM(qty) FROM t GROUP BY flag ORDER BY 2, flag ASC LIMIT 0",
+		"SELECT flag, COUNT(*) FROM t GROUP BY flag ORDER BY 0",
+		"SELECT id FROM t LIMIT -1",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -55,13 +60,22 @@ func FuzzParseSQL(f *testing.F) {
 		if st == nil {
 			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
 		}
-		q, err := Plan(st, schema)
+		if q, err := Plan(st, schema); err == nil {
+			// A planned query must be internally consistent or explicitly
+			// rejected by its own validator — never something in between
+			// that would crash an engine downstream.
+			_ = q.Validate(schema)
+		}
+		// The IR path must hold the same contract, including statements
+		// with ORDER BY / LIMIT sinks that Plan refuses: a lowered chain
+		// validates and renders without panicking.
+		root, err := Lower(st, schema)
 		if err != nil {
 			return // rejection is fine; only a panic is a bug
 		}
-		// A planned query must be internally consistent or explicitly
-		// rejected by its own validator — never something in between that
-		// would crash an engine downstream.
-		_ = q.Validate(schema)
+		if err := root.Validate(); err != nil {
+			t.Errorf("Lower(%q) returned an invalid plan: %v", input, err)
+		}
+		_ = root.Explain(schema)
 	})
 }

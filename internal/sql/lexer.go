@@ -3,10 +3,12 @@
 //
 //	SELECT <columns and aggregates> FROM <table>
 //	  [WHERE <col op literal> [AND ...]] [GROUP BY <columns>]
+//	  [ORDER BY <column or ordinal> [ASC|DESC] [, ...]] [LIMIT <n>]
 //
 // Aggregates are COUNT(*), SUM/AVG/MIN/MAX over +,-,* arithmetic of numeric
-// columns. The planner lowers a parsed query onto engine.Query, from which
-// the RM engine derives the data geometry it asks the fabric for.
+// columns; ORDER BY and LIMIT apply to grouped output only. The planner
+// lowers a parsed statement onto the physical plan IR (internal/plan), from
+// which the engines derive the data geometry they ask the fabric for.
 package sql
 
 import (
@@ -36,7 +38,8 @@ var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
 	"GROUP": true, "BY": true, "COUNT": true, "SUM": true,
 	"AVG": true, "MIN": true, "MAX": true, "DATE": true,
-	"BETWEEN": true, "AS": true,
+	"BETWEEN": true, "AS": true, "ORDER": true, "LIMIT": true,
+	"ASC": true, "DESC": true,
 }
 
 // lex splits the input into tokens.

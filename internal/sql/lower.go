@@ -1,0 +1,101 @@
+package sql
+
+import (
+	"fmt"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/geometry"
+	"rfabric/internal/plan"
+)
+
+// Lower lowers a parsed statement to the physical plan IR: the logical
+// query becomes the Scan→Filter→(Project|Aggregate) chain, and ORDER BY /
+// LIMIT become sink operators above it. The Scan's source is left blank for
+// the optimizer (or explicit dispatch) to stamp.
+func Lower(st *Stmt, schema *geometry.Schema) (*plan.Node, error) {
+	q, err := planQuery(st, schema)
+	if err != nil {
+		return nil, err
+	}
+	root := engine.PlanOf(q, st.Table)
+	if len(st.OrderBy) > 0 {
+		keys, err := resolveSortKeys(st, q, schema)
+		if err != nil {
+			return nil, err
+		}
+		root = root.OrderBy(keys)
+	}
+	if st.HasLimit {
+		root = root.Limit(st.Limit)
+	}
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// resolveSortKeys maps the statement's ORDER BY items onto the aggregate's
+// output: a named key must be one of the GROUP BY columns; a 1-based
+// ordinal names a select-list position (an aggregate item sorts by that
+// aggregate, a bare column by its group key).
+func resolveSortKeys(st *Stmt, q engine.Query, schema *geometry.Schema) ([]plan.SortKey, error) {
+	groupKeyOf := func(col int) (int, bool) {
+		for i, g := range q.GroupBy {
+			if g == col {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	keys := make([]plan.SortKey, len(st.OrderBy))
+	for i, it := range st.OrderBy {
+		k := plan.SortKey{Key: -1, Agg: -1, Desc: it.Desc}
+		switch {
+		case it.Ordinal > 0:
+			if it.Ordinal > len(st.Items) {
+				return nil, fmt.Errorf("sql: ORDER BY ordinal %d exceeds the %d select items", it.Ordinal, len(st.Items))
+			}
+			item := st.Items[it.Ordinal-1]
+			if item.Agg != nil {
+				agg := 0
+				for _, prev := range st.Items[:it.Ordinal-1] {
+					if prev.Agg != nil {
+						agg++
+					}
+				}
+				k.Agg = agg
+			} else {
+				col, ok := schema.Lookup(item.Column)
+				if !ok {
+					return nil, fmt.Errorf("sql: unknown column %q", item.Column)
+				}
+				idx, ok := groupKeyOf(col)
+				if !ok {
+					return nil, fmt.Errorf("sql: ORDER BY column %q is not a group key", item.Column)
+				}
+				k.Key = idx
+			}
+		default:
+			col, ok := schema.Lookup(it.Column)
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown column %q", it.Column)
+			}
+			idx, ok := groupKeyOf(col)
+			if !ok {
+				return nil, fmt.Errorf("sql: ORDER BY column %q is not a group key", it.Column)
+			}
+			k.Key = idx
+		}
+		keys[i] = k
+	}
+	return keys, nil
+}
+
+// CompilePlan is the one-call convenience for the IR path: parse then lower.
+func CompilePlan(query string, schema *geometry.Schema) (*plan.Node, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(st, schema)
+}

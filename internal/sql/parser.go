@@ -10,10 +10,21 @@ import (
 
 // Stmt is a parsed SELECT statement.
 type Stmt struct {
-	Items   []SelectItem
-	Table   string
-	Where   []Comparison
-	GroupBy []string
+	Items    []SelectItem
+	Table    string
+	Where    []Comparison
+	GroupBy  []string
+	OrderBy  []OrderItem
+	Limit    int64
+	HasLimit bool
+}
+
+// OrderItem is one ORDER BY key: a column name or a 1-based select-list
+// ordinal, optionally descending.
+type OrderItem struct {
+	Column  string // set for named keys
+	Ordinal int    // 1-based select-list position, when > 0
+	Desc    bool
 }
 
 // SelectItem is either a plain column reference or an aggregate call.
@@ -173,6 +184,51 @@ func (p *parser) parseSelect() (*Stmt, error) {
 				break
 			}
 		}
+	}
+	if t := p.cur(); t.kind == tokKeyword && t.text == "ORDER" {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			var it OrderItem
+			switch t := p.cur(); {
+			case t.kind == tokIdent:
+				it.Column = t.text
+				p.pos++
+			case t.kind == tokNumber:
+				n, err := strconv.Atoi(t.text)
+				if err != nil || n <= 0 {
+					return nil, p.errf("bad ORDER BY ordinal %q", t.text)
+				}
+				it.Ordinal = n
+				p.pos++
+			default:
+				return nil, p.errf("expected column or ordinal in ORDER BY, got %q", t.text)
+			}
+			if t := p.cur(); t.kind == tokKeyword && (t.text == "ASC" || t.text == "DESC") {
+				it.Desc = t.text == "DESC"
+				p.pos++
+			}
+			st.OrderBy = append(st.OrderBy, it)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if t := p.cur(); t.kind == tokKeyword && t.text == "LIMIT" {
+		p.pos++
+		lt := p.cur()
+		if lt.kind != tokNumber {
+			return nil, p.errf("expected row count after LIMIT, got %q", lt.text)
+		}
+		n, err := strconv.ParseInt(lt.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", lt.text)
+		}
+		p.pos++
+		st.Limit = n
+		st.HasLimit = true
 	}
 	return st, nil
 }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -12,8 +13,16 @@ import (
 
 // Plan lowers a statement onto an engine.Query against the given schema.
 // The statement's table name is the caller's concern (the catalog in
-// rfquery resolves it before planning).
+// rfquery resolves it before planning). Statements carrying sink operators
+// (ORDER BY, LIMIT) do not fit in a bare Query; lower them with Lower.
 func Plan(st *Stmt, schema *geometry.Schema) (engine.Query, error) {
+	if len(st.OrderBy) > 0 || st.HasLimit {
+		return engine.Query{}, errors.New("sql: statement has ORDER BY/LIMIT sinks; lower it with Lower")
+	}
+	return planQuery(st, schema)
+}
+
+func planQuery(st *Stmt, schema *geometry.Schema) (engine.Query, error) {
 	var q engine.Query
 
 	lookup := func(name string) (int, error) {

@@ -93,6 +93,71 @@ func TestQueryTracedParsePlanSpans(t *testing.T) {
 	}
 }
 
+// TestTracedOperatorTreeAndSinks pins the EXPLAIN surface of the plan IR: a
+// traced query carries the physical operator chain as one span per operator
+// (with the priced access path stamped on the Scan), the ORDER BY / LIMIT
+// sinks run after the pipeline with their modeled sort cycles attributed to
+// a sink span, and the root still reconciles with the breakdown.
+func TestTracedOperatorTreeAndSinks(t *testing.T) {
+	db := lineitemDB(t, 5_000)
+	stmt := "SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem " +
+		"WHERE l_quantity < 30 GROUP BY l_returnflag ORDER BY 3 DESC LIMIT 2"
+	res, trace, err := db.QueryTraced(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := trace.Root.Find("plan.physical")
+	if phys == nil {
+		t.Fatal("trace lacks plan.physical span")
+	}
+	for _, op := range []string{"op.limit", "op.orderby", "op.aggregate", "op.filter", "op.scan"} {
+		sp := phys.Find(op)
+		if sp == nil {
+			t.Fatalf("operator tree lacks %s span", op)
+		}
+		if _, ok := sp.Attr("expr"); !ok {
+			t.Errorf("%s span lacks its EXPLAIN line", op)
+		}
+	}
+	if src, _ := phys.Find("op.scan").Attr("source"); src != res.Engine {
+		t.Errorf("scan span source = %q, run used %q", src, res.Engine)
+	}
+	sink := trace.Root.Find("sink")
+	if sink == nil {
+		t.Fatal("trace lacks sink span")
+	}
+	if sink.Cycles == 0 {
+		t.Error("sort sink attributed no cycles")
+	}
+	if lim, _ := sink.Attr("limit"); lim != "2" {
+		t.Errorf("sink limit attr = %q", lim)
+	}
+	if got := trace.Root.AttributedCycles(); got != res.Breakdown.TotalCycles {
+		t.Errorf("span tree attributes %d cycles, breakdown says %d", got, res.Breakdown.TotalCycles)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("LIMIT 2 returned %d groups", len(res.Groups))
+	}
+	if res.Groups[0].Aggs[1].Float < res.Groups[1].Aggs[1].Float {
+		t.Errorf("groups not sorted descending: %v then %v", res.Groups[0].Aggs[1], res.Groups[1].Aggs[1])
+	}
+}
+
+// TestDBExplain checks the EXPLAIN-without-ANALYZE entry point renders the
+// lowered operator chain.
+func TestDBExplain(t *testing.T) {
+	db := lineitemDB(t, 100)
+	out, err := db.Explain("SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Limit[3]", "OrderBy[l_returnflag]", "Aggregate[group=(l_returnflag)", "Scan[lineitem source=?"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestObserverMetricsServe is the issue's live-export acceptance check:
 // after one query through an observed DB, /metrics serves Prometheus text
 // with dram, cache, and fabric series populated, and /debug/trace/last

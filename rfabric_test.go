@@ -95,6 +95,48 @@ func TestDBGroupByQuery(t *testing.T) {
 	}
 }
 
+// TestDBOrderByStableTiesAndLimitZero runs the sink operators end to end
+// through the SQL front door. 4000 rows at branch=i%11 give branches 0–6 a
+// count of 364 and branches 7–10 a count of 363, so a descending sort on
+// COUNT has two tie classes; the stable sort must keep each class in its
+// group-discovery (ascending branch) order.
+func TestDBOrderByStableTiesAndLimitZero(t *testing.T) {
+	db := itemsDB(t, 4000)
+	res, err := db.Query("SELECT branch, COUNT(*) FROM items GROUP BY branch ORDER BY 2 DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 11 {
+		t.Fatalf("groups = %d", len(res.Groups))
+	}
+	for i, g := range res.Groups {
+		wantBranch, wantCount := int64(i), int64(364)
+		if i >= 7 {
+			wantCount = 363
+		}
+		if g.Key[0].Int != wantBranch || g.Count != wantCount {
+			t.Errorf("group %d = branch %d count %d, want branch %d count %d",
+				i, g.Key[0].Int, g.Count, wantBranch, wantCount)
+		}
+	}
+
+	lim, err := db.QueryOn(ROW, "SELECT branch, COUNT(*) FROM items GROUP BY branch ORDER BY 2 DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lim.Groups) != 3 || lim.Groups[0].Key[0].Int != 0 {
+		t.Errorf("LIMIT 3 groups = %+v", lim.Groups)
+	}
+
+	zero, err := db.Query("SELECT branch, COUNT(*) FROM items GROUP BY branch LIMIT 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero.Groups) != 0 {
+		t.Errorf("LIMIT 0 returned %d groups", len(zero.Groups))
+	}
+}
+
 func TestDBCapacityEnforced(t *testing.T) {
 	db, _ := Open(DefaultConfig())
 	if _, err := db.CreateTable("tiny", demoSchema(t), 2); err != nil {
