@@ -9,10 +9,10 @@ import (
 )
 
 // defaultBenchSet is the tier-1 experiment set the CI regression gate runs:
-// the projectivity sweep (the paper's headline figure) and the parallel
-// makespan sweep, which together cover all three engines plus the
-// morsel/shard coordinator.
-var defaultBenchSet = []string{"fig5", "par-speedup"}
+// the projectivity sweep (the paper's headline figure), the parallel
+// makespan sweep, and the Q3-class hash join, which together cover all
+// three engines, the morsel/shard coordinator, and the join pipeline.
+var defaultBenchSet = []string{"fig5", "par-speedup", "join"}
 
 // runBench executes the named experiments (the tier-1 set when none are
 // given), flattens every numeric result leaf into a bench.Record, and writes

@@ -8,7 +8,7 @@
 //	rfbench -bench [-bench-name NAME] [<experiment>...]
 //	rfbench -compare [-tolerance PCT] old.json new.json
 //
-// Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, abl-prefetch,
+// Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, join, abl-prefetch,
 // abl-buffer, abl-clock, abl-banks, abl-mvcc, abl-pushdown, abl-index,
 // abl-rmc, abl-compress, abl-storage, or "all".
 //
@@ -145,7 +145,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "par-speedup",
+		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "par-speedup", "join",
 			"abl-prefetch", "abl-buffer", "abl-clock", "abl-banks",
 			"abl-mvcc", "abl-pushdown", "abl-index", "abl-rmc", "abl-compress", "abl-storage"}
 	}
@@ -220,6 +220,8 @@ func runExperiment(name string, opt experiments.Options) (any, []string, error) 
 		result, err = experiments.Figure7(opt, experiments.Q6)
 	case "par-speedup":
 		result, err = experiments.ParallelSpeedup(opt, 8, opt.MicroRows, opt.ParWorkers)
+	case "join":
+		result, err = experiments.JoinQ3(opt, opt.MicroRows, opt.ParWorkers)
 	case "abl-prefetch":
 		result, err = experiments.AblationPrefetchStreams(opt, []int{1, 2, 4, 8, 16})
 	case "abl-buffer":
@@ -241,7 +243,7 @@ func runExperiment(name string, opt experiments.Options) (any, []string, error) 
 	case "abl-storage":
 		result, err = experiments.AblationStorage(opt, opt.MicroRows/4)
 	default:
-		return nil, nil, fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, par-speedup, abl-*, or all)")
+		return nil, nil, fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, par-speedup, join, abl-*, or all)")
 	}
 	if err != nil {
 		return nil, nil, err

@@ -10,6 +10,7 @@ import (
 	"rfabric/internal/engine"
 	"rfabric/internal/index"
 	"rfabric/internal/obs"
+	"rfabric/internal/plan"
 	"rfabric/internal/sql"
 	"rfabric/internal/table"
 )
@@ -228,6 +229,13 @@ func (db *DB) QueryOn(kind EngineKind, query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(st.Joins) > 0 {
+		_, jp, sk, err := db.lowerJoin(st)
+		if err != nil {
+			return nil, err
+		}
+		return db.runJoin(kind, jp, sk, nil)
+	}
 	t, err := db.lookup(st.Table)
 	if err != nil {
 		return nil, err
@@ -386,6 +394,208 @@ func (db *DB) columnarCopy(t *dbTable) (*colstore.Store, error) {
 		t.col = store
 	}
 	return t.col, nil
+}
+
+// schemaLookup resolves a table name to its schema — the catalog interface
+// the join planner lowers against.
+func (db *DB) schemaLookup(name string) (*Schema, error) {
+	t, err := db.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.tbl.Schema(), nil
+}
+
+// lowerJoin lowers a join statement against the catalog: the IR root (kept
+// for EXPLAIN spans), the executable join plan, and its sinks.
+func (db *DB) lowerJoin(st *sql.Stmt) (*plan.Node, *engine.JoinPlan, engine.Sinks, error) {
+	root, err := sql.LowerCatalog(st, db.schemaLookup)
+	if err != nil {
+		return nil, nil, engine.Sinks{}, err
+	}
+	jp, sk, err := engine.FromJoinPlan(root, db.schemaLookup)
+	if err != nil {
+		return nil, nil, engine.Sinks{}, err
+	}
+	return root, jp, sk, nil
+}
+
+// runJoin is the measured entry point for join queries, the counterpart of
+// run: counter snapshots around the dispatch, metrics labeled by the probe
+// table.
+func (db *DB) runJoin(kind EngineKind, jp *engine.JoinPlan, sk engine.Sinks, tr *obs.Tracer) (*Result, error) {
+	if db.reg == nil || db.reg.Disabled() {
+		res, err := db.executeJoin(kind, jp, tr)
+		if err == nil {
+			applySinks(res, sk, tr)
+		}
+		return res, err
+	}
+	memStart := db.sys.Mem.Stats()
+	hierStart := db.sys.Hier.Stats()
+	fabStart := db.sys.Fab.Stats()
+	res, err := db.executeJoin(kind, jp, tr)
+	if err == nil {
+		applySinks(res, sk, tr)
+	}
+	labels := obs.Labels{"engine": string(kind), "table": jp.Probe.Table}
+	db.reg.Counter("rfabric_queries_total", labels).Add(1)
+	if err != nil {
+		db.reg.Counter("rfabric_query_errors_total", labels).Add(1)
+	} else {
+		db.reg.Counter("rfabric_query_cycles_total", labels).Add(res.Breakdown.TotalCycles)
+		db.reg.Histogram("rfabric_query_cycles", labels).Observe(float64(res.Breakdown.TotalCycles))
+		db.reg.Counter("rfabric_rows_scanned_total", labels).Add(uint64(res.RowsScanned))
+		db.reg.Counter("rfabric_rows_passed_total", labels).Add(uint64(res.RowsPassed))
+		db.reg.Histogram("rfabric_query_latency_cycles", obs.Labels{"engine": res.Engine}).
+			Observe(float64(res.Breakdown.TotalCycles))
+	}
+	db.sys.Mem.Stats().Delta(memStart).Publish(db.reg, labels)
+	db.sys.Hier.Stats().Delta(hierStart).Publish(db.reg, labels)
+	db.sys.Fab.Stats().Delta(fabStart).Publish(db.reg, labels)
+	return res, err
+}
+
+// executeJoin dispatches a join plan. Every side is its own Source, so each
+// runs on its own access path: the chosen kind applies to all sides, AUTO
+// prices each side independently, and RM routes the probe to the morsel
+// executor once SetParallel is called (builds run once on the shared System
+// either way).
+func (db *DB) executeJoin(kind EngineKind, p *engine.JoinPlan, tr *obs.Tracer) (*Result, error) {
+	probeT, err := db.lookup(p.Probe.Table)
+	if err != nil {
+		return nil, err
+	}
+	buildTs := make([]*dbTable, len(p.Stages))
+	for k := range p.Stages {
+		if buildTs[k], err = db.lookup(p.Stages[k].Side.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	probeKind := kind
+	buildKinds := make([]EngineKind, len(p.Stages))
+	for k := range buildKinds {
+		buildKinds[k] = kind
+	}
+	if kind == AUTO {
+		sp := tr.Begin("plan")
+		if probeKind, err = db.priceJoinSide(probeT, &p.Probe); err != nil {
+			tr.End()
+			return nil, fmt.Errorf("rfabric: optimizing join probe: %w", err)
+		}
+		sp.SetAttr("probe", string(probeKind))
+		for k := range p.Stages {
+			if buildKinds[k], err = db.priceJoinSide(buildTs[k], &p.Stages[k].Side); err != nil {
+				tr.End()
+				return nil, fmt.Errorf("rfabric: optimizing join build %d: %w", k, err)
+			}
+			sp.SetAttr(fmt.Sprintf("build_%d", k), string(buildKinds[k]))
+		}
+		tr.End()
+	}
+	if probeKind == RM && db.par != nil {
+		probeKind = PAR
+	}
+
+	if probeKind == PAR {
+		// The morsel executor probes on RM clones; build sides keep their
+		// chosen kinds over the shared System.
+		for k := range buildKinds {
+			if buildKinds[k] == PAR {
+				buildKinds[k] = RM
+			}
+		}
+		builds, err := db.joinBuildSources(buildKinds, buildTs, p, tr)
+		if err != nil {
+			return nil, err
+		}
+		if p.Probe.Node != nil {
+			p.Probe.Node.Source = string(PAR)
+		}
+		var cfg engine.ParallelConfig
+		if db.par != nil {
+			cfg = *db.par
+		}
+		e := &engine.ParallelJoinExec{Plan: p, ProbeTbl: probeT.tbl, Sys: db.sys,
+			Par: cfg, Builds: builds, Tracer: tr, Reg: db.reg}
+		return e.Execute()
+	}
+
+	probe, err := db.joinSource(probeKind, probeT, &p.Probe, tr)
+	if err != nil {
+		return nil, err
+	}
+	builds, err := db.joinBuildSources(buildKinds, buildTs, p, tr)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine.JoinExec{Plan: p, Probe: probe, Builds: builds}
+	return e.Execute()
+}
+
+// priceJoinSide runs the constructive optimizer over one side's query in
+// isolation: the side is a complete scan-shaped subplan, so the single-table
+// cost formulas apply directly.
+func (db *DB) priceJoinSide(t *dbTable, side *engine.JoinSide) (EngineKind, error) {
+	db.mu.RLock()
+	store, idx := t.col, t.idx
+	db.mu.RUnlock()
+	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
+	pc, err := opt.ChoosePlan(engine.PlanOf(side.Query, side.Table))
+	if err != nil {
+		return "", err
+	}
+	return EngineKind(pc.Chosen), nil
+}
+
+// joinBuildSources builds one Source per build stage.
+func (db *DB) joinBuildSources(kinds []EngineKind, ts []*dbTable, p *engine.JoinPlan, tr *obs.Tracer) ([]engine.Source, error) {
+	builds := make([]engine.Source, len(p.Stages))
+	for k := range p.Stages {
+		src, err := db.joinSource(kinds[k], ts[k], &p.Stages[k].Side, tr)
+		if err != nil {
+			return nil, err
+		}
+		builds[k] = src
+	}
+	return builds, nil
+}
+
+// joinSource builds the Source for one join side and stamps the access path
+// it actually got onto the side's Scan node. Join sides stream through the
+// scalar pipeline's sink hook, so every engine with a batch path is pinned
+// to ForceScalar. IDX falls back to ROW when the side's selection cannot use
+// the index — a join side is an internal scan, not a user-chosen path.
+func (db *DB) joinSource(kind EngineKind, t *dbTable, side *engine.JoinSide, tr *obs.Tracer) (engine.Source, error) {
+	var src engine.Source
+	switch kind {
+	case RM:
+		src = &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true}
+	case ROW:
+		src = &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true}
+	case "IDX":
+		db.mu.RLock()
+		idx := t.idx
+		db.mu.RUnlock()
+		if idx != nil && engine.IndexApplicable(idx, side.Query.Selection) {
+			src = &engine.IndexEngine{Tbl: t.tbl, Sys: db.sys, Idx: idx, Tracer: tr}
+		} else {
+			src = &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true}
+		}
+	case COL:
+		store, err := db.columnarCopy(t)
+		if err != nil {
+			return nil, err
+		}
+		src = &engine.ColEngine{Store: store, Sys: db.sys, Tracer: tr, ForceScalar: true}
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownEngine, string(kind))
+	}
+	if side.Node != nil {
+		side.Node.Source = src.Name()
+	}
+	return src, nil
 }
 
 // applySinks runs the plan's ORDER BY / LIMIT sinks over a finished result

@@ -74,6 +74,16 @@ func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, e
 	psp.SetAttr("table", st.Table)
 	tr.End()
 
+	if len(st.Joins) > 0 {
+		tr.Begin("plan.logical")
+		root, jp, sk, err := db.lowerJoin(st)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr.End()
+		return db.runJoinTraced(o, root, jp, sk, query, tr)
+	}
+
 	t, err := db.lookup(st.Table)
 	if err != nil {
 		return nil, nil, err
@@ -140,6 +150,75 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 	return res, trace, nil
 }
 
+// runJoinTraced is runTraced for join statements: the EXPLAIN spans render
+// the lowered join tree (build chains nested under their join spans), and
+// after the run each side's Scan span is stamped with the access path it
+// actually got.
+func (db *DB) runJoinTraced(o traceOpts, root *plan.Node, jp *engine.JoinPlan, sk engine.Sinks, text string, tr *obs.Tracer) (*Result, *Trace, error) {
+	scans := attachJoinPlanSpans(tr.Root(), root)
+	var tl *obs.Timeline
+	if o.sample {
+		tl = obs.NewTimeline(o.interval, db.sys.Cfg.DRAM.Banks)
+		tr.AttachTimeline(tl)
+		db.sys.AttachTimeline(tl)
+		defer db.sys.DetachTimeline()
+	}
+	res, err := db.runJoin(o.kind, jp, sk, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range scans {
+		if s.node.Source != "" {
+			s.span.SetAttr("source", s.node.Source)
+		}
+	}
+	tl.Finish(res.Breakdown.TotalCycles)
+	trace := &Trace{
+		Query:       text,
+		Engine:      res.Engine,
+		TotalCycles: res.Breakdown.TotalCycles,
+		Root:        tr.Root(),
+		Timeline:    tl,
+	}
+	db.last.Store(trace)
+	return res, trace, nil
+}
+
+// scanSpan pairs an op.scan span with its plan node, so the source each side
+// ran on can be stamped once the run has chosen it.
+type scanSpan struct {
+	span *obs.Span
+	node *plan.Node
+}
+
+// attachJoinPlanSpans renders a join tree under plan.physical: the spine
+// nests Input-wise like the single-table chain, and each op.join span
+// additionally parents its build side's [Filter]→Scan chain. Spans carry no
+// cycles, so the root's reconciliation is untouched.
+func attachJoinPlanSpans(parent *obs.Span, root *plan.Node) []scanSpan {
+	if parent == nil {
+		return nil
+	}
+	top := parent.AddChild("plan.physical")
+	var scans []scanSpan
+	var attach func(sp *obs.Span, n *plan.Node)
+	attach = func(sp *obs.Span, n *plan.Node) {
+		cur := sp.AddChild("op." + strings.ToLower(n.Op.String()))
+		cur.SetAttr("expr", n.Describe(nil))
+		if n.Op == plan.OpScan {
+			scans = append(scans, scanSpan{cur, n})
+		}
+		if n.Build != nil {
+			attach(cur, n.Build)
+		}
+		if n.Input != nil {
+			attach(cur, n.Input)
+		}
+	}
+	attach(top, root)
+	return scans
+}
+
 // planChain rebuilds the physical plan the run executes: the pipeline query
 // plus its sinks. For QueryTraced this reproduces the lowered statement; for
 // ExecuteTraced it derives the chain from the hand-built query.
@@ -183,11 +262,7 @@ func (db *DB) ExplainPlan(query string) (*plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := db.lookup(st.Table)
-	if err != nil {
-		return nil, err
-	}
-	return sql.Lower(st, t.tbl.Schema())
+	return sql.LowerCatalog(st, db.schemaLookup)
 }
 
 // Explain renders the physical plan for a statement as an indented operator

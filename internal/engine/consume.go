@@ -160,12 +160,14 @@ func appendKey(dst []byte, v table.Value) []byte {
 			dst = append(dst, byte(bits>>(8*uint(i))))
 		}
 	case geometry.Char:
-		for _, b := range v.Bytes {
-			if b == 0 {
-				break
-			}
-			dst = append(dst, b)
+		// Trim trailing NUL padding only — embedded NULs are significant,
+		// matching table.Value equality semantics.
+		b := v.Bytes
+		end := len(b)
+		for end > 0 && b[end-1] == 0 {
+			end--
 		}
+		dst = append(dst, b[:end]...)
 		dst = append(dst, 0xff) // separator
 	default:
 		u := uint64(v.Int)

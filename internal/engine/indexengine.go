@@ -84,6 +84,18 @@ func indexBounds(sel expr.Conjunction, col int) (lo, hi int64, ok bool) {
 	return lo, hi, ok
 }
 
+// IndexApplicable reports whether a selection constrains the indexed
+// column — the precondition for routing a scan through IndexEngine. The DB
+// façade uses it to decide per join side whether the index path applies or
+// the side must fall back to the base heap.
+func IndexApplicable(idx *index.BTree, sel expr.Conjunction) bool {
+	if idx == nil {
+		return false
+	}
+	_, _, ok := indexBounds(sel, idx.Column())
+	return ok
+}
+
 // Execute runs q through the index. It fails when the selection does not
 // constrain the indexed column — the optimizer never routes such queries
 // here.

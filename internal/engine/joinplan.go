@@ -1,0 +1,668 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/obs"
+	"rfabric/internal/plan"
+	"rfabric/internal/table"
+)
+
+// Join execution over the shared pipeline. A plan.Node join tree lowers to
+// a JoinPlan: one probe side plus a list of build stages, each side a full
+// Source-backed subplan with its own selection, snapshot, and needed
+// columns. Execution streams every side through the scalar pipeline's sink
+// hook — build rows into per-stage hash tables, probe rows through a
+// multi-stage probe that folds matched combined rows straight into the
+// consumer — so every build and probe byte flows through Hier.Load, each
+// phase closes its own span, and the run's root span reconciles exactly
+// with the summed Breakdown.TotalCycles.
+
+// JoinSide is one input of a join: the table it reads, the side-local
+// query the pipeline executes over it (projection = every column the join
+// fetches from this side, selection = the side's pushed-down predicates),
+// and the side's Scan node for source stamping and EXPLAIN.
+type JoinSide struct {
+	Table string
+	Query Query
+	Node  *plan.Node
+}
+
+// JoinStage is one build side of a left-deep join spine. BuildKey indexes
+// the build table's schema; ProbeKey indexes the combined namespace of the
+// sides joined before this stage.
+type JoinStage struct {
+	Side     JoinSide
+	BuildKey int
+	ProbeKey int
+}
+
+// JoinPlan is an executable join: probe side, build stages innermost-first,
+// the combined output namespace, and the consumption query over it.
+// Construct it with FromJoinPlan.
+type JoinPlan struct {
+	Probe   JoinSide
+	Stages  []JoinStage
+	Schema  *geometry.Schema
+	Offsets []int // Offsets[i]: combined start of side i (0 = probe, 1+k = stage k)
+	Consume Query
+
+	// colSide/colSlot map each combined column to its owning side and the
+	// fetch slot within it (probe-local column, or build-entry position).
+	colSide []int
+	colSlot []int
+}
+
+// JoinSchema concatenates per-table schemas into one combined namespace.
+// Column names stay bare when globally unique and qualify to "table.column"
+// otherwise. The returned offsets give each table's starting index.
+func JoinSchema(tables []string, schemas []*geometry.Schema) (*geometry.Schema, []int, error) {
+	if len(tables) != len(schemas) {
+		return nil, nil, errors.New("engine: JoinSchema needs one schema per table")
+	}
+	count := map[string]int{}
+	for _, s := range schemas {
+		for i := 0; i < s.NumColumns(); i++ {
+			count[s.Column(i).Name]++
+		}
+	}
+	var cols []geometry.Column
+	offsets := make([]int, len(tables))
+	for ti, s := range schemas {
+		offsets[ti] = len(cols)
+		for i := 0; i < s.NumColumns(); i++ {
+			c := s.Column(i)
+			if count[c.Name] > 1 {
+				c.Name = tables[ti] + "." + c.Name
+			}
+			cols = append(cols, c)
+		}
+	}
+	sch, err := geometry.NewSchema(cols...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: combined join schema: %w", err)
+	}
+	return sch, offsets, nil
+}
+
+// keyFamily buckets column types into join-compatible families: integral
+// (BIGINT/INT/DATE join across widths), float, and CHAR.
+func keyFamily(t geometry.ColumnType) int {
+	switch t {
+	case geometry.Float64:
+		return 1
+	case geometry.Char:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// joinKeyTo appends v's canonical join-key encoding, or reports false when
+// the value can never match (NaN, per SQL equality). Integral values encode
+// by value; floats by bits with -0 normalized to +0; CHAR by
+// trailing-NUL-trimmed bytes (embedded NULs are significant).
+func joinKeyTo(dst []byte, v table.Value) ([]byte, bool) {
+	switch v.Type {
+	case geometry.Float64:
+		f := v.Float
+		if math.IsNaN(f) {
+			return dst, false
+		}
+		if f == 0 {
+			f = 0 // collapse -0 onto +0
+		}
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(bits>>(8*uint(i))))
+		}
+	case geometry.Char:
+		b := v.Bytes
+		end := len(b)
+		for end > 0 && b[end-1] == 0 {
+			end--
+		}
+		dst = append(dst, b[:end]...)
+	default:
+		u := uint64(v.Int)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(u>>(8*uint(i))))
+		}
+	}
+	return dst, true
+}
+
+// sideChain unpacks one side's [Filter]→Scan chain.
+func sideChain(n *plan.Node) (scan *plan.Node, sel expr.Conjunction, err error) {
+	cur := n
+	var preds expr.Conjunction
+	if cur.Op == plan.OpFilter {
+		preds = cur.Preds
+		cur = cur.Input
+	}
+	if cur == nil || cur.Op != plan.OpScan {
+		return nil, nil, errors.New("engine: join side must be a [Filter]→Scan chain")
+	}
+	return cur, preds, nil
+}
+
+// FromJoinPlan validates a join tree and lowers it to an executable
+// JoinPlan plus its sinks. lookup resolves a table name to its schema.
+func FromJoinPlan(root *plan.Node, lookup func(string) (*geometry.Schema, error)) (*JoinPlan, Sinks, error) {
+	var sk Sinks
+	if err := root.Validate(); err != nil {
+		return nil, sk, err
+	}
+	cur := root
+	if cur.Op == plan.OpLimit {
+		sk.Limit = cur.N
+		sk.HasLimit = true
+		cur = cur.Input
+	}
+	if cur.Op == plan.OpOrderBy {
+		sk.Keys = cur.Keys
+		cur = cur.Input
+	}
+	consumeNode := cur // Project or Aggregate, per Validate
+
+	spine := consumeNode.Input.Joins() // outermost-first
+	inner := spine[len(spine)-1]
+
+	// Collect sides in combined order: probe, then builds innermost-first.
+	sideScans := make([]*plan.Node, 0, len(spine)+1)
+	sideSels := make([]expr.Conjunction, 0, len(spine)+1)
+	scan, preds, err := sideChain(inner.Input)
+	if err != nil {
+		return nil, sk, err
+	}
+	sideScans, sideSels = append(sideScans, scan), append(sideSels, preds)
+	for i := len(spine) - 1; i >= 0; i-- {
+		scan, preds, err := sideChain(spine[i].Build)
+		if err != nil {
+			return nil, sk, err
+		}
+		sideScans, sideSels = append(sideScans, scan), append(sideSels, preds)
+	}
+
+	tables := make([]string, len(sideScans))
+	schemas := make([]*geometry.Schema, len(sideScans))
+	for i, s := range sideScans {
+		tables[i] = s.Table
+		sch, err := lookup(s.Table)
+		if err != nil {
+			return nil, sk, err
+		}
+		schemas[i] = sch
+	}
+	combined, offsets, err := JoinSchema(tables, schemas)
+	if err != nil {
+		return nil, sk, err
+	}
+
+	p := &JoinPlan{Schema: combined, Offsets: offsets}
+	switch consumeNode.Op {
+	case plan.OpProject:
+		p.Consume.Projection = consumeNode.Cols
+	case plan.OpAggregate:
+		p.Consume.GroupBy = consumeNode.GroupBy
+		p.Consume.Aggregates = make([]AggTerm, len(consumeNode.Aggs))
+		for i, a := range consumeNode.Aggs {
+			p.Consume.Aggregates[i] = AggTerm{Kind: a.Kind, Arg: a.Arg}
+		}
+	}
+	if err := p.Consume.Validate(combined); err != nil {
+		return nil, sk, err
+	}
+
+	// Distribute the consumed combined columns onto their owning sides,
+	// then add each stage's keys; a side's projection is exactly what the
+	// join will fetch from it.
+	needed := make([][]int, len(sideScans))
+	seen := make([]map[int]bool, len(sideScans))
+	for i := range seen {
+		seen[i] = map[int]bool{}
+	}
+	sideOf := func(c int) int {
+		s := 0
+		for i := 1; i < len(offsets); i++ {
+			if c >= offsets[i] {
+				s = i
+			}
+		}
+		return s
+	}
+	addNeeded := func(c int) {
+		s := sideOf(c)
+		local := c - offsets[s]
+		if !seen[s][local] {
+			seen[s][local] = true
+			needed[s] = append(needed[s], local)
+		}
+	}
+	for _, c := range p.Consume.consumedColumns() {
+		addNeeded(c)
+	}
+	p.Stages = make([]JoinStage, len(spine))
+	for k := range p.Stages {
+		j := spine[len(spine)-1-k] // stage k = (k+1)'th innermost join
+		bsch := schemas[k+1]
+		if j.BuildKey >= bsch.NumColumns() {
+			return nil, sk, fmt.Errorf("engine: join build key %d out of range for table %q", j.BuildKey, tables[k+1])
+		}
+		if j.ProbeKey >= offsets[k+1] {
+			return nil, sk, fmt.Errorf("engine: join probe key %d not resolved by the sides joined before table %q", j.ProbeKey, tables[k+1])
+		}
+		pf := keyFamily(combined.Column(j.ProbeKey).Type)
+		bf := keyFamily(bsch.Column(j.BuildKey).Type)
+		if pf != bf {
+			return nil, sk, fmt.Errorf("engine: join keys %q and %q have incompatible types",
+				combined.Column(j.ProbeKey).Name, bsch.Column(j.BuildKey).Name)
+		}
+		addNeeded(j.ProbeKey)
+		if !seen[k+1][j.BuildKey] {
+			seen[k+1][j.BuildKey] = true
+			needed[k+1] = append(needed[k+1], j.BuildKey)
+		}
+		p.Stages[k].BuildKey = j.BuildKey
+		p.Stages[k].ProbeKey = j.ProbeKey
+	}
+
+	mkSide := func(i int) (JoinSide, error) {
+		q := Query{Projection: needed[i], Selection: sideSels[i], Snapshot: sideScans[i].Snapshot}
+		if err := q.Validate(schemas[i]); err != nil {
+			return JoinSide{}, fmt.Errorf("engine: join side %q: %w", tables[i], err)
+		}
+		if len(sideScans[i].Cols) == 0 {
+			sideScans[i].Cols = q.NeededColumns()
+		}
+		return JoinSide{Table: tables[i], Query: q, Node: sideScans[i]}, nil
+	}
+	if p.Probe, err = mkSide(0); err != nil {
+		return nil, sk, err
+	}
+	for k := range p.Stages {
+		if p.Stages[k].Side, err = mkSide(k + 1); err != nil {
+			return nil, sk, err
+		}
+	}
+	p.layout()
+	return p, sk, nil
+}
+
+// layout computes (once) the combined-column → (side, slot) mapping the
+// probe's combined fetch uses.
+func (p *JoinPlan) layout() ([]int, []int) {
+	if p.colSide != nil {
+		return p.colSide, p.colSlot
+	}
+	n := p.Schema.NumColumns()
+	side := make([]int, n)
+	slot := make([]int, n)
+	for c := 0; c < n; c++ {
+		s := 0
+		for i := 1; i < len(p.Offsets); i++ {
+			if c >= p.Offsets[i] {
+				s = i
+			}
+		}
+		side[c] = s
+		if s == 0 {
+			slot[c] = c
+			continue
+		}
+		slot[c] = -1
+		local := c - p.Offsets[s]
+		for i, pc := range p.Stages[s-1].Side.Query.Projection {
+			if pc == local {
+				slot[c] = i
+				break
+			}
+		}
+	}
+	p.colSide, p.colSlot = side, slot
+	return side, slot
+}
+
+// runSink streams one join side through the scalar pipeline, handing every
+// qualifying row to sink instead of a consumer. The side's span and
+// breakdown close like any scan's, so join phases reconcile side by side.
+// Sources must be constructed with ForceScalar where the engine has a batch
+// path — the batch executors have no sink hook.
+func runSink(src Source, q Query, label string, sink func(pr *pipeRun, fetch func(col int) table.Value)) (*Result, error) {
+	sys, tr := src.sysTracer()
+	sp := tr.Begin(label)
+	sp.SetAttr("engine", src.Name())
+	if t := src.tableLabel(); t != "" {
+		sp.SetAttr("table", t)
+	}
+	defer tr.End()
+	s, err := src.openScan(q, sp)
+	if err != nil {
+		return nil, err
+	}
+	if s.direct != nil || s.prog != nil {
+		return nil, errors.New("engine: sink scan requires the scalar pipeline (construct the source with ForceScalar)")
+	}
+	s.name = src.Name()
+	s.sys = sys
+	s.tracer = tr
+	s.sp = sp
+	s.sink = sink
+	return s.runScalar(q)
+}
+
+// copyValue detaches a value from source-owned buffers (fabric chunk data,
+// base-heap rows) so build entries stay valid across chunk resets and
+// concurrent writers.
+func copyValue(v table.Value) table.Value {
+	if v.Type == geometry.Char && v.Bytes != nil {
+		b := make([]byte, len(v.Bytes))
+		copy(b, v.Bytes)
+		v.Bytes = b
+	}
+	return v
+}
+
+// buildJoinTables streams each build side into its stage's hash table,
+// charging HashBuildCycles per inserted row inside the side's measured
+// window. Entries hold the side projection's values in order.
+func buildJoinTables(p *JoinPlan, builds []Source) ([]map[string][][]table.Value, []*Result, error) {
+	if len(builds) != len(p.Stages) {
+		return nil, nil, fmt.Errorf("engine: join plan has %d stages but %d build sources", len(p.Stages), len(builds))
+	}
+	p.layout()
+	tables := make([]map[string][][]table.Value, len(p.Stages))
+	results := make([]*Result, len(p.Stages))
+	for k := range p.Stages {
+		stage := &p.Stages[k]
+		proj := stage.Side.Query.Projection
+		keySlot := -1
+		for i, c := range proj {
+			if c == stage.BuildKey {
+				keySlot = i
+				break
+			}
+		}
+		if keySlot < 0 {
+			return nil, nil, fmt.Errorf("engine: stage %d build key %d missing from side projection", k, stage.BuildKey)
+		}
+		tbl := make(map[string][][]table.Value)
+		var keyBuf []byte
+		ks := keySlot
+		res, err := runSink(builds[k], stage.Side.Query, fmt.Sprintf("build[%d]", k), func(pr *pipeRun, fetch func(int) table.Value) {
+			pr.compute += HashBuildCycles
+			entry := make([]table.Value, len(proj))
+			for i, c := range proj {
+				entry[i] = copyValue(fetch(c))
+			}
+			var ok bool
+			keyBuf, ok = joinKeyTo(keyBuf[:0], entry[ks])
+			if !ok {
+				return // NaN keys never match
+			}
+			tbl[string(keyBuf)] = append(tbl[string(keyBuf)], entry)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		tables[k] = tbl
+		results[k] = res
+	}
+	return tables, results, nil
+}
+
+// newJoinProber returns the probe-side sink: for each probe row it walks
+// the stages in order, looking up each stage's hash table by the combined
+// row's probe-key value, and folds every fully matched combined row into
+// cons. Consumer folding cycles land in the probe's measured window.
+func newJoinProber(p *JoinPlan, tables []map[string][][]table.Value, cons *consumer, fold *uint64) func(pr *pipeRun, fetch func(col int) table.Value) {
+	colSide, colSlot := p.layout()
+	current := make([][]table.Value, len(p.Stages))
+	var keyBuf []byte
+	var probeFetch func(int) table.Value
+	var pr *pipeRun
+	combinedFetch := func(col int) table.Value {
+		s := colSide[col]
+		if s == 0 {
+			return probeFetch(colSlot[col])
+		}
+		return current[s-1][colSlot[col]]
+	}
+	var descend func(stage int)
+	descend = func(stage int) {
+		if stage == len(p.Stages) {
+			before := *fold
+			cons.consumeRow(combinedFetch)
+			pr.compute += *fold - before
+			return
+		}
+		pr.compute += HashProbeCycles
+		var ok bool
+		keyBuf, ok = joinKeyTo(keyBuf[:0], combinedFetch(p.Stages[stage].ProbeKey))
+		if !ok {
+			return
+		}
+		for _, entry := range tables[stage][string(keyBuf)] {
+			current[stage] = entry
+			descend(stage + 1)
+		}
+	}
+	return func(run *pipeRun, fetch func(col int) table.Value) {
+		pr, probeFetch = run, fetch
+		descend(0)
+	}
+}
+
+func addBreakdown(dst *Breakdown, b Breakdown) {
+	dst.ComputeCycles += b.ComputeCycles
+	dst.MemDemandCycles += b.MemDemandCycles
+	dst.ProducerCycles += b.ProducerCycles
+	dst.BytesFromDRAM += b.BytesFromDRAM
+	dst.BytesToCPU += b.BytesToCPU
+	dst.PipelineCycles += b.PipelineCycles
+	dst.TotalCycles += b.TotalCycles
+}
+
+// JoinExec executes a JoinPlan single-goroutine: build phases run first,
+// then the probe side streams once — never materialized — through the
+// multi-stage prober. Every side is a Source, so RM can feed either side a
+// packed column group while ROW probes the base heap, and each phase's span
+// reconciles with its share of the summed Breakdown.
+type JoinExec struct {
+	Plan   *JoinPlan
+	Probe  Source
+	Builds []Source // one per stage, in stage order
+}
+
+// Execute runs the join and returns the consumed result; RowsPassed is the
+// join cardinality reaching the consumer.
+func (e *JoinExec) Execute() (*Result, error) {
+	p := e.Plan
+	if p == nil || e.Probe == nil {
+		return nil, errors.New("engine: JoinExec needs a plan and a probe source")
+	}
+	_, tr := e.Probe.sysTracer()
+	name := e.Probe.Name()
+	sp := beginEngineSpan(tr, name, p.Probe.Table)
+	sp.SetAttr("join_stages", strconv.Itoa(len(p.Stages)))
+	defer tr.End()
+
+	tables, buildRes, err := buildJoinTables(p, e.Builds)
+	if err != nil {
+		return nil, err
+	}
+
+	var fold uint64
+	cons := newConsumer(p.Consume, p.Schema, &fold)
+	probeRes, err := runSink(e.Probe, p.Probe.Query, "probe", newJoinProber(p, tables, cons, &fold))
+	if err != nil {
+		return nil, err
+	}
+
+	res := cons.finish(name, probeRes.RowsScanned)
+	res.Breakdown = probeRes.Breakdown
+	for _, br := range buildRes {
+		res.RowsScanned += br.RowsScanned
+		addBreakdown(&res.Breakdown, br.Breakdown)
+	}
+	return res, nil
+}
+
+// ParallelJoinExec is the morsel-parallel join: build sides run once on the
+// shared System, then the probe table's row range splits into fixed-size
+// morsels that workers stream on RM sources of private System clones,
+// probing the shared read-only hash tables. Partials merge in morsel order,
+// so results are deterministic for any worker count, exactly like
+// ParallelEngine.
+type ParallelJoinExec struct {
+	Plan     *JoinPlan
+	ProbeTbl *table.Table
+	Sys      *System
+	Par      ParallelConfig
+	Builds   []Source // build sources over the shared System, in stage order
+
+	Tracer *obs.Tracer
+	Reg    *obs.Registry
+}
+
+// Execute runs the parallel join and returns the merged result.
+func (e *ParallelJoinExec) Execute() (*Result, error) {
+	p := e.Plan
+	if p == nil || e.ProbeTbl == nil || e.Sys == nil {
+		return nil, errors.New("engine: ParallelJoinExec needs a plan, a probe table, and a system")
+	}
+	par := e.Par.normalized()
+	sp := beginEngineSpan(e.Tracer, "PAR", p.Probe.Table)
+	sp.SetAttr("join_stages", strconv.Itoa(len(p.Stages)))
+	defer e.Tracer.End()
+
+	tables, buildRes, err := buildJoinTables(p, e.Builds)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := e.ProbeTbl.NumRows()
+	numMorsels := (rows + par.MorselRows - 1) / par.MorselRows
+	if numMorsels == 0 {
+		numMorsels = 1
+	}
+	workers := par.Workers
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+
+	parts := make([]*Result, numMorsels)
+	errs := make([]error, numMorsels)
+	var tracers []*obs.Tracer
+	if sp != nil {
+		tracers = make([]*obs.Tracer, numMorsels)
+		for i := range tracers {
+			tracers[i] = obs.NewTracer(morselSpanName(i))
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= numMorsels {
+					return
+				}
+				var tr *obs.Tracer
+				if tracers != nil {
+					tr = tracers[i]
+				}
+				parts[i], errs[i] = e.runMorsel(tables, i, par.MorselRows, rows, tr)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: join morsel %d: %w", i, err)
+		}
+	}
+	res, err := mergePartials("PAR", p.Consume, parts, workers)
+	if err != nil {
+		return nil, err
+	}
+	probeTotal := res.Breakdown.TotalCycles
+	for _, br := range buildRes {
+		res.RowsScanned += br.RowsScanned
+		addBreakdown(&res.Breakdown, br.Breakdown)
+	}
+	if sp != nil {
+		mergeCharge := uint64(len(parts)) * MergeCyclesPerPartial
+		sp.Leaf("schedule.makespan", probeTotal-mergeCharge, 0)
+		sp.Leaf("merge", mergeCharge, 0)
+		sp.SetAttr("workers", strconv.Itoa(workers))
+		sp.SetAttr("morsels", strconv.Itoa(numMorsels))
+		sp.SetAttr("morsel_rows", strconv.Itoa(par.MorselRows))
+		detail := sp.AddChild("morsels")
+		detail.Detail = true
+		partTotals := make([]uint64, len(parts))
+		for i, pt := range parts {
+			partTotals[i] = pt.Breakdown.TotalCycles
+		}
+		workerOf, starts, _ := ScheduleAssignments(partTotals, workers)
+		tl := e.Tracer.Timeline()
+		for i, tr := range tracers {
+			root := tr.Root()
+			root.SetAttr("worker", strconv.Itoa(workerOf[i]))
+			root.SetAttr("start_cycles", strconv.FormatUint(starts[i], 10))
+			detail.Adopt(root)
+			tl.AddWorkerSlice(workerOf[i], morselSpanName(i), starts[i], partTotals[i])
+		}
+		tl.TickThrough(res.Breakdown.TotalCycles)
+	}
+	if e.Reg != nil {
+		labels := obs.Labels{"table": p.Probe.Table}
+		e.Reg.Counter("rfabric_par_queries_total", labels).Add(1)
+		e.Reg.Counter("rfabric_par_morsels_total", labels).Add(uint64(numMorsels))
+		e.Reg.Counter("rfabric_par_makespan_cycles_total", labels).Add(res.Breakdown.TotalCycles)
+		e.Reg.Histogram("rfabric_par_morsel_cycles", labels).Observe(float64(res.Breakdown.TotalCycles) / float64(numMorsels))
+	}
+	return res, nil
+}
+
+// runMorsel probes one probe-table slice on a fresh System clone, folding
+// matches into a morsel-private consumer whose partial the coordinator
+// merges in morsel order.
+func (e *ParallelJoinExec) runMorsel(tables []map[string][][]table.Value, i, morselRows, totalRows int, tr *obs.Tracer) (*Result, error) {
+	lo := i * morselRows
+	hi := lo + morselRows
+	if hi > totalRows {
+		hi = totalRows
+	}
+	if lo > totalRows {
+		lo = totalRows
+	}
+	slice, err := e.ProbeTbl.Slice(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := e.Sys.Clone()
+	if err != nil {
+		return nil, err
+	}
+	src := &RMEngine{Tbl: slice, Sys: sys, Tracer: tr, ForceScalar: true}
+	var fold uint64
+	cons := newConsumer(e.Plan.Consume, e.Plan.Schema, &fold)
+	probeRes, err := runSink(src, e.Plan.Probe.Query, "probe", newJoinProber(e.Plan, tables, cons, &fold))
+	if err != nil {
+		return nil, err
+	}
+	part := cons.finish("RM", probeRes.RowsScanned)
+	part.Breakdown = probeRes.Breakdown
+	return part, nil
+}

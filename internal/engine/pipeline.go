@@ -83,7 +83,11 @@ func (s *scan) finishRun(pr *pipeRun, res *Result, pipeline, producer uint64) (*
 // charged at most once per row, whichever operator touches it first.
 func (s *scan) runScalar(q Query) (*Result, error) {
 	pr := s.begin()
-	cons := newConsumer(q, s.sch, &pr.compute)
+	var cons *consumer
+	if s.sink == nil {
+		cons = newConsumer(q, s.sch, &pr.compute)
+	}
+	var rowsSunk int64
 
 	// Per-row lazily fetched value cache, epoch-invalidated. The fetch
 	// closure is defined once (capturing the row and segment cursors) so
@@ -180,7 +184,12 @@ func (s *scan) runScalar(q Query) (*Result, error) {
 			for _, c := range s.visit {
 				fetch(c)
 			}
-			cons.consumeRow(fetch)
+			if s.sink != nil {
+				s.sink(pr, fetch)
+				rowsSunk++
+			} else {
+				cons.consumeRow(fetch)
+			}
 		}
 
 		if s.pipelined {
@@ -195,7 +204,12 @@ func (s *scan) runScalar(q Query) (*Result, error) {
 		}
 	}
 
-	res := cons.finish(s.name, scanned)
+	var res *Result
+	if s.sink != nil {
+		res = &Result{Engine: s.name, RowsScanned: scanned, RowsPassed: rowsSunk}
+	} else {
+		res = cons.finish(s.name, scanned)
+	}
 	return s.finishRun(pr, res, pipeline, producer)
 }
 

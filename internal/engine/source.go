@@ -149,4 +149,12 @@ type scan struct {
 	// colVec, when non-nil alongside prog, is the decomposed-layout batch
 	// driver's view of the column store (COL only).
 	colVec *colVecLayout
+
+	// sink, when non-nil, replaces the consumer: every qualifying row is
+	// handed to it instead of being folded into a Result. The join executor
+	// streams each side through the scalar pipeline this way, so every
+	// build/probe byte still flows through Hier.Load and the side's span
+	// and breakdown reconcile like any other scan. Sink scans report
+	// RowsPassed (rows delivered) but no checksum/aggregates.
+	sink func(pr *pipeRun, fetch func(col int) table.Value)
 }

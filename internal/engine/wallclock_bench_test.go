@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"rfabric/internal/engine"
+	"rfabric/internal/geometry"
+	"rfabric/internal/sql"
 	"rfabric/internal/table"
 	"rfabric/internal/tpch"
 )
@@ -117,4 +119,81 @@ func BenchmarkParScanWallclock(b *testing.B) {
 			Par:           engine.ParallelConfig{Workers: 8},
 			PushSelection: true, ForceScalar: fs}
 	}, sys.ResetState)
+}
+
+// BenchmarkJoinQ3Wallclock measures the hash-join pipeline end to end: the
+// Q3-class lineitem ⋈ orders query lowered from SQL, executed serially and
+// under the morsel-parallel executor. Join sides always run scalar (the sink
+// path), so the variants here are the executors, not the kernels.
+func BenchmarkJoinQ3Wallclock(b *testing.B) {
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	li := benchLineitem(b, sys)
+	nOrders := tpch.OrdersFor(benchRows)
+	osch := tpch.OrdersSchema()
+	ord, err := tpch.NewOrders(nOrders, 2,
+		table.WithBaseAddr(sys.Arena.Alloc(int64(nOrders*osch.RowBytes()))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lookup := func(name string) (*geometry.Schema, error) {
+		if name == "orders" {
+			return ord.Schema(), nil
+		}
+		return li.Schema(), nil
+	}
+	st, err := sql.Parse(tpch.Q3SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := sql.LowerCatalog(st, lookup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jp, _, err := engine.FromJoinPlan(root, lookup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	builds := func() []engine.Source {
+		out := make([]engine.Source, len(jp.Stages))
+		for i := range jp.Stages {
+			out[i] = &engine.RMEngine{Tbl: ord, Sys: sys, ForceScalar: true}
+		}
+		return out
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys.ResetState()
+			b.StartTimer()
+			ex := &engine.JoinExec{
+				Plan:   jp,
+				Probe:  &engine.RMEngine{Tbl: li, Sys: sys, ForceScalar: true},
+				Builds: builds(),
+			}
+			if _, err := ex.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys.ResetState()
+			b.StartTimer()
+			ex := &engine.ParallelJoinExec{
+				Plan:     jp,
+				ProbeTbl: li,
+				Sys:      sys,
+				Par:      engine.ParallelConfig{Workers: 8},
+				Builds:   builds(),
+			}
+			if _, err := ex.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -4,14 +4,22 @@
 // operator implementations: with the fabric present, any data geometry is
 // available on demand, so the only real decision is where the bytes come
 // from and what each touched byte costs. The IR encodes that split. A plan
-// is a straight-line operator chain
+// is an operator chain
 //
-//	Scan → [Filter] → (Project | Aggregate) → [OrderBy] → [Limit]
+//	Scan → [Filter] → [Join]* → (Project | Aggregate) → [OrderBy] → [Limit]
 //
 // where the Scan node names the table and the chosen access path (its
 // Source: ROW, COL, RM, IDX, PAR — or AUTO before pricing), and everything
 // above it is engine-independent. One shared pipeline in internal/engine
 // executes the chain; each engine contributes only its Source.
+//
+// Join nodes make the chain a left-deep tree: a Join's Input is the probe
+// side (another Join, or a [Filter]→Scan chain) and its Build field is the
+// build side (always a [Filter]→Scan chain over a base table). Each side is
+// a full Source-backed subplan the optimizer prices independently. Column
+// indices above a Join live in the join's combined namespace — the probe
+// subtree's columns followed by each build table's columns in join order —
+// so the probe table's local indices coincide with the combined prefix.
 //
 // The package depends only on the expression and schema layers so both the
 // SQL front end and the engines can build and inspect plans without import
@@ -38,6 +46,7 @@ const (
 	OpAggregate
 	OpOrderBy
 	OpLimit
+	OpJoin
 )
 
 // String returns the operator's EXPLAIN spelling.
@@ -55,6 +64,8 @@ func (o Op) String() string {
 		return "OrderBy"
 	case OpLimit:
 		return "Limit"
+	case OpJoin:
+		return "Join"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -93,6 +104,7 @@ type SortKey struct {
 //	Aggregate GroupBy, Aggs
 //	OrderBy   Keys
 //	Limit     N
+//	Join      Build, ProbeKey, BuildKey
 type Node struct {
 	Op    Op
 	Input *Node
@@ -110,6 +122,19 @@ type Node struct {
 	Keys []SortKey
 
 	N int64
+
+	// Join fields. Build is the build side's [Filter]→Scan chain. ProbeKey
+	// indexes the probe subtree's combined namespace; BuildKey indexes the
+	// build table's own schema.
+	Build    *Node
+	ProbeKey int
+	BuildKey int
+
+	// Sch, when set, names this node's column indices in Explain instead of
+	// the schema the caller passes — join trees set it so nodes above a Join
+	// render against the combined namespace while each side's nodes render
+	// against their own table schema.
+	Sch *geometry.Schema
 }
 
 // NewScan starts a chain at an access-path scan. source may be empty until
@@ -133,6 +158,13 @@ func (n *Node) Aggregate(groupBy []int, aggs []Agg) *Node {
 	return &Node{Op: OpAggregate, Input: n, GroupBy: groupBy, Aggs: aggs}
 }
 
+// Join appends an equi-join: the receiver becomes the probe side and build
+// the build side. probeKey indexes the probe subtree's combined namespace;
+// buildKey indexes the build table's schema.
+func (n *Node) Join(build *Node, probeKey, buildKey int) *Node {
+	return &Node{Op: OpJoin, Input: n, Build: build, ProbeKey: probeKey, BuildKey: buildKey}
+}
+
 // OrderBy appends a sort sink over grouped output.
 func (n *Node) OrderBy(keys []SortKey) *Node {
 	return &Node{Op: OpOrderBy, Input: n, Keys: keys}
@@ -143,14 +175,37 @@ func (n *Node) Limit(count int64) *Node {
 	return &Node{Op: OpLimit, Input: n, N: count}
 }
 
-// Scan returns the chain's innermost node, which Validate guarantees is the
-// access-path scan.
+// Scan returns the chain's innermost node along the Input spine, which
+// Validate guarantees is an access-path scan (the probe side's scan in a
+// join tree; build-side scans are reached through each Join's Build field).
 func (n *Node) Scan() *Node {
 	cur := n
 	for cur.Input != nil {
 		cur = cur.Input
 	}
 	return cur
+}
+
+// HasJoin reports whether the tree contains a Join operator.
+func (n *Node) HasJoin() bool {
+	for cur := n; cur != nil; cur = cur.Input {
+		if cur.Op == OpJoin {
+			return true
+		}
+	}
+	return false
+}
+
+// Joins returns the spine's Join nodes outermost-first (nil for linear
+// chains).
+func (n *Node) Joins() []*Node {
+	var out []*Node
+	for cur := n; cur != nil; cur = cur.Input {
+		if cur.Op == OpJoin {
+			out = append(out, cur)
+		}
+	}
+	return out
 }
 
 // Aggregation returns the chain's Aggregate node, or nil.
@@ -170,10 +225,14 @@ func (n *Node) Walk(f func(*Node)) {
 	}
 }
 
-// Validate checks the chain's structure: operators in pipeline order, one
+// Validate checks the tree's structure: operators in pipeline order, one
 // consumption shape (Project or Aggregate), sinks only above an Aggregate,
-// sort keys referencing its output.
+// sort keys referencing its output. Join trees follow the join grammar
+// (validateJoinTree); linear chains keep the original straight-line check.
 func (n *Node) Validate() error {
+	if n.HasJoin() {
+		return n.validateJoinTree()
+	}
 	// Collect outermost-first, then check the order against the grammar
 	// Scan [Filter] (Project|Aggregate) [OrderBy] [Limit].
 	var ops []*Node
@@ -241,24 +300,141 @@ func (n *Node) Validate() error {
 	return nil
 }
 
-// Explain renders the chain as an indented operator tree, outermost first.
-// sch may be nil; columns then print as ordinals.
+// validateJoinTree checks the join grammar: [Limit] over [OrderBy] over
+// exactly one Project or Aggregate, sitting directly on a left-deep spine
+// of Joins whose sides are [Filter]→Scan chains. Predicates live on the
+// sides — a Filter directly above a Join is out of order, because the
+// lowering pushes every conjunct to the side that owns its column.
+func (n *Node) validateJoinTree() error {
+	cur := n
+	if cur.Op == OpLimit {
+		if cur.N < 0 {
+			return fmt.Errorf("plan: negative Limit %d", cur.N)
+		}
+		cur = cur.Input
+	}
+	var ob *Node
+	if cur != nil && cur.Op == OpOrderBy {
+		ob = cur
+		cur = cur.Input
+	}
+	if cur == nil || (cur.Op != OpProject && cur.Op != OpAggregate) {
+		return errors.New("plan: join tree needs exactly one Project or Aggregate above its topmost Join")
+	}
+	consume := cur
+	if consume.Op == OpAggregate {
+		if len(consume.Aggs) == 0 {
+			return errors.New("plan: Aggregate with no aggregate terms")
+		}
+	} else if len(consume.Cols) == 0 {
+		return errors.New("plan: Project with no columns")
+	}
+	if n.Op == OpLimit || ob != nil {
+		if consume.Op != OpAggregate || len(consume.GroupBy) == 0 {
+			return errors.New("plan: sinks over a join require grouped aggregation output")
+		}
+	}
+	if ob != nil {
+		if len(ob.Keys) == 0 {
+			return errors.New("plan: OrderBy with no keys")
+		}
+		for _, k := range ob.Keys {
+			switch {
+			case k.Key >= 0 && k.Agg < 0:
+				if k.Key >= len(consume.GroupBy) {
+					return fmt.Errorf("plan: sort key references group key %d of %d", k.Key, len(consume.GroupBy))
+				}
+			case k.Agg >= 0 && k.Key < 0:
+				if k.Agg >= len(consume.Aggs) {
+					return fmt.Errorf("plan: sort key references aggregate %d of %d", k.Agg, len(consume.Aggs))
+				}
+			default:
+				return errors.New("plan: sort key must name exactly one of group key or aggregate")
+			}
+		}
+	}
+	if consume.Input == nil || consume.Input.Op != OpJoin {
+		return errors.New("plan: join tree consumption must sit directly on its topmost Join")
+	}
+	return validateJoinNode(consume.Input)
+}
+
+// validateJoinNode checks one Join and recurses down the probe spine.
+func validateJoinNode(j *Node) error {
+	if j.ProbeKey < 0 || j.BuildKey < 0 {
+		return errors.New("plan: Join needs non-negative probe and build keys")
+	}
+	if j.Build == nil {
+		return errors.New("plan: Join has no build side")
+	}
+	if err := validateSideChain(j.Build, "build"); err != nil {
+		return err
+	}
+	probe := j.Input
+	if probe == nil {
+		return errors.New("plan: Join has no probe side")
+	}
+	if probe.Op == OpJoin {
+		return validateJoinNode(probe)
+	}
+	return validateSideChain(probe, "probe")
+}
+
+// validateSideChain checks one join side: an optional Filter over a Scan of
+// a base table.
+func validateSideChain(n *Node, side string) error {
+	cur := n
+	if cur.Op == OpFilter {
+		if len(cur.Preds) == 0 {
+			return fmt.Errorf("plan: %s-side Filter with no predicates", side)
+		}
+		cur = cur.Input
+	}
+	if cur == nil || cur.Op != OpScan {
+		return fmt.Errorf("plan: %s side must be a [Filter]→Scan chain", side)
+	}
+	if cur.Table == "" {
+		return errors.New("plan: Scan has no table")
+	}
+	if cur.Input != nil {
+		return fmt.Errorf("plan: %s-side Scan has an input", side)
+	}
+	return nil
+}
+
+// Explain renders the tree as an indented operator tree, outermost first.
+// sch may be nil; columns then print as ordinals. A node's Sch field, when
+// set, overrides sch for naming that node's columns. A Join renders its
+// build subtree (├─) before continuing down the probe spine (└─).
 func (n *Node) Explain(sch *geometry.Schema) string {
 	var b strings.Builder
-	depth := 0
-	n.Walk(func(c *Node) {
-		if depth > 0 {
-			b.WriteString("\n")
-			b.WriteString(strings.Repeat("  ", depth-1))
-			b.WriteString("└─ ")
-		}
-		b.WriteString(c.describe(sch))
-		depth++
-	})
+	n.render(&b, sch, 0, "└─ ")
 	return b.String()
 }
 
+func (n *Node) render(b *strings.Builder, sch *geometry.Schema, depth int, connector string) {
+	if depth > 0 {
+		b.WriteString("\n")
+		b.WriteString(strings.Repeat("  ", depth-1))
+		b.WriteString(connector)
+	}
+	b.WriteString(n.describe(sch))
+	if n.Op == OpJoin && n.Build != nil {
+		n.Build.render(b, sch, depth+1, "├─ ")
+	}
+	if n.Input != nil {
+		n.Input.render(b, sch, depth+1, "└─ ")
+	}
+}
+
+// Describe renders one node's EXPLAIN line (without tree structure); traced
+// runs use it to annotate per-operator spans.
+func (n *Node) Describe(sch *geometry.Schema) string { return n.describe(sch) }
+
 func (c *Node) describe(sch *geometry.Schema) string {
+	if c.Sch != nil {
+		sch = c.Sch
+	}
 	colName := func(col int) string {
 		if sch != nil && col >= 0 && col < sch.NumColumns() {
 			return sch.Column(col).Name
@@ -329,6 +505,15 @@ func (c *Node) describe(sch *geometry.Schema) string {
 		return fmt.Sprintf("OrderBy[%s]", strings.Join(parts, ", "))
 	case OpLimit:
 		return fmt.Sprintf("Limit[%d]", c.N)
+	case OpJoin:
+		buildName := fmt.Sprintf("#%d", c.BuildKey)
+		if c.Build != nil {
+			bs := c.Build.Scan()
+			if bs.Sch != nil && c.BuildKey >= 0 && c.BuildKey < bs.Sch.NumColumns() {
+				buildName = bs.Sch.Column(c.BuildKey).Name
+			}
+		}
+		return fmt.Sprintf("Join[%s = %s]", colName(c.ProbeKey), buildName)
 	default:
 		return c.Op.String()
 	}

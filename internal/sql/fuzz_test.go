@@ -35,6 +35,17 @@ func FuzzParseSQL(f *testing.F) {
 		"SELECT flag, SUM(qty) FROM t GROUP BY flag ORDER BY 2, flag ASC LIMIT 0",
 		"SELECT flag, COUNT(*) FROM t GROUP BY flag ORDER BY 0",
 		"SELECT id FROM t LIMIT -1",
+		"SELECT id, SUM(price) FROM t JOIN u ON id = rid GROUP BY id",
+		"SELECT t.id, u.tag, SUM(t.price) FROM t JOIN u ON t.id = u.rid GROUP BY t.id, u.tag",
+		"SELECT id FROM t JOIN u ON id = rid JOIN v ON rid = vid WHERE qty < 3",
+		"SELECT flag, shipdate, COUNT(*) FROM t GROUP BY flag, shipdate",
+		"SELECT id FROM t JOIN t ON id = id",
+		"SELECT id FROM t JOIN u ON id < rid",
+		"SELECT id FROM t JOIN",
+		"SELECT id FROM t JOIN u ON",
+		"SELECT id FROM t JOIN u ON id =",
+		"SELECT u. FROM t JOIN u ON id = rid",
+		"SELECT id FROM t JOIN u ON qty = qty",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -49,6 +60,18 @@ func FuzzParseSQL(f *testing.F) {
 		geometry.Column{Name: "cnt", Type: geometry.Int32, Width: 4},
 	)
 
+	// Join statements lower against a two-schema catalog: the primary table
+	// name resolves to the schema above, anything else to a second schema
+	// with disjoint column names. Every table name resolving keeps the fuzzer
+	// inside the lowerer (duplicate-table, ambiguity, and key-side checks)
+	// instead of bouncing off name lookup.
+	other := geometry.MustSchema(
+		geometry.Column{Name: "rid", Type: geometry.Int64, Width: 8},
+		geometry.Column{Name: "vid", Type: geometry.Int32, Width: 4},
+		geometry.Column{Name: "val", Type: geometry.Float64, Width: 8},
+		geometry.Column{Name: "tag", Type: geometry.Char, Width: 2},
+	)
+
 	f.Fuzz(func(t *testing.T, input string) {
 		st, err := Parse(input)
 		if err != nil {
@@ -59,6 +82,26 @@ func FuzzParseSQL(f *testing.F) {
 		}
 		if st == nil {
 			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
+		}
+		if len(st.Joins) > 0 {
+			// Multi-table statements go through the catalog lowerer; the
+			// same contract applies — reject or produce a valid tree, never
+			// panic.
+			lookup := func(name string) (*geometry.Schema, error) {
+				if name == st.Table {
+					return schema, nil
+				}
+				return other, nil
+			}
+			root, err := LowerCatalog(st, lookup)
+			if err != nil {
+				return
+			}
+			if err := root.Validate(); err != nil {
+				t.Errorf("LowerCatalog(%q) returned an invalid plan: %v", input, err)
+			}
+			_ = root.Explain(nil)
+			return
 		}
 		if q, err := Plan(st, schema); err == nil {
 			// A planned query must be internally consistent or explicitly

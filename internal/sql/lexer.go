@@ -2,13 +2,16 @@
 // to configure ephemeral variables (Fig. 3: configure(the_table, QUERY)):
 //
 //	SELECT <columns and aggregates> FROM <table>
+//	  [JOIN <table> ON <col> = <col>]*
 //	  [WHERE <col op literal> [AND ...]] [GROUP BY <columns>]
 //	  [ORDER BY <column or ordinal> [ASC|DESC] [, ...]] [LIMIT <n>]
 //
 // Aggregates are COUNT(*), SUM/AVG/MIN/MAX over +,-,* arithmetic of numeric
-// columns; ORDER BY and LIMIT apply to grouped output only. The planner
-// lowers a parsed statement onto the physical plan IR (internal/plan), from
-// which the engines derive the data geometry they ask the fabric for.
+// columns; ORDER BY and LIMIT apply to grouped output only. Column
+// references may be qualified ("table.column") and must be when a bare name
+// is ambiguous across joined tables. The planner lowers a parsed statement
+// onto the physical plan IR (internal/plan), from which the engines derive
+// the data geometry they ask the fabric for.
 package sql
 
 import (
@@ -39,7 +42,7 @@ var keywords = map[string]bool{
 	"GROUP": true, "BY": true, "COUNT": true, "SUM": true,
 	"AVG": true, "MIN": true, "MAX": true, "DATE": true,
 	"BETWEEN": true, "AS": true, "ORDER": true, "LIMIT": true,
-	"ASC": true, "DESC": true,
+	"ASC": true, "DESC": true, "JOIN": true, "ON": true,
 }
 
 // lex splits the input into tokens.
@@ -77,7 +80,7 @@ func lex(input string) ([]token, error) {
 				toks = append(toks, token{tokIdent, strings.ToLower(word), i})
 			}
 			i = j
-		case strings.ContainsRune("(),*+-", c):
+		case strings.ContainsRune("(),*+-.", c):
 			toks = append(toks, token{tokSymbol, string(c), i})
 			i++
 		case c == '<' || c == '>' || c == '=':

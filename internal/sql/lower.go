@@ -2,8 +2,10 @@ package sql
 
 import (
 	"fmt"
+	"strings"
 
 	"rfabric/internal/engine"
+	"rfabric/internal/expr"
 	"rfabric/internal/geometry"
 	"rfabric/internal/plan"
 )
@@ -19,7 +21,7 @@ func Lower(st *Stmt, schema *geometry.Schema) (*plan.Node, error) {
 	}
 	root := engine.PlanOf(q, st.Table)
 	if len(st.OrderBy) > 0 {
-		keys, err := resolveSortKeys(st, q, schema)
+		keys, err := resolveSortKeys(st, q, tableResolver(st.Table, schema))
 		if err != nil {
 			return nil, err
 		}
@@ -38,7 +40,7 @@ func Lower(st *Stmt, schema *geometry.Schema) (*plan.Node, error) {
 // output: a named key must be one of the GROUP BY columns; a 1-based
 // ordinal names a select-list position (an aggregate item sorts by that
 // aggregate, a bare column by its group key).
-func resolveSortKeys(st *Stmt, q engine.Query, schema *geometry.Schema) ([]plan.SortKey, error) {
+func resolveSortKeys(st *Stmt, q engine.Query, res *colResolver) ([]plan.SortKey, error) {
 	groupKeyOf := func(col int) (int, bool) {
 		for i, g := range q.GroupBy {
 			if g == col {
@@ -65,9 +67,9 @@ func resolveSortKeys(st *Stmt, q engine.Query, schema *geometry.Schema) ([]plan.
 				}
 				k.Agg = agg
 			} else {
-				col, ok := schema.Lookup(item.Column)
-				if !ok {
-					return nil, fmt.Errorf("sql: unknown column %q", item.Column)
+				col, err := res.resolve(item.Column)
+				if err != nil {
+					return nil, err
 				}
 				idx, ok := groupKeyOf(col)
 				if !ok {
@@ -76,9 +78,9 @@ func resolveSortKeys(st *Stmt, q engine.Query, schema *geometry.Schema) ([]plan.
 				k.Key = idx
 			}
 		default:
-			col, ok := schema.Lookup(it.Column)
-			if !ok {
-				return nil, fmt.Errorf("sql: unknown column %q", it.Column)
+			col, err := res.resolve(it.Column)
+			if err != nil {
+				return nil, err
 			}
 			idx, ok := groupKeyOf(col)
 			if !ok {
@@ -89,6 +91,185 @@ func resolveSortKeys(st *Stmt, q engine.Query, schema *geometry.Schema) ([]plan.
 		keys[i] = k
 	}
 	return keys, nil
+}
+
+// SchemaLookup resolves a table name to its schema — the catalog interface
+// LowerCatalog plans against.
+type SchemaLookup func(table string) (*geometry.Schema, error)
+
+// joinResolver resolves (possibly qualified) column names over the combined
+// namespace of joined tables. Bare names must be globally unique; qualified
+// names pin the table.
+func joinResolver(tables []string, schemas []*geometry.Schema, offsets []int, combined *geometry.Schema) *colResolver {
+	return &colResolver{sch: combined, resolve: func(name string) (int, error) {
+		if tbl, col, ok := strings.Cut(name, "."); ok {
+			for ti, t := range tables {
+				if t != tbl {
+					continue
+				}
+				c, found := schemas[ti].Lookup(col)
+				if !found {
+					return 0, fmt.Errorf("sql: unknown column %q", name)
+				}
+				return offsets[ti] + c, nil
+			}
+			return 0, fmt.Errorf("sql: unknown table %q in column %q", tbl, name)
+		}
+		hit := -1
+		for ti, s := range schemas {
+			if c, found := s.Lookup(name); found {
+				if hit >= 0 {
+					return 0, fmt.Errorf("sql: column %q is ambiguous; qualify it as table.column", name)
+				}
+				hit = offsets[ti] + c
+			}
+		}
+		if hit < 0 {
+			return 0, fmt.Errorf("sql: unknown column %q", name)
+		}
+		return hit, nil
+	}}
+}
+
+// LowerCatalog lowers a statement against a catalog, handling joins. For a
+// single-table statement it delegates to Lower. For joins it builds the
+// left-deep IR tree: the FROM table is the probe side, each JOIN clause a
+// build side, WHERE conjuncts route to the side that owns their column, and
+// the consumption (and any ORDER BY/LIMIT sinks) runs over the combined
+// namespace.
+func LowerCatalog(st *Stmt, lookup SchemaLookup) (*plan.Node, error) {
+	if len(st.Joins) == 0 {
+		sch, err := lookup(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		return Lower(st, sch)
+	}
+
+	tables := []string{st.Table}
+	for _, jc := range st.Joins {
+		for _, seen := range tables {
+			if seen == jc.Table {
+				return nil, fmt.Errorf("sql: table %q joined twice", jc.Table)
+			}
+		}
+		tables = append(tables, jc.Table)
+	}
+	schemas := make([]*geometry.Schema, len(tables))
+	for i, t := range tables {
+		sch, err := lookup(t)
+		if err != nil {
+			return nil, err
+		}
+		schemas[i] = sch
+	}
+	combined, offsets, err := engine.JoinSchema(tables, schemas)
+	if err != nil {
+		return nil, err
+	}
+	res := joinResolver(tables, schemas, offsets, combined)
+
+	q, err := planConsume(st, res)
+	if err != nil {
+		return nil, err
+	}
+
+	// Route each WHERE conjunct to the side that owns its column, localized
+	// to that side's schema.
+	sideOf := func(c int) int {
+		s := 0
+		for i := 1; i < len(offsets); i++ {
+			if c >= offsets[i] {
+				s = i
+			}
+		}
+		return s
+	}
+	sideSel := make([]expr.Conjunction, len(tables))
+	for _, cmp := range st.Where {
+		p, err := planComparison(cmp, res)
+		if err != nil {
+			return nil, err
+		}
+		s := sideOf(p.Col)
+		p.Col -= offsets[s]
+		sideSel[s] = append(sideSel[s], p)
+	}
+
+	// Resolve each ON clause: one side must name a column of the newly
+	// joined table (the build key), the other a column of an earlier table
+	// (the probe key, in combined coordinates).
+	probeKeys := make([]int, len(st.Joins))
+	buildKeys := make([]int, len(st.Joins))
+	for k, jc := range st.Joins {
+		l, err := res.resolve(jc.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		r, err := res.resolve(jc.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		start, end := offsets[k+1], offsets[k+1]+schemas[k+1].NumColumns()
+		inNew := func(c int) bool { return c >= start && c < end }
+		switch {
+		case inNew(l) && !inNew(r) && r < start:
+			buildKeys[k], probeKeys[k] = l-start, r
+		case inNew(r) && !inNew(l) && l < start:
+			buildKeys[k], probeKeys[k] = r-start, l
+		default:
+			return nil, fmt.Errorf("sql: JOIN %s ON %s = %s must compare a column of %q with a column of an earlier table",
+				jc.Table, jc.LeftCol, jc.RightCol, jc.Table)
+		}
+	}
+
+	// Assemble the IR. Side nodes carry their table schema; nodes above the
+	// joins carry the combined namespace, so Explain renders both correctly.
+	mkChain := func(i int) *plan.Node {
+		scan := plan.NewScan(tables[i], "", nil)
+		scan.Snapshot = nil
+		scan.Sch = schemas[i]
+		n := scan
+		if len(sideSel[i]) > 0 {
+			n = n.Filter(sideSel[i])
+			n.Sch = schemas[i]
+		}
+		return n
+	}
+	root := mkChain(0)
+	for k := range st.Joins {
+		root = root.Join(mkChain(k+1), probeKeys[k], buildKeys[k])
+		root.Sch = combined
+	}
+	if len(q.Aggregates) > 0 {
+		aggs := make([]plan.Agg, len(q.Aggregates))
+		for i, a := range q.Aggregates {
+			aggs[i] = plan.Agg{Kind: a.Kind, Arg: a.Arg}
+		}
+		root = root.Aggregate(q.GroupBy, aggs)
+	} else {
+		root = root.Project(q.Projection)
+	}
+	root.Sch = combined
+	if len(st.OrderBy) > 0 {
+		keys, err := resolveSortKeys(st, q, res)
+		if err != nil {
+			return nil, err
+		}
+		root = root.OrderBy(keys)
+		root.Sch = combined
+	}
+	if st.HasLimit {
+		root = root.Limit(st.Limit)
+		root.Sch = combined
+	}
+
+	// Validate through the engine lowering; it also stamps each side Scan's
+	// needed columns.
+	if _, _, err := engine.FromJoinPlan(root, func(t string) (*geometry.Schema, error) { return lookup(t) }); err != nil {
+		return nil, err
+	}
+	return root, nil
 }
 
 // CompilePlan is the one-call convenience for the IR path: parse then lower.

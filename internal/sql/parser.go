@@ -12,11 +12,21 @@ import (
 type Stmt struct {
 	Items    []SelectItem
 	Table    string
+	Joins    []JoinClause
 	Where    []Comparison
 	GroupBy  []string
 	OrderBy  []OrderItem
 	Limit    int64
 	HasLimit bool
+}
+
+// JoinClause is one `JOIN table ON left = right` clause. The sides are
+// column references as written — possibly qualified — and which one names
+// the joined table is resolved during lowering.
+type JoinClause struct {
+	Table    string
+	LeftCol  string
+	RightCol string
 }
 
 // OrderItem is one ORDER BY key: a column name or a 1-based select-list
@@ -153,6 +163,37 @@ func (p *parser) parseSelect() (*Stmt, error) {
 	} else {
 		return nil, p.errf("expected table name, got %q", p.cur().text)
 	}
+	for {
+		t := p.cur()
+		if t.kind != tokKeyword || t.text != "JOIN" {
+			break
+		}
+		p.pos++
+		var jc JoinClause
+		if t := p.cur(); t.kind == tokIdent {
+			jc.Table = t.text
+			p.pos++
+		} else {
+			return nil, p.errf("expected table name after JOIN, got %q", p.cur().text)
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseColumnRef("ON")
+		if err != nil {
+			return nil, err
+		}
+		if op := p.cur(); op.kind != tokSymbol || op.text != "=" {
+			return nil, p.errf("JOIN ... ON supports only equality, got %q", op.text)
+		}
+		p.pos++
+		right, err := p.parseColumnRef("ON")
+		if err != nil {
+			return nil, err
+		}
+		jc.LeftCol, jc.RightCol = left, right
+		st.Joins = append(st.Joins, jc)
+	}
 	if t := p.cur(); t.kind == tokKeyword && t.text == "WHERE" {
 		p.pos++
 		for {
@@ -174,12 +215,11 @@ func (p *parser) parseSelect() (*Stmt, error) {
 			return nil, err
 		}
 		for {
-			if t := p.cur(); t.kind == tokIdent {
-				st.GroupBy = append(st.GroupBy, t.text)
-				p.pos++
-			} else {
-				return nil, p.errf("expected column in GROUP BY, got %q", p.cur().text)
+			col, err := p.parseColumnRef("GROUP BY")
+			if err != nil {
+				return nil, err
 			}
+			st.GroupBy = append(st.GroupBy, col)
 			if !p.acceptSymbol(",") {
 				break
 			}
@@ -194,8 +234,11 @@ func (p *parser) parseSelect() (*Stmt, error) {
 			var it OrderItem
 			switch t := p.cur(); {
 			case t.kind == tokIdent:
-				it.Column = t.text
-				p.pos++
+				col, err := p.parseColumnRef("ORDER BY")
+				if err != nil {
+					return nil, err
+				}
+				it.Column = col
 			case t.kind == tokNumber:
 				n, err := strconv.Atoi(t.text)
 				if err != nil || n <= 0 {
@@ -257,10 +300,33 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 		return SelectItem{Agg: call}, nil
 	}
 	if t := p.cur(); t.kind == tokIdent {
-		p.pos++
-		return SelectItem{Column: t.text}, nil
+		col, err := p.parseColumnRef("select list")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Column: col}, nil
 	}
 	return SelectItem{}, p.errf("expected column or aggregate, got %q", p.cur().text)
+}
+
+// parseColumnRef parses a possibly qualified column reference: `col` or
+// `table.col`. ctx names the clause for error messages.
+func (p *parser) parseColumnRef(ctx string) (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected column in %s, got %q", ctx, t.text)
+	}
+	name := t.text
+	p.pos++
+	if p.acceptSymbol(".") {
+		q := p.cur()
+		if q.kind != tokIdent {
+			return "", p.errf("expected column name after %q., got %q", name, q.text)
+		}
+		name += "." + q.text
+		p.pos++
+	}
+	return name, nil
 }
 
 // parseArith parses + and - at the lowest precedence.
@@ -310,8 +376,11 @@ func (p *parser) parseFactor() (Arith, error) {
 		}
 		return NumExpr{Value: v}, nil
 	case t.kind == tokIdent:
-		p.pos++
-		return ColExpr{Name: t.text}, nil
+		name, err := p.parseColumnRef("expression")
+		if err != nil {
+			return nil, err
+		}
+		return ColExpr{Name: name}, nil
 	case t.kind == tokSymbol && t.text == "(":
 		p.pos++
 		inner, err := p.parseArith()
@@ -330,12 +399,10 @@ func (p *parser) parseFactor() (Arith, error) {
 // parseComparison parses `col op literal` or `col BETWEEN lit AND lit`
 // (which desugars to two conjuncts).
 func (p *parser) parseComparison() ([]Comparison, error) {
-	t := p.cur()
-	if t.kind != tokIdent {
-		return nil, p.errf("expected column in WHERE, got %q", t.text)
+	col, err := p.parseColumnRef("WHERE")
+	if err != nil {
+		return nil, err
 	}
-	col := t.text
-	p.pos++
 	if bt := p.cur(); bt.kind == tokKeyword && bt.text == "BETWEEN" {
 		p.pos++
 		lo, err := p.parseLiteral()

@@ -3,6 +3,7 @@ package sql
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"rfabric/internal/engine"
@@ -10,6 +11,30 @@ import (
 	"rfabric/internal/geometry"
 	"rfabric/internal/table"
 )
+
+// colResolver maps (possibly qualified) column names onto a schema. The
+// single-table resolver strips the table's own qualifier; the join resolver
+// in lower.go resolves over the combined namespace.
+type colResolver struct {
+	sch     *geometry.Schema
+	resolve func(name string) (int, error)
+}
+
+// tableResolver resolves names against one table: bare names and names
+// qualified with the table's own name.
+func tableResolver(tableName string, sch *geometry.Schema) *colResolver {
+	return &colResolver{sch: sch, resolve: func(name string) (int, error) {
+		n := name
+		if rest, ok := strings.CutPrefix(n, tableName+"."); ok {
+			n = rest
+		}
+		c, ok := sch.Lookup(n)
+		if !ok {
+			return 0, fmt.Errorf("sql: unknown column %q", name)
+		}
+		return c, nil
+	}}
+}
 
 // Plan lowers a statement onto an engine.Query against the given schema.
 // The statement's table name is the caller's concern (the catalog in
@@ -23,15 +48,36 @@ func Plan(st *Stmt, schema *geometry.Schema) (engine.Query, error) {
 }
 
 func planQuery(st *Stmt, schema *geometry.Schema) (engine.Query, error) {
+	if len(st.Joins) > 0 {
+		return engine.Query{}, errors.New("sql: statement joins tables; lower it with LowerCatalog")
+	}
+	res := tableResolver(st.Table, schema)
+	q, err := planConsume(st, res)
+	if err != nil {
+		return q, err
+	}
+
+	for _, cmp := range st.Where {
+		p, err := planComparison(cmp, res)
+		if err != nil {
+			return q, err
+		}
+		q.Selection = append(q.Selection, p)
+	}
+
+	if err := q.Validate(schema); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// planConsume plans the consumption shape — projection, aggregates, group
+// keys — against a resolver, leaving selection to the caller (single-table
+// plans keep it in the same query; join plans route conjuncts per side).
+func planConsume(st *Stmt, res *colResolver) (engine.Query, error) {
 	var q engine.Query
 
-	lookup := func(name string) (int, error) {
-		c, ok := schema.Lookup(name)
-		if !ok {
-			return 0, fmt.Errorf("sql: unknown column %q", name)
-		}
-		return c, nil
-	}
+	lookup := res.resolve
 
 	hasAgg := false
 	for _, item := range st.Items {
@@ -44,7 +90,7 @@ func planQuery(st *Stmt, schema *geometry.Schema) (engine.Query, error) {
 	for _, item := range st.Items {
 		switch {
 		case item.Agg != nil:
-			term, err := planAgg(item.Agg, schema)
+			term, err := planAgg(item.Agg, res)
 			if err != nil {
 				return q, err
 			}
@@ -83,22 +129,10 @@ func planQuery(st *Stmt, schema *geometry.Schema) (engine.Query, error) {
 		}
 		q.GroupBy = append(q.GroupBy, c)
 	}
-
-	for _, cmp := range st.Where {
-		p, err := planComparison(cmp, schema)
-		if err != nil {
-			return q, err
-		}
-		q.Selection = append(q.Selection, p)
-	}
-
-	if err := q.Validate(schema); err != nil {
-		return q, err
-	}
 	return q, nil
 }
 
-func planAgg(call *AggCall, schema *geometry.Schema) (engine.AggTerm, error) {
+func planAgg(call *AggCall, res *colResolver) (engine.AggTerm, error) {
 	kinds := map[string]expr.AggKind{
 		"COUNT": expr.Count, "SUM": expr.Sum, "AVG": expr.Avg,
 		"MIN": expr.Min, "MAX": expr.Max,
@@ -113,33 +147,33 @@ func planAgg(call *AggCall, schema *geometry.Schema) (engine.AggTerm, error) {
 		}
 		return engine.AggTerm{Kind: expr.Count}, nil
 	}
-	arg, err := planArith(call.Arg, schema)
+	arg, err := planArith(call.Arg, res)
 	if err != nil {
 		return engine.AggTerm{}, err
 	}
 	return engine.AggTerm{Kind: kind, Arg: arg}, nil
 }
 
-func planArith(a Arith, schema *geometry.Schema) (expr.Scalar, error) {
+func planArith(a Arith, res *colResolver) (expr.Scalar, error) {
 	switch n := a.(type) {
 	case ColExpr:
-		c, ok := schema.Lookup(n.Name)
-		if !ok {
-			return nil, fmt.Errorf("sql: unknown column %q", n.Name)
+		c, err := res.resolve(n.Name)
+		if err != nil {
+			return nil, err
 		}
 		ref := expr.ColRef{Col: c}
-		if err := expr.ValidateScalar(ref, schema); err != nil {
+		if err := expr.ValidateScalar(ref, res.sch); err != nil {
 			return nil, err
 		}
 		return ref, nil
 	case NumExpr:
 		return expr.Const{V: n.Value}, nil
 	case BinExpr:
-		l, err := planArith(n.L, schema)
+		l, err := planArith(n.L, res)
 		if err != nil {
 			return nil, err
 		}
-		r, err := planArith(n.R, schema)
+		r, err := planArith(n.R, res)
 		if err != nil {
 			return nil, err
 		}
@@ -154,10 +188,10 @@ func planArith(a Arith, schema *geometry.Schema) (expr.Scalar, error) {
 	}
 }
 
-func planComparison(cmp Comparison, schema *geometry.Schema) (expr.Predicate, error) {
-	c, ok := schema.Lookup(cmp.Column)
-	if !ok {
-		return expr.Predicate{}, fmt.Errorf("sql: unknown column %q", cmp.Column)
+func planComparison(cmp Comparison, res *colResolver) (expr.Predicate, error) {
+	c, err := res.resolve(cmp.Column)
+	if err != nil {
+		return expr.Predicate{}, err
 	}
 	ops := map[string]expr.CmpOp{
 		"<": expr.Lt, "<=": expr.Le, "=": expr.Eq,
@@ -167,7 +201,7 @@ func planComparison(cmp Comparison, schema *geometry.Schema) (expr.Predicate, er
 	if !ok {
 		return expr.Predicate{}, fmt.Errorf("sql: unknown comparison %q", cmp.Op)
 	}
-	operand, err := planLiteral(cmp.Lit, schema.Column(c))
+	operand, err := planLiteral(cmp.Lit, res.sch.Column(c))
 	if err != nil {
 		return expr.Predicate{}, fmt.Errorf("sql: column %q: %w", cmp.Column, err)
 	}

@@ -1,0 +1,156 @@
+package rfabric
+
+import (
+	"strings"
+	"testing"
+
+	"rfabric/internal/tpch"
+)
+
+// tpchDB builds the multi-table TPC-H catalog at a small scale: lineitem
+// plus the orders/customer/part tables whose keys correlate with it, and a
+// secondary index on l_shipdate so the IDX path has something to price.
+func tpchDB(t *testing.T, lineitemRows int) *DB {
+	t.Helper()
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := db.CreateTable("lineitem", tpch.LineitemSchema(), lineitemRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpch.Generate(li, lineitemRows, 1); err != nil {
+		t.Fatal(err)
+	}
+	nOrders := tpch.OrdersFor(lineitemRows)
+	ord, err := db.CreateTable("orders", tpch.OrdersSchema(), nOrders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpch.GenerateOrders(ord, nOrders, 2); err != nil {
+		t.Fatal(err)
+	}
+	nCust := tpch.CustomersFor(nOrders)
+	cust, err := db.CreateTable("customer", tpch.CustomerSchema(), nCust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpch.GenerateCustomer(cust, nCust, 3); err != nil {
+		t.Fatal(err)
+	}
+	const nPart = 300 // a prefix of the part-key domain: dangling l_partkey drops out
+	part, err := db.CreateTable("part", tpch.PartSchema(), nPart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpch.GeneratePart(part, nPart, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("lineitem", "l_shipdate"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+var joinEngineKinds = []EngineKind{ROW, COL, RM, "IDX", PAR, AUTO}
+
+// TestTPCHJoinQueriesAllEngines is the acceptance check: the Q3/Q5/Q10-class
+// multi-table queries run end-to-end via SQL on every execution path and
+// produce identical results.
+func TestTPCHJoinQueriesAllEngines(t *testing.T) {
+	db := tpchDB(t, 6000)
+	queries := map[string]string{"Q3": tpch.Q3SQL, "Q5": tpch.Q5SQL, "Q10": tpch.Q10SQL}
+	for name, q := range queries {
+		t.Run(name, func(t *testing.T) {
+			ref, err := db.QueryOn(ROW, q)
+			if err != nil {
+				t.Fatalf("ROW: %v", err)
+			}
+			if ref.RowsPassed == 0 || len(ref.Groups) == 0 {
+				t.Fatalf("ROW produced an empty join result: %+v", ref)
+			}
+			for _, kind := range joinEngineKinds[1:] {
+				res, err := db.QueryOn(kind, q)
+				if err != nil {
+					t.Fatalf("%s: %v", kind, err)
+				}
+				if err := ref.EquivalentTo(res, 1e-6); err != nil {
+					t.Errorf("%s result diverges from ROW: %v", kind, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTPCHQ3TracedReconciles runs Q3 as EXPLAIN ANALYZE on the serial and
+// parallel paths: the span tree must attribute exactly the modeled total,
+// with build and probe phases as separate spans, and each side's Scan span
+// stamped with the access path it ran on.
+func TestTPCHQ3TracedReconciles(t *testing.T) {
+	db := tpchDB(t, 4000)
+	for _, kind := range []EngineKind{RM, PAR, AUTO} {
+		res, trace, err := db.QueryTraced(tpch.Q3SQL, OnEngine(kind))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Breakdown.TotalCycles == 0 {
+			t.Fatalf("%s: zero modeled cycles", kind)
+		}
+		if got := trace.Root.AttributedCycles(); got != res.Breakdown.TotalCycles {
+			t.Fatalf("%s: span tree attributes %d cycles, Breakdown.TotalCycles is %d",
+				kind, got, res.Breakdown.TotalCycles)
+		}
+		if trace.Root.Find("build[0]") == nil {
+			t.Errorf("%s: trace has no build[0] span", kind)
+		}
+		if trace.Root.Find("probe") == nil && trace.Root.Find("morsels") == nil {
+			t.Errorf("%s: trace has neither probe nor morsels span", kind)
+		}
+		scan := trace.Root.Find("op.scan")
+		if scan == nil {
+			t.Fatalf("%s: trace has no op.scan span", kind)
+		}
+		if src, ok := scan.Attr("source"); !ok || src == "" {
+			t.Errorf("%s: op.scan span lacks a source attribute", kind)
+		}
+	}
+}
+
+// TestExplainJoin renders a join statement's physical plan: the join
+// operator appears with its key equality, and the build side's chain is
+// indented under it.
+func TestExplainJoin(t *testing.T) {
+	db := tpchDB(t, 400)
+	out, err := db.Explain(tpch.Q3SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Join", "l_orderkey = o_orderkey", "Scan[lineitem", "Scan[orders", "Aggregate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestJoinOnParallelDB checks the RM→PAR rerouting: with SetParallel active,
+// a default Query on a join statement lands on the morsel executor and still
+// matches the serial result.
+func TestJoinOnParallelDB(t *testing.T) {
+	db := tpchDB(t, 3000)
+	ref, err := db.QueryOn(ROW, tpch.Q3SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetParallel(ParallelConfig{Workers: 4, MorselRows: 512})
+	res, err := db.Query(tpch.Q3SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "PAR" {
+		t.Errorf("parallel DB routed join to %s, want PAR", res.Engine)
+	}
+	if err := ref.EquivalentTo(res, 1e-6); err != nil {
+		t.Errorf("PAR join diverges from ROW: %v", err)
+	}
+}

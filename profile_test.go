@@ -257,6 +257,9 @@ func TestQuantileAccuracy(t *testing.T) {
 // with a disabled registry attached must not allocate more than running with
 // no registry at all.
 func TestDisabledObserverMatchesNilObserver(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is perturbed by the race runtime")
+	}
 	run := func(db *DB) float64 {
 		q := tpch.Q6()
 		return testing.AllocsPerRun(10, func() {
