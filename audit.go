@@ -1,0 +1,390 @@
+package rfabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/obs"
+	"rfabric/internal/plan"
+	"rfabric/internal/sql"
+	"rfabric/internal/tpch"
+)
+
+// Optimizer accuracy audit: replay a statement set across every execution
+// path, comparing the cost model's estimates against what each path
+// actually did. The report answers the accountability questions the
+// statement store raises — where is the cost model wrong (q-error), did
+// AUTO pick the path that actually won, and would it have chosen
+// differently with the selectivity it observed instead of the textbook
+// heuristic it assumed.
+
+// AuditEngines is the audit's replay order. COL runs before AUTO so the
+// columnar copy it materializes is an access path AUTO can price, matching
+// a warmed-up system.
+var AuditEngines = []EngineKind{ROW, COL, RM, "IDX", PAR, AUTO}
+
+// AuditRun is one (statement, engine) replay.
+type AuditRun struct {
+	Engine string `json:"engine"`        // requested path
+	Ran    string `json:"ran,omitempty"` // resolved path (AUTO's choice, RM→PAR reroute)
+	// EstCycles is the cost model's pricing of the resolved path; absent
+	// when the path is unpriceable (IDX without a usable index).
+	EstCycles float64 `json:"est_cycles,omitempty"`
+	ActCycles uint64  `json:"act_cycles,omitempty"`
+	// QError is max(est/act, act/est) over modeled cycles — 1.0 is a
+	// perfect prediction.
+	QError float64 `json:"q_error,omitempty"`
+	EstSel float64 `json:"est_selectivity,omitempty"`
+	ActSel float64 `json:"act_selectivity,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// AuditQuery is one statement's replay across all engines plus the
+// optimizer verdicts derived from it.
+type AuditQuery struct {
+	Name        string     `json:"name"`
+	SQL         string     `json:"sql"`
+	Fingerprint string     `json:"fingerprint"`
+	Runs        []AuditRun `json:"runs"`
+	// AutoChose is the path AUTO resolved to; BestSerial the serial path
+	// with the lowest actual cycles. They disagree on a misprediction.
+	AutoChose   string `json:"auto_chose,omitempty"`
+	BestSerial  string `json:"best_serial,omitempty"`
+	AutoOptimal bool   `json:"auto_optimal"`
+	// Rechoice is what AUTO would pick re-priced with the selectivity the
+	// run observed (SelOverride) instead of the textbook heuristic.
+	Rechoice  string  `json:"rechoice_with_observed_sel,omitempty"`
+	MaxQError float64 `json:"max_q_error,omitempty"`
+}
+
+// AuditReport is the full audit artifact (rfbench -audit).
+type AuditReport struct {
+	LineitemRows   int                   `json:"lineitem_rows"`
+	Seed           int64                 `json:"seed"`
+	Queries        []AuditQuery          `json:"queries"`
+	Mispredictions int                   `json:"mispredictions"`
+	MaxQError      float64               `json:"max_q_error"`
+	Statements     []obs.StatementRecord `json:"statements"`
+}
+
+// AuditStatement names one statement of the replay set.
+type AuditStatement struct {
+	Name string
+	SQL  string
+}
+
+// DefaultAuditSet is the TPC-H replay: the single-table statements behind
+// the paper's Figure 7 plus the Q3/Q5/Q10-class joins, all with a
+// ship-date predicate the secondary index can serve.
+func DefaultAuditSet() []AuditStatement {
+	return []AuditStatement{
+		{"projection", `SELECT l_orderkey, l_extendedprice, l_quantity FROM lineitem WHERE l_shipdate < DATE '1995-06-17'`},
+		{"q1", `SELECT l_returnflag, SUM(l_quantity), SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag`},
+		{"q6", `SELECT SUM(l_extendedprice * l_discount) FROM lineitem WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' AND l_quantity < 24`},
+		{"q3-join", tpch.Q3SQL},
+		{"q5-join", tpch.Q5SQL},
+		{"q10-join", tpch.Q10SQL},
+	}
+}
+
+// NewTPCHDB builds the multi-table TPC-H catalog the audit (and the join
+// test suite) replays: lineitem plus the orders/customer/part tables whose
+// keys correlate with it, and a secondary index on l_shipdate so the IDX
+// path has something to price.
+func NewTPCHDB(cfg Config, lineitemRows int, seed int64) (*DB, error) {
+	db, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	li, err := db.CreateTable("lineitem", tpch.LineitemSchema(), lineitemRows)
+	if err != nil {
+		return nil, err
+	}
+	if err := tpch.Generate(li, lineitemRows, seed); err != nil {
+		return nil, err
+	}
+	nOrders := tpch.OrdersFor(lineitemRows)
+	ord, err := db.CreateTable("orders", tpch.OrdersSchema(), nOrders)
+	if err != nil {
+		return nil, err
+	}
+	if err := tpch.GenerateOrders(ord, nOrders, seed+1); err != nil {
+		return nil, err
+	}
+	nCust := tpch.CustomersFor(nOrders)
+	cust, err := db.CreateTable("customer", tpch.CustomerSchema(), nCust)
+	if err != nil {
+		return nil, err
+	}
+	if err := tpch.GenerateCustomer(cust, nCust, seed+2); err != nil {
+		return nil, err
+	}
+	const nPart = 300 // a prefix of the part-key domain: dangling l_partkey drops out
+	part, err := db.CreateTable("part", tpch.PartSchema(), nPart)
+	if err != nil {
+		return nil, err
+	}
+	if err := tpch.GeneratePart(part, nPart, seed+3); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateIndex("lineitem", "l_shipdate"); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// RunAudit builds a TPC-H database and replays the default statement set
+// across all engines, with a statement store attached so the report also
+// carries the pg_stat_statements view of the replay.
+func RunAudit(cfg Config, lineitemRows int, seed int64) (*AuditReport, error) {
+	db, err := NewTPCHDB(cfg, lineitemRows, seed)
+	if err != nil {
+		return nil, err
+	}
+	return db.Audit(DefaultAuditSet(), lineitemRows, seed)
+}
+
+// Audit replays the given statements across AuditEngines on this database.
+func (db *DB) Audit(set []AuditStatement, lineitemRows int, seed int64) (*AuditReport, error) {
+	stats := db.stats
+	if stats == nil {
+		stats = obs.NewStatStore()
+		db.SetStatements(stats)
+	}
+	rep := &AuditReport{LineitemRows: lineitemRows, Seed: seed}
+	for _, stmt := range set {
+		_, fp := sql.Fingerprint(stmt.SQL)
+		aq := AuditQuery{Name: stmt.Name, SQL: stmt.SQL, Fingerprint: fmt.Sprintf("%016x", fp)}
+		bestCycles := uint64(math.MaxUint64)
+		var autoSel float64
+		for _, kind := range AuditEngines {
+			run := db.auditOne(kind, stmt.SQL)
+			aq.Runs = append(aq.Runs, run)
+			if run.Error != "" {
+				continue
+			}
+			if run.QError > aq.MaxQError {
+				aq.MaxQError = run.QError
+			}
+			switch kind {
+			case ROW, COL, RM, "IDX":
+				if run.ActCycles < bestCycles {
+					bestCycles = run.ActCycles
+					aq.BestSerial = run.Ran
+				}
+			case AUTO:
+				aq.AutoChose = run.Ran
+				autoSel = run.ActSel
+			}
+		}
+		aq.AutoOptimal = aq.AutoChose != "" && aq.AutoChose == aq.BestSerial
+		if !aq.AutoOptimal {
+			rep.Mispredictions++
+		}
+		if autoSel > 0 {
+			aq.Rechoice = db.rechoice(stmt.SQL, autoSel)
+		}
+		if aq.MaxQError > rep.MaxQError {
+			rep.MaxQError = aq.MaxQError
+		}
+		rep.Queries = append(rep.Queries, aq)
+	}
+	rep.Statements = stats.Snapshot()
+	return rep, nil
+}
+
+// auditOne replays one statement on one path and extracts the
+// estimated-vs-actual pair the instrumentation stamped.
+func (db *DB) auditOne(kind EngineKind, text string) AuditRun {
+	run := AuditRun{Engine: string(kind)}
+	fail := func(err error) AuditRun {
+		run.Error = err.Error()
+		return run
+	}
+	st, err := sql.Parse(text)
+	if err != nil {
+		return fail(err)
+	}
+	if len(st.Joins) > 0 {
+		_, jp, sk, err := db.lowerJoin(st)
+		if err != nil {
+			return fail(err)
+		}
+		c := db.beginStatement(text, true)
+		res, err := db.runJoin(kind, jp, sk, c.tracer())
+		if err == nil {
+			c.noteJoin(db, kind, jp, res)
+		}
+		c.finish(db, res, err, nil)
+		if err != nil {
+			return fail(err)
+		}
+		db.fillJoinEstimates(kind, jp)
+		run.Ran = res.Engine
+		run.ActCycles = res.Breakdown.TotalCycles
+		total, priced := 0.0, true
+		side := func(n *plan.Node) {
+			if n == nil || n.Est == nil {
+				priced = false
+				return
+			}
+			total += n.Est.Cycles
+		}
+		side(jp.Probe.Node)
+		for k := range jp.Stages {
+			side(jp.Stages[k].Side.Node)
+		}
+		if priced {
+			run.EstCycles = total
+			run.QError = plan.QError(total, float64(run.ActCycles))
+		}
+		if n := jp.Probe.Node; n != nil && n.Est != nil && n.Act != nil && n.Act.RowsScanned > 0 {
+			run.EstSel = n.Est.Selectivity
+			run.ActSel = n.Act.Selectivity()
+		}
+		return run
+	}
+	t, err := db.lookup(st.Table)
+	if err != nil {
+		return fail(err)
+	}
+	root, err := sql.Lower(st, t.tbl.Schema())
+	if err != nil {
+		return fail(err)
+	}
+	q, sk, err := engine.FromPlan(root)
+	if err != nil {
+		return fail(err)
+	}
+	c := db.beginStatement(text, true)
+	res, err := db.run(kind, t, q, sk, c.tracer())
+	if err == nil {
+		c.noteSingle(db, t, q, res)
+	}
+	c.finish(db, res, err, nil)
+	if err != nil {
+		return fail(err)
+	}
+	run.Ran = res.Engine
+	run.ActCycles = res.Breakdown.TotalCycles
+	if est := db.estimateFor(t, q, res.Engine); est != nil {
+		run.EstCycles = est.Cycles
+		run.EstSel = est.Selectivity
+		run.QError = plan.QError(est.Cycles, float64(run.ActCycles))
+	}
+	if res.RowsScanned > 0 {
+		run.ActSel = float64(res.RowsPassed) / float64(res.RowsScanned)
+	}
+	return run
+}
+
+// rechoice re-runs the constructive optimizer with the observed selectivity
+// substituted for the heuristic (SelOverride) and returns the path it would
+// now choose. For joins the probe side is re-priced — it dominates the cost
+// and is where the heuristic's error concentrates.
+func (db *DB) rechoice(text string, observedSel float64) string {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return ""
+	}
+	var tableName string
+	var q Query
+	if len(st.Joins) > 0 {
+		_, jp, _, err := db.lowerJoin(st)
+		if err != nil {
+			return ""
+		}
+		tableName, q = jp.Probe.Table, jp.Probe.Query
+	} else {
+		t, err := db.lookup(st.Table)
+		if err != nil {
+			return ""
+		}
+		root, err := sql.Lower(st, t.tbl.Schema())
+		if err != nil {
+			return ""
+		}
+		if q, _, err = engine.FromPlan(root); err != nil {
+			return ""
+		}
+		tableName = st.Table
+	}
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return ""
+	}
+	db.mu.RLock()
+	store, idx := t.col, t.idx
+	db.mu.RUnlock()
+	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx, SelOverride: observedSel}
+	p, err := opt.Choose(q)
+	if err != nil {
+		return ""
+	}
+	return p.Chosen
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *AuditReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the misprediction report.
+func (r *AuditReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "Optimizer accuracy audit — TPC-H lineitem %d rows, seed %d\n", r.LineitemRows, r.Seed)
+	fmt.Fprintf(w, "mispredictions: %d/%d   worst q-error: %.2f\n", r.Mispredictions, len(r.Queries), r.MaxQError)
+	for _, q := range r.Queries {
+		fmt.Fprintf(w, "\n%s  [%s]\n", q.Name, q.Fingerprint)
+		fmt.Fprintf(w, "  %-6s %-6s %14s %14s %8s %8s %8s\n",
+			"engine", "ran", "est_cycles", "act_cycles", "q_err", "est_sel", "act_sel")
+		for _, run := range q.Runs {
+			if run.Error != "" {
+				fmt.Fprintf(w, "  %-6s error: %s\n", run.Engine, run.Error)
+				continue
+			}
+			fmt.Fprintf(w, "  %-6s %-6s %14.0f %14d %8.2f %8.3f %8.3f\n",
+				run.Engine, run.Ran, run.EstCycles, run.ActCycles, run.QError, run.EstSel, run.ActSel)
+		}
+		verdict := "OPTIMAL"
+		if !q.AutoOptimal {
+			verdict = fmt.Sprintf("MISPREDICTED (best serial: %s)", q.BestSerial)
+		}
+		fmt.Fprintf(w, "  AUTO chose %s — %s", q.AutoChose, verdict)
+		if q.Rechoice != "" && q.Rechoice != q.AutoChose {
+			fmt.Fprintf(w, "; with observed selectivity it would choose %s", q.Rechoice)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CheckShape verifies the audit's structural claims: every statement ran on
+// every path (or recorded why not), AUTO always resolved, and every
+// successful run with an estimate produced a finite q-error ≥ 1.
+func (r *AuditReport) CheckShape() []string {
+	var bad []string
+	for _, q := range r.Queries {
+		if len(q.Runs) != len(AuditEngines) {
+			bad = append(bad, fmt.Sprintf("%s: %d runs, want %d", q.Name, len(q.Runs), len(AuditEngines)))
+		}
+		if q.AutoChose == "" {
+			bad = append(bad, fmt.Sprintf("%s: AUTO did not resolve", q.Name))
+		}
+		for _, run := range q.Runs {
+			if run.Error != "" {
+				continue
+			}
+			if run.EstCycles > 0 && (run.QError < 1 || math.IsInf(run.QError, 0) || math.IsNaN(run.QError)) {
+				bad = append(bad, fmt.Sprintf("%s/%s: degenerate q-error %v", q.Name, run.Engine, run.QError))
+			}
+		}
+	}
+	if len(r.Statements) == 0 {
+		bad = append(bad, "audit recorded no statement statistics")
+	}
+	return bad
+}

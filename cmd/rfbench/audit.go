@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rfabric"
+)
+
+// runAudit replays the default TPC-H statement set across every execution
+// path on a freshly built catalog and reports optimizer accuracy: per-path
+// estimated-vs-actual modeled cycles and q-errors, whether AUTO's choice
+// was the path that actually won, what it would choose with the observed
+// selectivity, and the statement store's view of the whole replay.
+func runAudit(rows int, seed int64, jsonOut bool) error {
+	rep, err := rfabric.RunAudit(rfabric.DefaultConfig(), rows, seed)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		rep.WriteTable(os.Stdout)
+	}
+	if bad := rep.CheckShape(); len(bad) != 0 {
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "rfbench: audit shape VIOLATION: "+v)
+		}
+		return fmt.Errorf("%d audit shape violations", len(bad))
+	}
+	return nil
+}

@@ -22,6 +22,10 @@
 //	                tables up to ~700 MB; needs several GB of RAM)
 //	-seed N         generator seed (default 1)
 //	-json           emit results as a JSON array instead of tables
+//	-audit          replay the TPC-H statement set across all six engines and
+//	                report estimated-vs-actual cycles, q-errors, and whether
+//	                AUTO chose the path that actually won (-json for the
+//	                machine-readable report; see EXPERIMENTS.md for its schema)
 //	-serve addr     serve live observability over a demo TPC-H database:
 //	                GET /metrics (Prometheus), /metrics.json,
 //	                /debug/trace/last, /debug/trace/last.chrome, /query?q=SQL
@@ -56,6 +60,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	serveAddr := flag.String("serve", "", "serve live metrics and traces on this address (e.g. :8080)")
+	audit := flag.Bool("audit", false, "replay the TPC-H statement set across all engines and report optimizer accuracy")
 	benchOut := flag.Bool("bench", false, "record experiments into BENCH_<name>.json for regression gating")
 	benchName := flag.String("bench-name", "tier1", "record name for -bench output")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json records: rfbench -compare old.json new.json")
@@ -118,6 +123,13 @@ func main() {
 	if *serveAddr != "" {
 		if err := serve(*serveAddr, *rows, *seed); err != nil {
 			fatalf("serve: %v", err)
+		}
+		return
+	}
+
+	if *audit {
+		if err := runAudit(*rows, *seed, *jsonOut); err != nil {
+			fatalf("audit: %v", err)
 		}
 		return
 	}

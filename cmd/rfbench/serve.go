@@ -22,6 +22,9 @@ import (
 //	GET /debug/trace/last        — most recent query trace (span tree) as JSON
 //	GET /debug/trace/last.chrome — same trace as Chrome Trace Event JSON
 //	                               (open it in ui.perfetto.dev)
+//	GET /debug/statements        — per-statement statistics (pg_stat_statements
+//	                               style), JSON; .prom for Prometheus text
+//	GET /debug/slowlog           — recent slow queries with full traces
 //	GET /query?q=SQL             — run a traced query; returns result + trace
 func serve(addr string, rows int, seed int64) error {
 	db, err := rfabric.Open(rfabric.DefaultConfig())
@@ -37,6 +40,11 @@ func serve(addr string, rows int, seed int64) error {
 	}
 	reg := rfabric.NewRegistry()
 	db.SetObserver(reg)
+	stats := obs.NewStatStore()
+	db.SetStatements(stats)
+	// Capture any query above ~10M modeled cycles (a full scan of the demo
+	// table costs a fraction of that; joins and cold COL conversions cross it).
+	db.SetSlowThreshold(10_000_000)
 
 	var last obs.LastTrace
 	var mu sync.Mutex // the DB façade is single-threaded; serialize queries
@@ -50,6 +58,8 @@ func serve(addr string, rows int, seed int64) error {
 		rows, res.Breakdown.TotalCycles)
 
 	mux := obs.NewMux(reg, &last)
+	stats.Handle(mux)
+	db.SlowLog().Handle(mux)
 	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query().Get("q")
 		if q == "" {
@@ -70,6 +80,6 @@ func serve(addr string, rows int, seed int64) error {
 		enc.Encode(map[string]any{"result": res, "trace": trace})
 	})
 
-	fmt.Fprintf(os.Stderr, "rfbench: serving /metrics, /metrics.json, /debug/trace/last, /query on %s\n", addr)
+	fmt.Fprintf(os.Stderr, "rfbench: serving /metrics, /metrics.json, /debug/trace/last, /debug/statements, /debug/slowlog, /query on %s\n", addr)
 	return http.ListenAndServe(addr, mux)
 }

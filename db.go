@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rfabric/internal/colstore"
 	"rfabric/internal/engine"
@@ -38,6 +39,10 @@ type DB struct {
 
 	reg  *obs.Registry // nil: no metrics publishing
 	last obs.LastTrace // most recent traced query, for /debug/trace/last
+
+	stats         *obs.StatStore // nil: no per-statement statistics
+	slow          *obs.SlowLog   // created lazily by SetSlowThreshold
+	slowThreshold atomic.Uint64  // modeled cycles; 0 = slow log disarmed
 }
 
 type dbTable struct {
@@ -223,8 +228,16 @@ func (db *DB) Query(query string) (*Result, error) {
 // QueryOn parses, lowers, and executes the statement on the chosen path: the
 // statement becomes a physical plan chain (internal/plan), the chain splits
 // into the pipeline query plus its ORDER BY / LIMIT sinks, and the pipeline
-// runs on the selected Source.
+// runs on the selected Source. When a statement store or slow log is
+// attached, the call also records under its normalized fingerprint.
 func (db *DB) QueryOn(kind EngineKind, query string) (*Result, error) {
+	c := db.beginStatement(query, true)
+	res, err := db.queryOn(kind, query, c)
+	c.finish(db, res, err, nil)
+	return res, err
+}
+
+func (db *DB) queryOn(kind EngineKind, query string, c *stmtCtx) (*Result, error) {
 	st, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -234,7 +247,11 @@ func (db *DB) QueryOn(kind EngineKind, query string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.runJoin(kind, jp, sk, nil)
+		res, err := db.runJoin(kind, jp, sk, c.tracer())
+		if err == nil {
+			c.noteJoin(db, kind, jp, res)
+		}
+		return res, err
 	}
 	t, err := db.lookup(st.Table)
 	if err != nil {
@@ -248,7 +265,11 @@ func (db *DB) QueryOn(kind EngineKind, query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.run(kind, t, q, sk, nil)
+	res, err := db.run(kind, t, q, sk, c.tracer())
+	if err == nil {
+		c.noteSingle(db, t, q, res)
+	}
+	return res, err
 }
 
 // Execute runs an already-built logical query on the chosen path.
@@ -485,12 +506,18 @@ func (db *DB) executeJoin(kind EngineKind, p *engine.JoinPlan, tr *obs.Tracer) (
 			return nil, fmt.Errorf("rfabric: optimizing join probe: %w", err)
 		}
 		sp.SetAttr("probe", string(probeKind))
+		if n := p.Probe.Node; n != nil && n.Est != nil {
+			sp.SetAttr("probe_sel", fmt.Sprintf("%.3f", n.Est.Selectivity))
+		}
 		for k := range p.Stages {
 			if buildKinds[k], err = db.priceJoinSide(buildTs[k], &p.Stages[k].Side); err != nil {
 				tr.End()
 				return nil, fmt.Errorf("rfabric: optimizing join build %d: %w", k, err)
 			}
 			sp.SetAttr(fmt.Sprintf("build_%d", k), string(buildKinds[k]))
+			if n := p.Stages[k].Side.Node; n != nil && n.Est != nil {
+				sp.SetAttr(fmt.Sprintf("build_%d_sel", k), fmt.Sprintf("%.3f", n.Est.Selectivity))
+			}
 		}
 		tr.End()
 	}
@@ -536,15 +563,21 @@ func (db *DB) executeJoin(kind EngineKind, p *engine.JoinPlan, tr *obs.Tracer) (
 
 // priceJoinSide runs the constructive optimizer over one side's query in
 // isolation: the side is a complete scan-shaped subplan, so the single-table
-// cost formulas apply directly.
+// cost formulas apply directly. The winning estimate is copied onto the
+// side's own Scan node — the node EXPLAIN ANALYZE renders — so the pricing
+// survives the throwaway tree ChoosePlan stamps it on.
 func (db *DB) priceJoinSide(t *dbTable, side *engine.JoinSide) (EngineKind, error) {
 	db.mu.RLock()
 	store, idx := t.col, t.idx
 	db.mu.RUnlock()
 	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
-	pc, err := opt.ChoosePlan(engine.PlanOf(side.Query, side.Table))
+	priced := engine.PlanOf(side.Query, side.Table)
+	pc, err := opt.ChoosePlan(priced)
 	if err != nil {
 		return "", err
+	}
+	if side.Node != nil {
+		side.Node.Est = priced.Scan().Est
 	}
 	return EngineKind(pc.Chosen), nil
 }

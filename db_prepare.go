@@ -81,13 +81,21 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 	return p, nil
 }
 
-// Run executes the fragment on the chosen path.
+// Run executes the fragment on the chosen path. Runs record into the DB's
+// statement store under the fragment's source text, so prepared and ad-hoc
+// executions of the same statement aggregate under one fingerprint.
 func (p *Prepared) Run(kind EngineKind) (*Result, error) {
 	t, err := p.db.lookup(p.table)
 	if err != nil {
 		return nil, fmt.Errorf("%w (dropped since preparation)", err)
 	}
-	return p.db.run(kind, t, p.query, p.sinks, nil)
+	c := p.db.beginStatement(p.text, true)
+	res, err := p.db.run(kind, t, p.query, p.sinks, c.tracer())
+	if err == nil {
+		c.noteSingle(p.db, t, p.query, res)
+	}
+	c.finish(p.db, res, err, nil)
+	return res, err
 }
 
 // Text returns the source text of the fragment.

@@ -1,0 +1,212 @@
+package rfabric
+
+import (
+	"time"
+
+	"rfabric/internal/engine"
+	"rfabric/internal/obs"
+	"rfabric/internal/plan"
+	"rfabric/internal/sql"
+)
+
+// Statement-statistics surface of the DB façade: a pg_stat_statements-style
+// store fed by every SQL entry point (Query, QueryOn, QueryTraced,
+// Prepared.Run), and a slow-query log capturing full traces for outliers.
+// The off-path contract matches the metrics registry's: with no store
+// attached (or a disabled one) and no slow threshold, a query pays two
+// atomic loads and zero allocations for this whole subsystem —
+// fingerprinting itself is gated behind those loads.
+
+// SetStatements attaches a statement-statistics store. Every subsequent SQL
+// query records under its normalized fingerprint: calls, errors, modeled
+// cycle and wall-clock histograms, rows, bytes per hierarchy level, the
+// engine that ran, and the optimizer's estimated-vs-actual accuracy. Nil
+// detaches.
+func (db *DB) SetStatements(s *obs.StatStore) { db.stats = s }
+
+// Statements returns the attached statement store (nil when none).
+func (db *DB) Statements() *obs.StatStore { return db.stats }
+
+// SetSlowThreshold arms the slow-query log: any SQL query whose modeled
+// cycles exceed the threshold is captured — with its full EXPLAIN ANALYZE
+// trace — into SlowLog. Zero disarms. The capture tracer charges no modeled
+// cycles, so arming the log never perturbs results.
+func (db *DB) SetSlowThreshold(cycles uint64) {
+	db.mu.Lock()
+	if db.slow == nil && cycles > 0 {
+		db.slow = obs.NewSlowLog(0)
+	}
+	db.mu.Unlock()
+	db.slowThreshold.Store(cycles)
+}
+
+// SlowLog returns the slow-query ring (nil until SetSlowThreshold arms it).
+func (db *DB) SlowLog() *obs.SlowLog { return db.slow }
+
+// slowCycles is the armed threshold (0 = off), readable off the hot path.
+func (db *DB) slowCycles() uint64 { return db.slowThreshold.Load() }
+
+// stmtCtx carries one statement's recording state from parse to finish. A
+// nil *stmtCtx (recording fully off) no-ops every method.
+type stmtCtx struct {
+	query  string
+	norm   string
+	fp     uint64
+	start  time.Time
+	record bool        // statement store enabled at begin time
+	slow   uint64      // armed threshold at begin time
+	tr     *obs.Tracer // slow-capture tracer; nil when the caller traces
+
+	est    *plan.Est // access-path estimate for the engine that ran
+	actSel float64
+	hasSel bool
+}
+
+// beginStatement opens per-statement recording. Returns nil — the
+// zero-overhead path — unless the statement store is enabled or the slow
+// log is armed. wantTracer attaches a capture tracer for the slow log;
+// callers that already trace pass false and hand finish their own trace.
+func (db *DB) beginStatement(query string, wantTracer bool) *stmtCtx {
+	record := !db.stats.Disabled()
+	slow := db.slowCycles()
+	if !record && slow == 0 {
+		return nil
+	}
+	c := &stmtCtx{query: query, record: record, slow: slow, start: time.Now()}
+	if record {
+		c.norm, c.fp = sql.Fingerprint(query)
+	}
+	if slow > 0 && wantTracer {
+		c.tr = obs.NewTracer("query")
+		c.tr.Root().SetAttr("sql", query)
+	}
+	return c
+}
+
+// tracer returns the slow-capture tracer to thread into the run (nil-safe;
+// nil when capture is off or the caller traces already).
+func (c *stmtCtx) tracer() *obs.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tr
+}
+
+// noteSingle records the estimated-vs-actual pair for a finished
+// single-table run: the optimizer's pricing of the access path that ran,
+// and the observed selectivity.
+func (c *stmtCtx) noteSingle(db *DB, t *dbTable, q Query, res *Result) {
+	if c == nil || !c.record || res == nil {
+		return
+	}
+	c.est = db.estimateFor(t, q, res.Engine)
+	if res.RowsScanned > 0 {
+		c.actSel = float64(res.RowsPassed) / float64(res.RowsScanned)
+		c.hasSel = c.est != nil
+	}
+}
+
+// noteJoin records the pair for a finished join run: the estimate is the
+// sum of the per-side pricings (stamped by AUTO during planning, or here
+// for explicit engines), the selectivity comparison is the probe side's.
+func (c *stmtCtx) noteJoin(db *DB, kind EngineKind, jp *engine.JoinPlan, res *Result) {
+	if c == nil || !c.record || res == nil {
+		return
+	}
+	db.fillJoinEstimates(kind, jp)
+	total := 0.0
+	priced := true
+	addSide := func(n *plan.Node) {
+		if n == nil || n.Est == nil {
+			priced = false
+			return
+		}
+		total += n.Est.Cycles
+	}
+	addSide(jp.Probe.Node)
+	for k := range jp.Stages {
+		addSide(jp.Stages[k].Side.Node)
+	}
+	if priced {
+		c.est = &plan.Est{Engine: res.Engine, Cycles: total}
+	}
+	if n := jp.Probe.Node; c.est != nil && n != nil && n.Est != nil && n.Act != nil && n.Act.RowsScanned > 0 {
+		c.est.Selectivity = n.Est.Selectivity
+		c.actSel = n.Act.Selectivity()
+		c.hasSel = true
+	}
+}
+
+// finish folds the statement into the store and, when it crossed the slow
+// threshold, into the slow log. trace is the caller's trace when it ran one
+// (QueryTraced); otherwise the capture tracer's tree is used.
+func (c *stmtCtx) finish(db *DB, res *Result, err error, trace *Trace) {
+	if c == nil {
+		return
+	}
+	var cycles uint64
+	var rowsScan, rowsRet int64
+	var engineName string
+	if res != nil {
+		cycles = res.Breakdown.TotalCycles
+		rowsScan = res.RowsScanned
+		engineName = res.Engine
+		switch {
+		case len(res.Groups) > 0:
+			rowsRet = int64(len(res.Groups))
+		case len(res.Aggs) > 0:
+			rowsRet = 1
+		default:
+			rowsRet = res.RowsPassed
+		}
+	}
+	isSlow := c.slow > 0 && cycles > c.slow
+
+	if c.record {
+		sm := obs.StatSample{
+			Fingerprint: c.fp,
+			Text:        c.norm,
+			Engine:      engineName,
+			Err:         err != nil,
+			Slow:        isSlow,
+			Cycles:      cycles,
+			WallNanos:   time.Since(c.start).Nanoseconds(),
+			RowsRet:     rowsRet,
+			RowsScan:    rowsScan,
+		}
+		if res != nil {
+			sm.BytesDRAM = res.Breakdown.BytesFromDRAM
+			sm.BytesCPU = res.Breakdown.BytesToCPU
+		}
+		if c.est != nil {
+			sm.EstCycles = c.est.Cycles
+		}
+		if c.hasSel {
+			sm.HasSel = true
+			sm.EstSelectivity = c.est.Selectivity
+			sm.ActSelectivity = c.actSel
+		}
+		db.stats.Record(sm)
+	}
+
+	if isSlow && db.slow != nil {
+		if trace == nil && c.tr != nil {
+			trace = &Trace{
+				Query:       c.query,
+				Engine:      engineName,
+				TotalCycles: cycles,
+				Root:        c.tr.Root(),
+			}
+		}
+		db.slow.Add(obs.SlowEntry{
+			Query:     c.query,
+			Engine:    engineName,
+			Cycles:    cycles,
+			Threshold: c.slow,
+			WallNanos: time.Since(c.start).Nanoseconds(),
+			RowsScan:  rowsScan,
+			RowsRet:   rowsRet,
+			Trace:     trace,
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package rfabric
 
 import (
+	"strconv"
 	"strings"
 
 	"rfabric/internal/engine"
@@ -59,6 +60,17 @@ func WithTimeline(everyCycles uint64) TraceOption {
 // The root span's AttributedCycles reconciles exactly with
 // Result.Breakdown.TotalCycles. The trace is also stored for LastTrace.
 func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, error) {
+	// Traced runs build their own span tree, so the statement context skips
+	// the slow-capture tracer and hands finish the real trace instead.
+	c := db.beginStatement(query, false)
+	res, trace, err := db.queryTraced(query, c, opts...)
+	if err != nil {
+		c.finish(db, nil, err, nil)
+	}
+	return res, trace, err
+}
+
+func (db *DB) queryTraced(query string, c *stmtCtx, opts ...TraceOption) (*Result, *Trace, error) {
 	o := traceOpts{kind: RM}
 	for _, opt := range opts {
 		opt(&o)
@@ -81,7 +93,7 @@ func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, e
 			return nil, nil, err
 		}
 		tr.End()
-		return db.runJoinTraced(o, root, jp, sk, query, tr)
+		return db.runJoinTraced(o, root, jp, sk, query, tr, c)
 	}
 
 	t, err := db.lookup(st.Table)
@@ -100,7 +112,7 @@ func (db *DB) QueryTraced(query string, opts ...TraceOption) (*Result, *Trace, e
 	}
 	tr.End()
 
-	return db.runTraced(o, t, q, sk, query, tr)
+	return db.runTraced(o, t, q, sk, query, tr, c)
 }
 
 // ExecuteTraced is the Execute counterpart of QueryTraced, for callers that
@@ -117,11 +129,12 @@ func (db *DB) ExecuteTraced(kind EngineKind, tableName string, q Query, opts ...
 	}
 	o.kind = kind
 	tr := obs.NewTracer("query")
-	return db.runTraced(o, t, q, engine.Sinks{}, "", tr)
+	return db.runTraced(o, t, q, engine.Sinks{}, "", tr, nil)
 }
 
-func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text string, tr *obs.Tracer) (*Result, *Trace, error) {
-	planSpan := attachPlanSpans(tr.Root(), planChain(q, t.tbl.Name(), sk), t.tbl.Schema())
+func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text string, tr *obs.Tracer, c *stmtCtx) (*Result, *Trace, error) {
+	chain := planChain(q, t.tbl.Name(), sk)
+	pairs := attachPlanSpans(tr.Root(), chain, t.tbl.Schema())
 	var tl *obs.Timeline
 	if o.sample {
 		tl = obs.NewTimeline(o.interval, db.sys.Cfg.DRAM.Banks)
@@ -134,10 +147,18 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 		return nil, nil, err
 	}
 	// The access path is only known after the run (AUTO prices it, RM may
-	// route to PAR); stamp it onto the operator tree's Scan span.
-	if sp := planSpan.Find("op.scan"); sp != nil {
-		sp.SetAttr("source", res.Engine)
+	// route to PAR). Stamp the estimate the optimizer would price that path
+	// with and the run's actuals onto the chain's Scan, then annotate every
+	// operator span with its est/act rows — EXPLAIN ANALYZE proper.
+	scan := chain.Scan()
+	scan.Source = res.Engine
+	scan.Est = db.estimateFor(t, q, res.Engine)
+	scan.Act = &plan.Act{
+		RowsScanned: res.RowsScanned,
+		RowsPassed:  res.RowsPassed,
+		Cycles:      res.Breakdown.TotalCycles,
 	}
+	annotatePlanSpans(pairs, res, t.tbl.Schema())
 	tl.Finish(res.Breakdown.TotalCycles)
 	trace := &Trace{
 		Query:       text,
@@ -147,6 +168,8 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 		Timeline:    tl,
 	}
 	db.last.Store(trace)
+	c.noteSingle(db, t, q, res)
+	c.finish(db, res, nil, trace)
 	return res, trace, nil
 }
 
@@ -154,8 +177,8 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 // the lowered join tree (build chains nested under their join spans), and
 // after the run each side's Scan span is stamped with the access path it
 // actually got.
-func (db *DB) runJoinTraced(o traceOpts, root *plan.Node, jp *engine.JoinPlan, sk engine.Sinks, text string, tr *obs.Tracer) (*Result, *Trace, error) {
-	scans := attachJoinPlanSpans(tr.Root(), root)
+func (db *DB) runJoinTraced(o traceOpts, root *plan.Node, jp *engine.JoinPlan, sk engine.Sinks, text string, tr *obs.Tracer, c *stmtCtx) (*Result, *Trace, error) {
+	pairs := attachJoinPlanSpans(tr.Root(), root)
 	var tl *obs.Timeline
 	if o.sample {
 		tl = obs.NewTimeline(o.interval, db.sys.Cfg.DRAM.Banks)
@@ -167,11 +190,8 @@ func (db *DB) runJoinTraced(o traceOpts, root *plan.Node, jp *engine.JoinPlan, s
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, s := range scans {
-		if s.node.Source != "" {
-			s.span.SetAttr("source", s.node.Source)
-		}
-	}
+	db.fillJoinEstimates(o.kind, jp)
+	annotatePlanSpans(pairs, res, nil)
 	tl.Finish(res.Breakdown.TotalCycles)
 	trace := &Trace{
 		Query:       text,
@@ -181,12 +201,14 @@ func (db *DB) runJoinTraced(o traceOpts, root *plan.Node, jp *engine.JoinPlan, s
 		Timeline:    tl,
 	}
 	db.last.Store(trace)
+	c.noteJoin(db, o.kind, jp, res)
+	c.finish(db, res, nil, trace)
 	return res, trace, nil
 }
 
-// scanSpan pairs an op.scan span with its plan node, so the source each side
-// ran on can be stamped once the run has chosen it.
-type scanSpan struct {
+// opSpan pairs an operator span with its plan node, so after the run each
+// span can be annotated with the node's estimated-vs-actual numbers.
+type opSpan struct {
 	span *obs.Span
 	node *plan.Node
 }
@@ -195,19 +217,17 @@ type scanSpan struct {
 // nests Input-wise like the single-table chain, and each op.join span
 // additionally parents its build side's [Filter]→Scan chain. Spans carry no
 // cycles, so the root's reconciliation is untouched.
-func attachJoinPlanSpans(parent *obs.Span, root *plan.Node) []scanSpan {
+func attachJoinPlanSpans(parent *obs.Span, root *plan.Node) []opSpan {
 	if parent == nil {
 		return nil
 	}
 	top := parent.AddChild("plan.physical")
-	var scans []scanSpan
+	var pairs []opSpan
 	var attach func(sp *obs.Span, n *plan.Node)
 	attach = func(sp *obs.Span, n *plan.Node) {
 		cur := sp.AddChild("op." + strings.ToLower(n.Op.String()))
 		cur.SetAttr("expr", n.Describe(nil))
-		if n.Op == plan.OpScan {
-			scans = append(scans, scanSpan{cur, n})
-		}
+		pairs = append(pairs, opSpan{cur, n})
 		if n.Build != nil {
 			attach(cur, n.Build)
 		}
@@ -216,7 +236,106 @@ func attachJoinPlanSpans(parent *obs.Span, root *plan.Node) []scanSpan {
 		}
 	}
 	attach(top, root)
-	return scans
+	return pairs
+}
+
+// annotatePlanSpans writes the estimated-vs-actual row counts onto the
+// operator spans after a run: each Scan carries the pricing block stamped on
+// its node (per side for joins), each Filter derives its rows from the Scan
+// it filters, and the consumption operators report the rows they emitted.
+// This is annotation only — spans gain attributes, never cycles, so the
+// root's reconciliation with Breakdown.TotalCycles is untouched.
+func annotatePlanSpans(pairs []opSpan, res *Result, sch *Schema) {
+	f0 := func(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
+	f3 := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, p := range pairs {
+		n, sp := p.node, p.span
+		switch n.Op {
+		case plan.OpScan:
+			if n.Source != "" {
+				sp.SetAttr("source", n.Source)
+			}
+			if n.Est != nil {
+				sp.SetAttr("est_rows", f0(n.Est.Rows))
+				sp.SetAttr("est_cycles", f0(n.Est.Cycles))
+			}
+			if n.Act != nil {
+				sp.SetAttr("act_rows", strconv.FormatInt(n.Act.RowsScanned, 10))
+				sp.SetAttr("act_cycles", strconv.FormatUint(n.Act.Cycles, 10))
+			}
+			if n.Est != nil && n.Act != nil {
+				sp.SetAttr("q_error", strconv.FormatFloat(
+					plan.QError(n.Est.Cycles, float64(n.Act.Cycles)), 'f', 2, 64))
+			}
+			// Re-render the EXPLAIN line so the pricing block shows up in
+			// the span tree exactly as Explain would print it.
+			sp.SetAttr("expr", n.Describe(sch))
+		case plan.OpFilter:
+			// A Filter's rows in/out are its Scan's scanned/passed counts.
+			if s := n.Input; s != nil && s.Op == plan.OpScan {
+				if s.Est != nil {
+					sp.SetAttr("est_rows", f0(s.Est.EstRowsOut()))
+					sp.SetAttr("est_sel", f3(s.Est.Selectivity))
+				}
+				if s.Act != nil {
+					sp.SetAttr("act_rows", strconv.FormatInt(s.Act.RowsPassed, 10))
+					sp.SetAttr("act_sel", f3(s.Act.Selectivity()))
+				}
+			}
+		case plan.OpProject:
+			sp.SetAttr("act_rows", strconv.FormatInt(res.RowsPassed, 10))
+		case plan.OpAggregate, plan.OpOrderBy, plan.OpLimit:
+			sp.SetAttr("act_rows", strconv.Itoa(len(res.Groups)))
+		}
+	}
+}
+
+// estimateFor prices the access path a finished run actually used, so
+// traced runs and the statement store report estimated-vs-actual even when
+// the engine was chosen by the caller rather than the optimizer. Returns
+// nil when the path cannot be priced (e.g. IDX with no usable index).
+func (db *DB) estimateFor(t *dbTable, q Query, eng string) *plan.Est {
+	db.mu.RLock()
+	store, idx := t.col, t.idx
+	db.mu.RUnlock()
+	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
+	e, ok := opt.EstimateFor(eng, q)
+	if !ok {
+		return nil
+	}
+	return &plan.Est{
+		Engine:      e.Engine,
+		Cycles:      e.Cycles,
+		Selectivity: e.Selectivity,
+		Rows:        float64(t.tbl.NumRows()),
+	}
+}
+
+// fillJoinEstimates prices any join side still missing an estimate after a
+// run (AUTO stamps its own during pricing). Each side is priced for the
+// access path it actually got — its Scan node's stamped Source — so sides
+// that fell back (IDX without a usable index runs ROW) and paths only
+// priceable after the run (the first COL query materializes the columnar
+// copy it is priced against) still report estimated-vs-actual.
+func (db *DB) fillJoinEstimates(kind EngineKind, jp *engine.JoinPlan) {
+	fill := func(side *engine.JoinSide) {
+		if side.Node == nil || side.Node.Est != nil {
+			return
+		}
+		t, err := db.lookup(side.Table)
+		if err != nil {
+			return
+		}
+		eng := side.Node.Source
+		if eng == "" {
+			eng = string(kind)
+		}
+		side.Node.Est = db.estimateFor(t, side.Query, eng)
+	}
+	fill(&jp.Probe)
+	for k := range jp.Stages {
+		fill(&jp.Stages[k].Side)
+	}
 }
 
 // planChain rebuilds the physical plan the run executes: the pipeline query
@@ -237,21 +356,23 @@ func planChain(q Query, table string, sk engine.Sinks) *plan.Node {
 // nested child span per physical operator, outermost first. The spans carry
 // no cycles — they are the EXPLAIN structure; attribution stays on the
 // execution spans — so the root's reconciliation is untouched.
-func attachPlanSpans(parent *obs.Span, root *plan.Node, sch *Schema) *obs.Span {
+func attachPlanSpans(parent *obs.Span, root *plan.Node, sch *Schema) []opSpan {
 	if parent == nil {
 		return nil
 	}
 	top := parent.AddChild("plan.physical")
 	lines := strings.Split(root.Explain(sch), "\n")
+	var pairs []opSpan
 	cur, i := top, 0
 	root.Walk(func(n *plan.Node) {
 		cur = cur.AddChild("op." + strings.ToLower(n.Op.String()))
 		if i < len(lines) {
 			cur.SetAttr("expr", strings.TrimPrefix(strings.TrimLeft(lines[i], " "), "└─ "))
 		}
+		pairs = append(pairs, opSpan{cur, n})
 		i++
 	})
-	return top
+	return pairs
 }
 
 // ExplainPlan parses and lowers the statement and returns its physical plan

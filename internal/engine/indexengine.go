@@ -176,6 +176,10 @@ func (o *Optimizer) estimateIDX(q Query) Estimate {
 	}
 	var candidates float64
 	switch {
+	case o.SelOverride > 0:
+		// Observed-selectivity override (the audit's feedback hook) replaces
+		// the index statistics the same way it replaces the heuristics.
+		candidates = o.SelOverride * n
 	case lo > hi:
 		candidates = 0
 	case lo == hi:

@@ -508,11 +508,26 @@ func (e *JoinExec) Execute() (*Result, error) {
 
 	res := cons.finish(name, probeRes.RowsScanned)
 	res.Breakdown = probeRes.Breakdown
-	for _, br := range buildRes {
+	stampSideAct(p.Probe.Node, probeRes)
+	for k, br := range buildRes {
 		res.RowsScanned += br.RowsScanned
 		addBreakdown(&res.Breakdown, br.Breakdown)
+		stampSideAct(p.Stages[k].Side.Node, br)
 	}
 	return res, nil
+}
+
+// stampSideAct records what one join side actually did onto its Scan node,
+// the per-side half of the estimated-vs-actual pair EXPLAIN ANALYZE renders.
+func stampSideAct(n *plan.Node, r *Result) {
+	if n == nil || r == nil {
+		return
+	}
+	n.Act = &plan.Act{
+		RowsScanned: r.RowsScanned,
+		RowsPassed:  r.RowsPassed,
+		Cycles:      r.Breakdown.TotalCycles,
+	}
 }
 
 // ParallelJoinExec is the morsel-parallel join: build sides run once on the
@@ -559,6 +574,7 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 	}
 
 	parts := make([]*Result, numMorsels)
+	passed := make([]int64, numMorsels) // per-morsel probe rows surviving selection
 	errs := make([]error, numMorsels)
 	var tracers []*obs.Tracer
 	if sp != nil {
@@ -582,7 +598,7 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 				if tracers != nil {
 					tr = tracers[i]
 				}
-				parts[i], errs[i] = e.runMorsel(tables, i, par.MorselRows, rows, tr)
+				parts[i], passed[i], errs[i] = e.runMorsel(tables, i, par.MorselRows, rows, tr)
 			}
 		}()
 	}
@@ -597,9 +613,21 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 		return nil, err
 	}
 	probeTotal := res.Breakdown.TotalCycles
-	for _, br := range buildRes {
+	if p.Probe.Node != nil {
+		var probePassed int64
+		for _, n := range passed {
+			probePassed += n
+		}
+		p.Probe.Node.Act = &plan.Act{
+			RowsScanned: res.RowsScanned,
+			RowsPassed:  probePassed,
+			Cycles:      probeTotal,
+		}
+	}
+	for k, br := range buildRes {
 		res.RowsScanned += br.RowsScanned
 		addBreakdown(&res.Breakdown, br.Breakdown)
+		stampSideAct(p.Stages[k].Side.Node, br)
 	}
 	if sp != nil {
 		mergeCharge := uint64(len(parts)) * MergeCyclesPerPartial
@@ -638,7 +666,7 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 // runMorsel probes one probe-table slice on a fresh System clone, folding
 // matches into a morsel-private consumer whose partial the coordinator
 // merges in morsel order.
-func (e *ParallelJoinExec) runMorsel(tables []map[string][][]table.Value, i, morselRows, totalRows int, tr *obs.Tracer) (*Result, error) {
+func (e *ParallelJoinExec) runMorsel(tables []map[string][][]table.Value, i, morselRows, totalRows int, tr *obs.Tracer) (*Result, int64, error) {
 	lo := i * morselRows
 	hi := lo + morselRows
 	if hi > totalRows {
@@ -649,20 +677,24 @@ func (e *ParallelJoinExec) runMorsel(tables []map[string][][]table.Value, i, mor
 	}
 	slice, err := e.ProbeTbl.Slice(lo, hi)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	sys, err := e.Sys.Clone()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	src := &RMEngine{Tbl: slice, Sys: sys, Tracer: tr, ForceScalar: true}
 	var fold uint64
 	cons := newConsumer(e.Plan.Consume, e.Plan.Schema, &fold)
 	probeRes, err := runSink(src, e.Plan.Probe.Query, "probe", newJoinProber(e.Plan, tables, cons, &fold))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	part := cons.finish("RM", probeRes.RowsScanned)
 	part.Breakdown = probeRes.Breakdown
-	return part, nil
+	// The morsel's probe-side survivor count rides back separately: the
+	// partial's RowsPassed is the join output cardinality, not the probe
+	// side's own selectivity, and the coordinator stamps the summed probe
+	// actuals onto the probe Scan node after the barrier.
+	return part, probeRes.RowsPassed, nil
 }

@@ -89,6 +89,20 @@ type Optimizer struct {
 	Store *colstore.Store
 	// Index is a B+tree over one of the table's columns, if one exists.
 	Index *index.BTree
+	// SelOverride, when positive, replaces the textbook selectivity
+	// heuristics with an observed value — the feedback hook the optimizer
+	// audit uses to ask "what would you have chosen knowing the real
+	// selectivity?". Zero means use the heuristics.
+	SelOverride float64
+}
+
+// selectivity returns the selectivity this optimizer plans with: the
+// observed override when one is set, the textbook heuristics otherwise.
+func (o *Optimizer) selectivity(q Query) float64 {
+	if o.SelOverride > 0 {
+		return o.SelOverride
+	}
+	return estimateSelectivity(q)
 }
 
 // Choose prices every path and returns the constructed plan.
@@ -117,10 +131,50 @@ func (o *Optimizer) Choose(q Query) (*Plan, error) {
 	return &Plan{Chosen: ests[0].Engine, Estimates: ests}, nil
 }
 
+// EstimateFor prices one specific access path — the counterpart of Choose
+// for runs where the caller (not the optimizer) picked the engine, so
+// EXPLAIN ANALYZE and the statement store can still report estimated-vs-
+// actual for ROW/COL/RM/IDX/PAR runs. PAR prices with the RM formulas: the
+// optimizer prices the access path (where the bytes come from), not the
+// parallel schedule, so PAR's q-error exposes exactly the speedup the
+// morsel executor achieves over the single-stream model. AUTO returns the
+// cheapest path, as Choose would.
+func (o *Optimizer) EstimateFor(engine string, q Query) (Estimate, bool) {
+	if o.Tbl == nil || o.Sys == nil {
+		return Estimate{}, false
+	}
+	if err := q.Validate(o.Tbl.Schema()); err != nil {
+		return Estimate{}, false
+	}
+	var e Estimate
+	switch engine {
+	case "ROW":
+		e = o.estimateROW(q)
+	case "COL":
+		e = o.estimateCOL(q)
+	case "RM":
+		e = o.estimateRM(q)
+	case "PAR":
+		e = o.estimateRM(q)
+		e.Engine = "PAR"
+	case "IDX":
+		e = o.estimateIDX(q)
+	case "AUTO":
+		p, err := o.Choose(q)
+		if err != nil {
+			return Estimate{}, false
+		}
+		return p.Estimates[0], true
+	default:
+		return Estimate{}, false
+	}
+	return e, e.Available
+}
+
 func (o *Optimizer) estimateROW(q Query) Estimate {
 	cfg := o.Sys.Cfg
 	n := float64(o.Tbl.NumRows())
-	sel := estimateSelectivity(q)
+	sel := o.selectivity(q)
 	lineBytes := float64(cfg.Cache.L1.LineBytes)
 	rowStride := float64(o.Tbl.RowStride())
 
@@ -155,7 +209,7 @@ func (o *Optimizer) estimateCOL(q Query) Estimate {
 	sch := o.Store.Schema()
 	cfg := o.Sys.Cfg
 	n := float64(o.Store.NumRows())
-	sel := estimateSelectivity(q)
+	sel := o.selectivity(q)
 	lineBytes := float64(cfg.Cache.L1.LineBytes)
 
 	// Selection: full-column passes with bitmap intermediates.
@@ -194,7 +248,7 @@ func (o *Optimizer) estimateRM(q Query) Estimate {
 	sch := o.Tbl.Schema()
 	cfg := o.Sys.Cfg
 	n := float64(o.Tbl.NumRows())
-	sel := estimateSelectivity(q)
+	sel := o.selectivity(q)
 	lineBytes := float64(cfg.Cache.L1.LineBytes)
 
 	geom, err := geometry.NewGeometry(sch, q.NeededColumns()...)
@@ -277,7 +331,7 @@ func (p *Plan) String() string {
 	s := "plan: " + p.Chosen
 	for _, e := range p.Estimates {
 		if e.Available {
-			s += fmt.Sprintf(" | %s≈%.0f", e.Engine, e.Cycles)
+			s += fmt.Sprintf(" | %s≈%.0f sel=%.3f", e.Engine, e.Cycles, e.Selectivity)
 		} else {
 			s += fmt.Sprintf(" | %s(unavailable)", e.Engine)
 		}

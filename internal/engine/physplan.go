@@ -78,9 +78,10 @@ func FromPlan(root *plan.Node) (Query, Sinks, error) {
 	return q, sk, nil
 }
 
-// ChoosePlan prices the plan's access paths, stamps the winner on the Scan
-// node, and returns the decision. This is the constructive optimizer's IR
-// entry point; Choose remains for callers holding a raw Query.
+// ChoosePlan prices the plan's access paths, stamps the winner — and the
+// estimate it won with — on the Scan node, and returns the decision. This is
+// the constructive optimizer's IR entry point; Choose remains for callers
+// holding a raw Query.
 func (o *Optimizer) ChoosePlan(root *plan.Node) (*Plan, error) {
 	q, _, err := FromPlan(root)
 	if err != nil {
@@ -90,7 +91,15 @@ func (o *Optimizer) ChoosePlan(root *plan.Node) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	root.Scan().Source = p.Chosen
+	scan := root.Scan()
+	scan.Source = p.Chosen
+	chosen := p.Estimates[0]
+	scan.Est = &plan.Est{
+		Engine:      chosen.Engine,
+		Cycles:      chosen.Cycles,
+		Selectivity: chosen.Selectivity,
+		Rows:        float64(o.Tbl.NumRows()),
+	}
 	return p, nil
 }
 

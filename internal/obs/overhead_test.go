@@ -52,6 +52,38 @@ func TestNilHooksDoNotAllocate(t *testing.T) {
 	}
 }
 
+// TestDisabledStatStoreIsFree pins the statement-statistics off-switch: a
+// disabled (or nil) StatStore must cost the query path one atomic load and
+// zero allocations. The DB gates fingerprinting itself on Disabled(), so
+// this is the whole per-query overhead when statistics are off.
+func TestDisabledStatStoreIsFree(t *testing.T) {
+	s := NewStatStore()
+	s.SetDisabled(true)
+	var nilStore *StatStore
+	if n := testing.AllocsPerRun(100, func() {
+		if !s.Disabled() {
+			t.Fatal("fingerprinting gate open on disabled store")
+		}
+		if !nilStore.Disabled() {
+			t.Fatal("fingerprinting gate open on nil store")
+		}
+		// Even a caller that skipped the gate must not allocate.
+		s.Record(StatSample{Fingerprint: 1, Cycles: 100})
+		nilStore.Record(StatSample{Fingerprint: 1, Cycles: 100})
+	}); n != 0 {
+		t.Errorf("disabled StatStore path allocates %.1f times per run, want 0", n)
+	}
+	if s.Len() != 0 {
+		t.Errorf("disabled store recorded %d statements, want 0", s.Len())
+	}
+
+	s.SetDisabled(false)
+	s.Record(StatSample{Fingerprint: 1, Text: "SELECT ?", Cycles: 100})
+	if s.Len() != 1 {
+		t.Errorf("re-enabled store lost the record: len=%d", s.Len())
+	}
+}
+
 // BenchmarkDisabledCounterAdd measures the hot-path cost the engines pay
 // per publish when a registry is attached but disabled: one atomic load.
 func BenchmarkDisabledCounterAdd(b *testing.B) {

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// SlowLog is a fixed-capacity ring of slow-query captures. When a DB has a
+// slow threshold set, every query that exceeds it lands here with its full
+// trace, so the outlier that blew the p99 can be dissected after the fact
+// instead of hoping it reproduces. The ring keeps the most recent entries;
+// Seq is monotone so a scraper can tell how many were evicted between reads.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	entries []SlowEntry // ring, position seq % cap
+}
+
+// SlowEntry is one captured slow query.
+type SlowEntry struct {
+	Seq       uint64 `json:"seq"`
+	Query     string `json:"query"`
+	Engine    string `json:"engine,omitempty"`
+	Cycles    uint64 `json:"cycles"`
+	Threshold uint64 `json:"threshold"`
+	WallNanos int64  `json:"wall_ns,omitempty"`
+	RowsScan  int64  `json:"rows_scanned"`
+	RowsRet   int64  `json:"rows_returned"`
+	Trace     *Trace `json:"trace,omitempty"`
+}
+
+// NewSlowLog returns a ring holding the most recent capacity entries
+// (capacity <= 0 defaults to 32).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// Add appends one capture, evicting the oldest entry once full. Nil-safe.
+func (l *SlowLog) Add(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	e.Seq = l.seq
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+	} else {
+		l.entries[l.seq%uint64(l.cap)] = e
+	}
+	l.seq++
+	l.mu.Unlock()
+}
+
+// Total returns how many entries were ever added (including evicted ones).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Entries returns the retained captures, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.entries))
+	for i := 0; i < len(l.entries); i++ {
+		// Walk backwards from the most recent write position.
+		idx := (l.seq - 1 - uint64(i)) % uint64(l.cap)
+		out = append(out, l.entries[idx])
+	}
+	return out
+}
+
+// Handle mounts GET /debug/slowlog, a JSON array of the retained captures
+// newest first (each with its full trace tree).
+func (l *SlowLog) Handle(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		entries := l.Entries()
+		if entries == nil {
+			entries = []SlowEntry{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(entries)
+	})
+}

@@ -135,6 +135,62 @@ type Node struct {
 	// render against the combined namespace while each side's nodes render
 	// against their own table schema.
 	Sch *geometry.Schema
+
+	// Est and Act carry the optimizer-accountability pair for the access
+	// path rooted at this Scan: the estimate the plan was priced with and
+	// what execution actually measured. Both are nil until stamped (Est by
+	// ChoosePlan / join-side pricing, Act by the executors), so plans that
+	// were never priced or never ran render exactly as before.
+	Est *Est
+	Act *Act
+}
+
+// Est is the optimizer's priced prediction for one access path: the engine
+// it chose, the modeled cycles it predicted, the selectivity it assumed, and
+// the input cardinality the pricing saw. EXPLAIN renders it as the pricing
+// block; est_rows for operators above the Scan derive from Rows×Selectivity.
+type Est struct {
+	Engine      string
+	Cycles      float64
+	Selectivity float64
+	Rows        float64
+}
+
+// EstRowsOut is the predicted output cardinality of the side's Filter (its
+// Scan feeds Rows rows in; Selectivity of them survive).
+func (e *Est) EstRowsOut() float64 {
+	if e == nil {
+		return 0
+	}
+	return e.Rows * e.Selectivity
+}
+
+// Act is what one access path's execution actually measured: rows in, rows
+// surviving selection, and the side's modeled cycles.
+type Act struct {
+	RowsScanned int64
+	RowsPassed  int64
+	Cycles      uint64
+}
+
+// Selectivity is the observed survivor fraction.
+func (a *Act) Selectivity() float64 {
+	if a == nil || a.RowsScanned == 0 {
+		return 0
+	}
+	return float64(a.RowsPassed) / float64(a.RowsScanned)
+}
+
+// QError is the symmetric cycle misprediction factor max(est/act, act/est)
+// between a stamped estimate and measurement, or 0 when either is missing.
+func QError(est, act float64) float64 {
+	if est <= 0 || act <= 0 {
+		return 0
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
 }
 
 // NewScan starts a chain at an access-path scan. source may be empty until
@@ -457,6 +513,20 @@ func (c *Node) describe(sch *geometry.Schema) string {
 		s := fmt.Sprintf("Scan[%s source=%s cols=(%s)]", c.Table, src, colList(c.Cols))
 		if c.Snapshot != nil {
 			s += fmt.Sprintf(" @snapshot=%d", *c.Snapshot)
+		}
+		// The pricing block: the estimate this side was planned with, and —
+		// after an EXPLAIN ANALYZE run — what actually happened, so the
+		// cost-model error is visible per access path.
+		if c.Est != nil {
+			s += fmt.Sprintf(" est[%s≈%.0f sel=%.3f rows=%.0f]",
+				c.Est.Engine, c.Est.Cycles, c.Est.Selectivity, c.Est.Rows)
+		}
+		if c.Act != nil {
+			s += fmt.Sprintf(" act[cycles=%d sel=%.3f rows=%d]",
+				c.Act.Cycles, c.Act.Selectivity(), c.Act.RowsScanned)
+			if c.Est != nil {
+				s += fmt.Sprintf(" q_err=%.2f", QError(c.Est.Cycles, float64(c.Act.Cycles)))
+			}
 		}
 		return s
 	case OpFilter:

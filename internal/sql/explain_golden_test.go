@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"rfabric/internal/plan"
 	"rfabric/internal/tpch"
 )
 
@@ -69,5 +70,37 @@ func TestExplainGolden(t *testing.T) {
 				t.Errorf("EXPLAIN drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 			}
 		})
+	}
+}
+
+// TestExplainAnalyzedGolden pins the priced EXPLAIN rendering: the Scan line
+// with the optimizer's estimate block (est[...]), the run's actuals
+// (act[...]), and the derived q-error, exactly as EXPLAIN ANALYZE and the
+// statement audit render them. Fixed Est/Act values stand in for a run so
+// the golden is deterministic.
+func TestExplainAnalyzedGolden(t *testing.T) {
+	sch := tpch.LineitemSchema()
+	root, err := CompilePlan(
+		"SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity < 5", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := root.Scan()
+	scan.Source = "RM"
+	scan.Est = &plan.Est{Engine: "RM", Cycles: 80000, Selectivity: 0.333, Rows: 4000}
+	scan.Act = &plan.Act{RowsScanned: 4000, RowsPassed: 1520, Cycles: 76500}
+	got := root.Explain(sch)
+	path := filepath.Join("testdata", "explain_analyzed.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("analyzed EXPLAIN drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 	}
 }

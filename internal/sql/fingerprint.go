@@ -1,0 +1,67 @@
+package sql
+
+import "hash/fnv"
+
+// Statement fingerprinting, pg_stat_statements-style. Two statements that
+// differ only in their literal values — the shifting predicates of a
+// dashboard workload — share one fingerprint, so the statistics store
+// aggregates them as a single logical statement. Normalization happens at
+// the lexer: literals are replaced by '?', identifiers are already
+// lower-cased and keywords upper-cased by lex, and token spelling is joined
+// with single spaces so whitespace and case never split a fingerprint.
+//
+// The fingerprint is the FNV-1a 64-bit hash of the normalized text. FNV is
+// stable across processes and Go versions (unlike maphash), which the audit
+// report and the /debug/statements endpoint rely on for stable keys.
+
+// Fingerprint normalizes one statement and returns the normalized text plus
+// its stable 64-bit hash. Statements that fail to lex fingerprint as their
+// raw text, so error accounting still aggregates; the error from lexing is
+// not surfaced here because the caller has already parsed (or will parse)
+// the statement through the real front end.
+func Fingerprint(query string) (string, uint64) {
+	toks, err := lex(query)
+	if err != nil {
+		return query, hashString(query)
+	}
+	// Size estimate: token texts plus one separator each; literals shrink
+	// to one byte.
+	n := 0
+	for _, t := range toks {
+		n += len(t.text) + 1
+	}
+	buf := make([]byte, 0, n)
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		var text string
+		switch t.kind {
+		case tokNumber, tokString:
+			text = "?"
+		default:
+			text = t.text
+		}
+		// Qualified references lex as ident '.' ident; gluing the dot keeps
+		// "orders.o_orderkey" one fingerprint token instead of three.
+		if t.kind == tokSymbol && t.text == "." {
+			if len(buf) > 0 && buf[len(buf)-1] == ' ' {
+				buf = buf[:len(buf)-1]
+			}
+			buf = append(buf, '.')
+			continue
+		}
+		if len(buf) > 0 && buf[len(buf)-1] != '.' {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, text...)
+	}
+	norm := string(buf)
+	return norm, hashString(norm)
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -72,7 +72,32 @@ func FuzzParseSQL(f *testing.F) {
 		geometry.Column{Name: "tag", Type: geometry.Char, Width: 2},
 	)
 
+	// Fingerprint normalization seeds: literal variety, qualified names, and
+	// JOIN shapes (the inputs the statistics store keys on).
+	fingerprintSeeds := []string{
+		"SELECT id FROM t WHERE qty < 5.5 AND flag = 'R' AND shipdate >= DATE '1994-01-01'",
+		"SELECT id FROM t WHERE qty < .5 AND price <> 1e3",
+		"SELECT t.id, u.tag FROM t JOIN u ON t.id = u.rid WHERE t.qty < 3 LIMIT 7",
+		"SELECT id FROM t JOIN u ON id = rid JOIN v ON rid = vid WHERE qty BETWEEN 2 AND 7",
+		"select T.ID from t where T.QTY < 0005 and flag = ''",
+		"SELECT id FROM t WHERE flag = 'it''s'",
+		"SELECT id FROM t WHERE flag = '\x00\xff'",
+	}
+	for _, s := range fingerprintSeeds {
+		f.Add(s)
+	}
+
 	f.Fuzz(func(t *testing.T, input string) {
+		// Fingerprinting must accept anything — it is called on statements
+		// before they parse — and must be idempotent: normalizing normalized
+		// text cannot change the fingerprint again (literals are already '?').
+		norm, hash := Fingerprint(input)
+		norm2, hash2 := Fingerprint(norm)
+		if norm2 != norm || hash2 != hash {
+			t.Errorf("Fingerprint not idempotent: %q -> %q (%#x) -> %q (%#x)",
+				input, norm, hash, norm2, hash2)
+		}
+
 		st, err := Parse(input)
 		if err != nil {
 			if st != nil {

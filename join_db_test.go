@@ -7,47 +7,14 @@ import (
 	"rfabric/internal/tpch"
 )
 
-// tpchDB builds the multi-table TPC-H catalog at a small scale: lineitem
-// plus the orders/customer/part tables whose keys correlate with it, and a
-// secondary index on l_shipdate so the IDX path has something to price.
+// tpchDB builds the multi-table TPC-H catalog at a small scale via the
+// audit's NewTPCHDB builder: lineitem plus the orders/customer/part tables
+// whose keys correlate with it, and a secondary index on l_shipdate so the
+// IDX path has something to price.
 func tpchDB(t *testing.T, lineitemRows int) *DB {
 	t.Helper()
-	db, err := Open(DefaultConfig())
+	db, err := NewTPCHDB(DefaultConfig(), lineitemRows, 1)
 	if err != nil {
-		t.Fatal(err)
-	}
-	li, err := db.CreateTable("lineitem", tpch.LineitemSchema(), lineitemRows)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := tpch.Generate(li, lineitemRows, 1); err != nil {
-		t.Fatal(err)
-	}
-	nOrders := tpch.OrdersFor(lineitemRows)
-	ord, err := db.CreateTable("orders", tpch.OrdersSchema(), nOrders)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := tpch.GenerateOrders(ord, nOrders, 2); err != nil {
-		t.Fatal(err)
-	}
-	nCust := tpch.CustomersFor(nOrders)
-	cust, err := db.CreateTable("customer", tpch.CustomerSchema(), nCust)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := tpch.GenerateCustomer(cust, nCust, 3); err != nil {
-		t.Fatal(err)
-	}
-	const nPart = 300 // a prefix of the part-key domain: dangling l_partkey drops out
-	part, err := db.CreateTable("part", tpch.PartSchema(), nPart)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := tpch.GeneratePart(part, nPart, 4); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := db.CreateIndex("lineitem", "l_shipdate"); err != nil {
 		t.Fatal(err)
 	}
 	return db

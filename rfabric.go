@@ -219,10 +219,26 @@ type (
 	Timeline = obs.Timeline
 	// TimelineSample is one sampled window of a Timeline.
 	TimelineSample = obs.TimelineSample
+	// StatStore aggregates per-statement statistics under normalized
+	// fingerprints, pg_stat_statements-style; attach one with
+	// DB.SetStatements and export it with Snapshot, WriteJSON,
+	// WritePrometheus, or its /debug/statements handler.
+	StatStore = obs.StatStore
+	// StatementRecord is one fingerprint's aggregate in a StatStore
+	// snapshot.
+	StatementRecord = obs.StatementRecord
+	// SlowLog is the ring of recent slow queries (DB.SetSlowThreshold),
+	// each entry carrying the full trace of the offending run.
+	SlowLog = obs.SlowLog
+	// SlowEntry is one captured slow query.
+	SlowEntry = obs.SlowEntry
 )
 
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewStatStore creates an empty statement statistics store.
+func NewStatStore() *StatStore { return obs.NewStatStore() }
 
 // NewTracer starts a trace rooted at a span named name, for callers driving
 // engines directly; DB.QueryTraced does this internally.
