@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"rfabric/internal/obs"
+)
+
+// rfbench -top: a live terminal dashboard over a -serve instance. Each
+// frame polls /debug/windows.json, /debug/alerts, and /metrics.json, then
+// redraws in place (ANSI cursor-home + clear-to-end): a scoreboard of the
+// rolling window, QPS and p99 sparklines from the per-second series, alert
+// states, and the hottest counters from the registry.
+
+// topFrame is one poll's worth of server state.
+type topFrame struct {
+	win     obs.WindowsJSON
+	alerts  obs.AlertsJSON
+	metrics obs.ExportJSON
+	healthy bool
+}
+
+// runTop polls baseURL every interval and renders frames to out until
+// count frames have been drawn (count <= 0 runs until the process is
+// killed). The first failed poll of a run is fatal — a wrong URL should
+// error out, not redraw forever — while later failures render a
+// "connection lost" banner and keep polling.
+func runTop(out io.Writer, baseURL string, interval time.Duration, count int) error {
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for frame := 0; count <= 0 || frame < count; frame++ {
+		f, err := pollTop(client, baseURL)
+		if err != nil {
+			if frame == 0 {
+				return err
+			}
+			fmt.Fprintf(out, "\x1b[H\x1b[Jrfbench top — %s — connection lost: %v\n", baseURL, err)
+		} else {
+			fmt.Fprint(out, "\x1b[H\x1b[J")
+			renderTop(out, baseURL, f)
+		}
+		if count > 0 && frame == count-1 {
+			break
+		}
+		time.Sleep(interval)
+	}
+	return nil
+}
+
+// pollTop fetches one frame. Windows and alerts are required; the metrics
+// registry is best-effort (older servers may not expose it).
+func pollTop(client *http.Client, baseURL string) (topFrame, error) {
+	var f topFrame
+	if err := getJSON(client, baseURL+"/debug/windows.json", &f.win); err != nil {
+		return f, err
+	}
+	if err := getJSON(client, baseURL+"/debug/alerts", &f.alerts); err != nil {
+		return f, err
+	}
+	getJSON(client, baseURL+"/metrics.json", &f.metrics)
+	resp, err := client.Get(baseURL + "/readyz")
+	if err == nil {
+		f.healthy = resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+	}
+	return f, nil
+}
+
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// sparkGlyphs are the eight-level unicode bars a sparkline is drawn with.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline scales vals into an eight-level bar string. All-zero input
+// renders as all-minimum bars; an empty slice renders empty.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 {
+			i = int(v / max * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[i])
+	}
+	return b.String()
+}
+
+// seriesColumns resolves the trailing width seconds of a window series into
+// dense per-second QPS and p99 columns, filling gap seconds with zeros so
+// the sparkline's time axis is uniform.
+func seriesColumns(doc obs.WindowsJSON, width int) (qps, p99 []float64) {
+	if width <= 0 || len(doc.Series) == 0 {
+		return nil, nil
+	}
+	end := doc.NowUnix
+	if last := doc.Series[len(doc.Series)-1].UnixSec; last > end {
+		end = last
+	}
+	start := end - int64(width) + 1
+	qps = make([]float64, width)
+	p99 = make([]float64, width)
+	for _, p := range doc.Series {
+		if p.UnixSec < start || p.UnixSec > end {
+			continue
+		}
+		i := int(p.UnixSec - start)
+		qps[i] = float64(p.Queries)
+		p99[i] = p.P99Cycles
+	}
+	return qps, p99
+}
+
+// fmtCount renders a number with k/M/G suffixes for dashboard columns.
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == 0:
+		return "0"
+	case v < 10 && v != float64(int64(v)):
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// renderTop draws one dashboard frame. Pure function of the frame — tested
+// without a terminal or a server.
+func renderTop(w io.Writer, baseURL string, f topFrame) {
+	s := f.win.Window
+	health := "READY"
+	if !f.healthy {
+		health = "NOT READY"
+	}
+	fmt.Fprintf(w, "rfbench top — %s — %s — window %ds — %s\n\n",
+		baseURL, time.Unix(f.win.NowUnix, 0).UTC().Format("15:04:05"), s.WindowSeconds, health)
+
+	fmt.Fprintf(w, "  queries %-10s errors %-8s qps %-10s err%% %-8s slow%% %-8s\n",
+		fmtCount(float64(s.Queries)), fmtCount(float64(s.Errors)),
+		fmtCount(s.QPS), fmt.Sprintf("%.2f", s.ErrorRate*100), fmt.Sprintf("%.2f", s.SlowRate*100))
+	fmt.Fprintf(w, "  cycles  p50 %-10s p95 %-10s p99 %-10s mean %-10s\n",
+		fmtCount(s.P50Cycles), fmtCount(s.P95Cycles), fmtCount(s.P99Cycles), fmtCount(s.MeanCycles))
+	fmt.Fprintf(w, "  bytes/s dram %-10s cpu %-10s miss%% %-7s cyc/s %-10s\n",
+		fmtCount(s.DRAMBytesPerSec), fmtCount(s.CPUBytesPerSec),
+		fmt.Sprintf("%.1f", s.CacheMissRatio*100), fmtCount(s.CyclesPerSec))
+	fmt.Fprintf(w, "  wall    mean %-12s alloc/query %-10s\n\n",
+		time.Duration(s.MeanWallNanos).Round(time.Microsecond), fmtCount(s.MeanAllocBytes)+"B")
+
+	const sparkWidth = 60
+	qps, p99 := seriesColumns(f.win, sparkWidth)
+	fmt.Fprintf(w, "  qps  %s\n", sparkline(qps))
+	fmt.Fprintf(w, "  p99  %s\n\n", sparkline(p99))
+
+	fmt.Fprintf(w, "  alerts (%d firing)\n", f.alerts.Firing)
+	for _, r := range f.alerts.Rules {
+		marker := " "
+		switch r.State {
+		case "firing":
+			marker = "!"
+		case "pending":
+			marker = "~"
+		}
+		fmt.Fprintf(w, "  %s %-16s %-8s %-9s value %-10s fired %d\n",
+			marker, r.Name, r.Severity, r.State, fmtCount(r.Value), r.FiredTotal)
+	}
+
+	if n := len(f.metrics.Counters); n > 0 {
+		top := make([]obs.SeriesJSON, n)
+		copy(top, f.metrics.Counters)
+		sort.Slice(top, func(i, j int) bool { return top[i].Value > top[j].Value })
+		if len(top) > 6 {
+			top = top[:6]
+		}
+		fmt.Fprintf(w, "\n  top counters\n")
+		for _, c := range top {
+			name := c.Name
+			if c.Labels != "" {
+				name += c.Labels
+			}
+			if len(name) > 56 {
+				name = name[:53] + "..."
+			}
+			fmt.Fprintf(w, "    %-56s %s\n", name, fmtCount(c.Value))
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rfabric/internal/obs"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 4, 8})
+	if len([]rune(got)) != 5 {
+		t.Fatalf("sparkline width = %d, want 5 (%q)", len([]rune(got)), got)
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[4] != '█' {
+		t.Fatalf("sparkline extremes wrong: %q", got)
+	}
+	// All-zero input stays at the floor instead of dividing by zero.
+	if got := sparkline([]float64{0, 0, 0}); got != "▁▁▁" {
+		t.Fatalf("all-zero sparkline = %q", got)
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	for _, c := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {7, "7"}, {0.25, "0.25"}, {1500, "1.5k"},
+		{2_500_000, "2.50M"}, {3_000_000_000, "3.00G"},
+	} {
+		if got := fmtCount(c.in); got != c.want {
+			t.Errorf("fmtCount(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeriesColumns(t *testing.T) {
+	doc := obs.WindowsJSON{
+		NowUnix: 1005,
+		Series: []obs.WindowPoint{
+			{UnixSec: 1001, Queries: 4, P99Cycles: 100},
+			{UnixSec: 1003, Queries: 2, P99Cycles: 300}, // gap at 1002, 1004–1005
+		},
+	}
+	qps, p99 := seriesColumns(doc, 6)
+	if len(qps) != 6 || len(p99) != 6 {
+		t.Fatalf("column widths = %d/%d, want 6", len(qps), len(p99))
+	}
+	want := []float64{0, 4, 0, 2, 0, 0} // seconds 1000..1005
+	for i := range want {
+		if qps[i] != want[i] {
+			t.Fatalf("qps columns = %v, want %v", qps, want)
+		}
+	}
+	if p99[3] != 300 || p99[1] != 100 {
+		t.Fatalf("p99 columns = %v", p99)
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	f := topFrame{
+		win: obs.WindowsJSON{
+			NowUnix: 1700000000,
+			Window: obs.WindowSnapshot{
+				WindowSeconds: 60, Queries: 120, Errors: 6, QPS: 2,
+				ErrorRate: 0.05, SlowRate: 0.01, P50Cycles: 40_000,
+				P95Cycles: 900_000, P99Cycles: 2_000_000, MeanCycles: 120_000,
+				DRAMBytesPerSec: 4096, CPUBytesPerSec: 1024, CacheMissRatio: 0.25,
+				MeanWallNanos: 52_000, MeanAllocBytes: 1800,
+			},
+			Series: []obs.WindowPoint{{UnixSec: 1699999999, Queries: 3, P99Cycles: 1e6}},
+		},
+		alerts: obs.AlertsJSON{
+			Firing: 1,
+			Rules: []obs.AlertStatus{
+				{Name: "high_p99", Severity: "page", State: "firing", Value: 2e6, Threshold: 1e6, FiredTotal: 2},
+				{Name: "err_burn", Severity: "warn", State: "inactive", Value: 0.1, Threshold: 10},
+			},
+		},
+		metrics: obs.ExportJSON{
+			Counters: []obs.SeriesJSON{
+				{Name: "rfabric_queries_total", Labels: `{engine="RM"}`, Value: 120},
+				{Name: "rfabric_rows_scanned_total", Value: 99999},
+			},
+		},
+		healthy: false,
+	}
+	var b strings.Builder
+	renderTop(&b, "http://localhost:8080", f)
+	out := b.String()
+
+	for _, want := range []string{
+		"rfbench top", "http://localhost:8080", "NOT READY",
+		"window 60s", "qps", "p99", "2.00M", // p99 cycles formatted
+		"alerts (1 firing)", "! high_p99", "firing", "err_burn",
+		"top counters", "rfabric_queries_total", "rfabric_rows_scanned_total",
+		"▁", // sparkline rendered
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// Counters sorted hottest first: rows_scanned (99999) above queries (120).
+	if strings.Index(out, "rfabric_rows_scanned_total") > strings.Index(out, `rfabric_queries_total{engine="RM"}`) {
+		t.Errorf("top counters not sorted by value:\n%s", out)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"rfabric/internal/cache"
 	"rfabric/internal/colstore"
 	"rfabric/internal/engine"
 	"rfabric/internal/index"
@@ -38,6 +40,7 @@ type DB struct {
 	par *engine.ParallelConfig // nil: single-goroutine execution
 
 	reg  *obs.Registry // nil: no metrics publishing
+	win  *obs.Windows  // nil: no sliding-window telemetry
 	last obs.LastTrace // most recent traced query, for /debug/trace/last
 
 	stats         *obs.StatStore // nil: no per-statement statistics
@@ -281,26 +284,76 @@ func (db *DB) Execute(kind EngineKind, tableName string, q Query) (*Result, erro
 	return db.run(kind, t, q, engine.Sinks{}, nil)
 }
 
+// winCapture is the real-time side of one run — wall-clock and heap
+// allocation marks taken only when sliding-window telemetry is attached, so
+// the disabled path stays free of both.
+type winCapture struct {
+	on         bool
+	wallStart  time.Time
+	allocStart uint64
+}
+
+// winBegin marks the start of a run for the windows. Costs nothing when the
+// aggregator is absent or disabled.
+func (db *DB) winBegin() winCapture {
+	if !db.win.Enabled() {
+		return winCapture{}
+	}
+	return winCapture{on: true, wallStart: time.Now(), allocStart: obs.HeapAllocBytes()}
+}
+
+// winEnd folds a finished run into the sliding windows: modeled cycles and
+// bytes from the Breakdown, real wall-clock and allocation deltas from the
+// marks, and the shared hierarchy's load/fill delta for the windowed cache
+// miss ratio (PAR morsels run on clones, so their cache traffic reaches the
+// windows through the merged Breakdown's bytes instead).
+func (db *DB) winEnd(wc winCapture, hierStart cache.Stats, res *Result, err error) {
+	if !wc.on {
+		return
+	}
+	hd := db.sys.Hier.Stats().Delta(hierStart)
+	s := obs.WindowSample{
+		Err:         err != nil,
+		WallNanos:   time.Since(wc.wallStart).Nanoseconds(),
+		AllocBytes:  obs.HeapAllocBytes() - wc.allocStart,
+		CacheLoads:  hd.Loads,
+		CacheMisses: hd.DRAMFills,
+	}
+	if err == nil && res != nil {
+		s.Cycles = res.Breakdown.TotalCycles
+		s.BytesDRAM = res.Breakdown.BytesFromDRAM
+		s.BytesCPU = res.Breakdown.BytesToCPU
+	}
+	db.win.Record(s)
+}
+
 // run is the measured entry point: it snapshots the simulated hardware
 // counters, dispatches, and publishes the deltas plus per-query series into
-// the observer registry. AUTO's recursion goes through execute directly, so
-// a query publishes exactly once no matter how it was routed.
+// the observer registry and the sliding windows. AUTO's recursion goes
+// through execute directly, so a query publishes exactly once no matter how
+// it was routed.
 func (db *DB) run(kind EngineKind, t *dbTable, q Query, sk engine.Sinks, tr *obs.Tracer) (*Result, error) {
-	if db.reg == nil || db.reg.Disabled() {
-		// With no observer — or a disabled one — the query path carries no
-		// observability work at all beyond this check (one atomic load).
+	regOn := db.reg != nil && !db.reg.Disabled()
+	if !regOn && !db.win.Enabled() {
+		// With no observer — or disabled ones — the query path carries no
+		// observability work at all beyond these checks (two atomic loads).
 		res, err := db.execute(kind, t, q, tr)
 		if err == nil {
 			applySinks(res, sk, tr)
 		}
 		return res, err
 	}
+	wc := db.winBegin()
 	memStart := db.sys.Mem.Stats()
 	hierStart := db.sys.Hier.Stats()
 	fabStart := db.sys.Fab.Stats()
 	res, err := db.execute(kind, t, q, tr)
 	if err == nil {
 		applySinks(res, sk, tr)
+	}
+	db.winEnd(wc, hierStart, res, err)
+	if !regOn {
+		return res, err
 	}
 	labels := obs.Labels{"engine": string(kind), "table": t.tbl.Name()}
 	db.reg.Counter("rfabric_queries_total", labels).Add(1)
@@ -445,19 +498,25 @@ func (db *DB) lowerJoin(st *sql.Stmt) (*plan.Node, *engine.JoinPlan, engine.Sink
 // run: counter snapshots around the dispatch, metrics labeled by the probe
 // table.
 func (db *DB) runJoin(kind EngineKind, jp *engine.JoinPlan, sk engine.Sinks, tr *obs.Tracer) (*Result, error) {
-	if db.reg == nil || db.reg.Disabled() {
+	regOn := db.reg != nil && !db.reg.Disabled()
+	if !regOn && !db.win.Enabled() {
 		res, err := db.executeJoin(kind, jp, tr)
 		if err == nil {
 			applySinks(res, sk, tr)
 		}
 		return res, err
 	}
+	wc := db.winBegin()
 	memStart := db.sys.Mem.Stats()
 	hierStart := db.sys.Hier.Stats()
 	fabStart := db.sys.Fab.Stats()
 	res, err := db.executeJoin(kind, jp, tr)
 	if err == nil {
 		applySinks(res, sk, tr)
+	}
+	db.winEnd(wc, hierStart, res, err)
+	if !regOn {
+		return res, err
 	}
 	labels := obs.Labels{"engine": string(kind), "table": jp.Probe.Table}
 	db.reg.Counter("rfabric_queries_total", labels).Add(1)

@@ -49,13 +49,14 @@ func (db *DB) slowCycles() uint64 { return db.slowThreshold.Load() }
 // stmtCtx carries one statement's recording state from parse to finish. A
 // nil *stmtCtx (recording fully off) no-ops every method.
 type stmtCtx struct {
-	query  string
-	norm   string
-	fp     uint64
-	start  time.Time
-	record bool        // statement store enabled at begin time
-	slow   uint64      // armed threshold at begin time
-	tr     *obs.Tracer // slow-capture tracer; nil when the caller traces
+	query      string
+	norm       string
+	fp         uint64
+	start      time.Time
+	allocStart uint64      // heap-alloc mark, for the per-query alloc delta
+	record     bool        // statement store enabled at begin time
+	slow       uint64      // armed threshold at begin time
+	tr         *obs.Tracer // slow-capture tracer; nil when the caller traces
 
 	est    *plan.Est // access-path estimate for the engine that ran
 	actSel float64
@@ -75,6 +76,7 @@ func (db *DB) beginStatement(query string, wantTracer bool) *stmtCtx {
 	c := &stmtCtx{query: query, record: record, slow: slow, start: time.Now()}
 	if record {
 		c.norm, c.fp = sql.Fingerprint(query)
+		c.allocStart = obs.HeapAllocBytes()
 	}
 	if slow > 0 && wantTracer {
 		c.tr = obs.NewTracer("query")
@@ -171,6 +173,7 @@ func (c *stmtCtx) finish(db *DB, res *Result, err error, trace *Trace) {
 			Slow:        isSlow,
 			Cycles:      cycles,
 			WallNanos:   time.Since(c.start).Nanoseconds(),
+			AllocBytes:  obs.HeapAllocBytes() - c.allocStart,
 			RowsRet:     rowsRet,
 			RowsScan:    rowsScan,
 		}

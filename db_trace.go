@@ -3,6 +3,7 @@ package rfabric
 import (
 	"strconv"
 	"strings"
+	"time"
 
 	"rfabric/internal/engine"
 	"rfabric/internal/obs"
@@ -23,6 +24,17 @@ func (db *DB) SetObserver(reg *Registry) { db.reg = reg }
 
 // Observer returns the attached registry (nil when none).
 func (db *DB) Observer() *Registry { return db.reg }
+
+// SetWindows attaches a sliding-window telemetry aggregator. Every
+// subsequent query execution folds its modeled cycles, bytes moved, cache
+// traffic, real wall-clock, and heap-allocation delta into the current
+// second's bucket — the rolling QPS/error-rate/p99 view /debug/windows.json
+// serves and the SLO alert engine evaluates. Nil detaches; a disabled
+// aggregator costs the query path one atomic load.
+func (db *DB) SetWindows(w *obs.Windows) { db.win = w }
+
+// Windows returns the attached sliding-window aggregator (nil when none).
+func (db *DB) Windows() *obs.Windows { return db.win }
 
 // LastTrace returns the most recently captured query trace, or nil before
 // the first traced query. The serve endpoint /debug/trace/last reads this.
@@ -142,6 +154,7 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 		db.sys.AttachTimeline(tl)
 		defer db.sys.DetachTimeline()
 	}
+	wallStart, allocStart := time.Now(), obs.HeapAllocBytes()
 	res, err := db.run(o.kind, t, q, sk, tr)
 	if err != nil {
 		return nil, nil, err
@@ -164,6 +177,8 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 		Query:       text,
 		Engine:      res.Engine,
 		TotalCycles: res.Breakdown.TotalCycles,
+		WallNanos:   time.Since(wallStart).Nanoseconds(),
+		AllocBytes:  obs.HeapAllocBytes() - allocStart,
 		Root:        tr.Root(),
 		Timeline:    tl,
 	}
@@ -186,6 +201,7 @@ func (db *DB) runJoinTraced(o traceOpts, root *plan.Node, jp *engine.JoinPlan, s
 		db.sys.AttachTimeline(tl)
 		defer db.sys.DetachTimeline()
 	}
+	wallStart, allocStart := time.Now(), obs.HeapAllocBytes()
 	res, err := db.runJoin(o.kind, jp, sk, tr)
 	if err != nil {
 		return nil, nil, err
@@ -197,6 +213,8 @@ func (db *DB) runJoinTraced(o traceOpts, root *plan.Node, jp *engine.JoinPlan, s
 		Query:       text,
 		Engine:      res.Engine,
 		TotalCycles: res.Breakdown.TotalCycles,
+		WallNanos:   time.Since(wallStart).Nanoseconds(),
+		AllocBytes:  obs.HeapAllocBytes() - allocStart,
 		Root:        tr.Root(),
 		Timeline:    tl,
 	}

@@ -1,0 +1,478 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLO/alert engine over the sliding windows: declarative rules evaluated on
+// a ticker, each running the classic pending → firing → resolved state
+// machine with a transition history. Two rule shapes:
+//
+//   - threshold: a windowed metric compared against a constant, sustained
+//     for a hold duration before it fires —
+//     "p99 over 30s stays above 5M cycles for 10s".
+//   - burn rate: a rate metric divided by its SLO's remaining budget —
+//     "error_rate over 60s burns the 99% objective 14x for 5s", the
+//     multiwindow-burn-rate alerting shape SRE playbooks use.
+//
+// Rules come from ParseRule's one-line text syntax (the -alert flag,
+// config files) or are built directly as Rule literals.
+
+// AlertState is one rule's position in the state machine.
+type AlertState int
+
+const (
+	// AlertInactive: condition false, nothing brewing.
+	AlertInactive AlertState = iota
+	// AlertPending: condition true but not yet sustained for the rule's
+	// hold duration.
+	AlertPending
+	// AlertFiring: condition sustained; the alert is active.
+	AlertFiring
+)
+
+// String renders the state for JSON and dashboards.
+func (s AlertState) String() string {
+	switch s {
+	case AlertPending:
+		return "pending"
+	case AlertFiring:
+		return "firing"
+	default:
+		return "inactive"
+	}
+}
+
+// windowMetrics names every windowed metric a rule may reference.
+var windowMetrics = map[string]func(*WindowSnapshot) float64{
+	"qps":                func(s *WindowSnapshot) float64 { return s.QPS },
+	"error_rate":         func(s *WindowSnapshot) float64 { return s.ErrorRate },
+	"slow_rate":          func(s *WindowSnapshot) float64 { return s.SlowRate },
+	"p50_cycles":         func(s *WindowSnapshot) float64 { return s.P50Cycles },
+	"p95_cycles":         func(s *WindowSnapshot) float64 { return s.P95Cycles },
+	"p99_cycles":         func(s *WindowSnapshot) float64 { return s.P99Cycles },
+	"mean_cycles":        func(s *WindowSnapshot) float64 { return s.MeanCycles },
+	"cycles_per_sec":     func(s *WindowSnapshot) float64 { return s.CyclesPerSec },
+	"dram_bytes_per_sec": func(s *WindowSnapshot) float64 { return s.DRAMBytesPerSec },
+	"cpu_bytes_per_sec":  func(s *WindowSnapshot) float64 { return s.CPUBytesPerSec },
+	"cache_miss_ratio":   func(s *WindowSnapshot) float64 { return s.CacheMissRatio },
+	"mean_wall_ns":       func(s *WindowSnapshot) float64 { return s.MeanWallNanos },
+	"mean_alloc_bytes":   func(s *WindowSnapshot) float64 { return s.MeanAllocBytes },
+}
+
+// Rule is one declarative alert condition.
+type Rule struct {
+	// Name identifies the rule in /debug/alerts and the history.
+	Name string
+	// Metric is one of the windowed metric names (see ParseRule).
+	Metric string
+	// Objective, when in (0,1), turns the rule into a burn-rate rule: the
+	// compared value is Metric / (1 - Objective), the multiple of the SLO's
+	// error budget the current rate consumes.
+	Objective float64
+	// Less compares value < Threshold instead of value > Threshold.
+	Less bool
+	// Threshold is the constant on the right of the comparison.
+	Threshold float64
+	// ForSeconds is how long the condition must hold before pending
+	// escalates to firing (0 fires on first breach).
+	ForSeconds int
+	// WindowSeconds is the trailing window the metric aggregates over
+	// (0 means the ring's full span).
+	WindowSeconds int
+	// Severity is free-form ("warn", "page"); page-severity firing alerts
+	// flip /readyz to 503.
+	Severity string
+}
+
+// Expr renders the rule back in ParseRule's syntax.
+func (r *Rule) Expr() string {
+	var b strings.Builder
+	if r.Objective > 0 {
+		fmt.Fprintf(&b, "burn %s slo %g", r.Metric, r.Objective)
+	} else {
+		b.WriteString(r.Metric)
+	}
+	op := ">"
+	if r.Less {
+		op = "<"
+	}
+	fmt.Fprintf(&b, " %s %g", op, r.Threshold)
+	if r.ForSeconds > 0 {
+		fmt.Fprintf(&b, " for %ds", r.ForSeconds)
+	}
+	if r.WindowSeconds > 0 {
+		fmt.Fprintf(&b, " over %ds", r.WindowSeconds)
+	}
+	if r.Severity != "" {
+		fmt.Fprintf(&b, " severity %s", r.Severity)
+	}
+	return b.String()
+}
+
+// Validate checks the rule references a known metric with sane parameters.
+func (r *Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("obs: alert rule has no name")
+	}
+	if _, ok := windowMetrics[r.Metric]; !ok {
+		return fmt.Errorf("obs: alert rule %q: unknown metric %q", r.Name, r.Metric)
+	}
+	if r.Objective < 0 || r.Objective >= 1 {
+		return fmt.Errorf("obs: alert rule %q: SLO objective %g outside [0,1)", r.Name, r.Objective)
+	}
+	if r.ForSeconds < 0 || r.WindowSeconds < 0 {
+		return fmt.Errorf("obs: alert rule %q: negative duration", r.Name)
+	}
+	return nil
+}
+
+// ParseRule parses the one-line rule syntax:
+//
+//	<name>: <metric> (>|<) <threshold> [for <N>s] [over <N>s] [severity <s>]
+//	<name>: burn <metric> slo <objective> (>|<) <threshold> [for <N>s] [over <N>s] [severity <s>]
+//
+// Metrics: qps, error_rate, slow_rate, p50_cycles, p95_cycles, p99_cycles,
+// mean_cycles, cycles_per_sec, dram_bytes_per_sec, cpu_bytes_per_sec,
+// cache_miss_ratio, mean_wall_ns, mean_alloc_bytes. Thresholds accept any
+// Go float literal (5e6, 0.01). Examples:
+//
+//	high_p99: p99_cycles > 5e6 for 10s over 30s severity page
+//	err_burn: burn error_rate slo 0.99 > 14 for 5s over 60s severity page
+func ParseRule(s string) (Rule, error) {
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Rule{}, fmt.Errorf("obs: alert rule %q: missing \"name:\" prefix", s)
+	}
+	r := Rule{Name: strings.TrimSpace(name)}
+	toks := strings.Fields(rest)
+	i := 0
+	next := func(what string) (string, error) {
+		if i >= len(toks) {
+			return "", fmt.Errorf("obs: alert rule %q: missing %s", r.Name, what)
+		}
+		t := toks[i]
+		i++
+		return t, nil
+	}
+
+	m, err := next("metric")
+	if err != nil {
+		return Rule{}, err
+	}
+	if m == "burn" {
+		if r.Metric, err = next("burn metric"); err != nil {
+			return Rule{}, err
+		}
+		kw, err := next("slo keyword")
+		if err != nil || kw != "slo" {
+			return Rule{}, fmt.Errorf("obs: alert rule %q: burn form needs \"slo <objective>\"", r.Name)
+		}
+		obj, err := next("slo objective")
+		if err != nil {
+			return Rule{}, err
+		}
+		if r.Objective, err = strconv.ParseFloat(obj, 64); err != nil {
+			return Rule{}, fmt.Errorf("obs: alert rule %q: bad objective %q", r.Name, obj)
+		}
+	} else {
+		r.Metric = m
+	}
+
+	op, err := next("comparison operator")
+	if err != nil {
+		return Rule{}, err
+	}
+	switch op {
+	case ">":
+	case "<":
+		r.Less = true
+	default:
+		return Rule{}, fmt.Errorf("obs: alert rule %q: bad operator %q (want > or <)", r.Name, op)
+	}
+	th, err := next("threshold")
+	if err != nil {
+		return Rule{}, err
+	}
+	if r.Threshold, err = strconv.ParseFloat(th, 64); err != nil {
+		return Rule{}, fmt.Errorf("obs: alert rule %q: bad threshold %q", r.Name, th)
+	}
+
+	for i < len(toks) {
+		kw := toks[i]
+		i++
+		switch kw {
+		case "for", "over":
+			v, err := next(kw + " duration")
+			if err != nil {
+				return Rule{}, err
+			}
+			n, err := strconv.Atoi(strings.TrimSuffix(v, "s"))
+			if err != nil || n < 0 {
+				return Rule{}, fmt.Errorf("obs: alert rule %q: bad %s duration %q", r.Name, kw, v)
+			}
+			if kw == "for" {
+				r.ForSeconds = n
+			} else {
+				r.WindowSeconds = n
+			}
+		case "severity":
+			if r.Severity, err = next("severity"); err != nil {
+				return Rule{}, err
+			}
+		default:
+			return Rule{}, fmt.Errorf("obs: alert rule %q: unexpected token %q", r.Name, kw)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// ruleState is one rule's live state machine.
+type ruleState struct {
+	rule       Rule
+	state      AlertState
+	sinceSec   int64 // when the current state was entered
+	value      float64
+	firedTotal uint64
+}
+
+// AlertTransition is one recorded state change.
+type AlertTransition struct {
+	Rule    string  `json:"rule"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	AtUnix  int64   `json:"at_unix"`
+	Value   float64 `json:"value"`
+	Expr    string  `json:"expr,omitempty"`
+	Resolve bool    `json:"resolved,omitempty"`
+}
+
+// alertHistoryCap bounds the transition ring.
+const alertHistoryCap = 128
+
+// AlertEngine evaluates rules over a Windows aggregator.
+type AlertEngine struct {
+	win *Windows
+	now func() int64
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	history []AlertTransition
+	seq     uint64 // total transitions ever, for ring bookkeeping
+	stop    chan struct{}
+}
+
+// NewAlertEngine builds an engine over win with the wall clock.
+func NewAlertEngine(win *Windows, rules ...Rule) (*AlertEngine, error) {
+	return NewAlertEngineAt(win, func() int64 { return time.Now().UnixNano() }, rules...)
+}
+
+// NewAlertEngineAt is NewAlertEngine with an injected nanosecond clock —
+// share the clock with NewWindowsAt and tests control time end to end.
+func NewAlertEngineAt(win *Windows, now func() int64, rules ...Rule) (*AlertEngine, error) {
+	e := &AlertEngine{win: win, now: now}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		e.rules = append(e.rules, &ruleState{rule: r})
+	}
+	return e, nil
+}
+
+// Rules returns the configured rules in order.
+func (e *AlertEngine) Rules() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Rule, len(e.rules))
+	for i, rs := range e.rules {
+		out[i] = rs.rule
+	}
+	return out
+}
+
+// Evaluate runs one evaluation pass at the current clock. Call it from a
+// ticker (Start does) or directly in tests and single-shot tools.
+func (e *AlertEngine) Evaluate() {
+	nowSec := e.now() / 1e9
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rs := range e.rules {
+		snap := e.win.Snapshot(rs.rule.WindowSeconds)
+		v := windowMetrics[rs.rule.Metric](&snap)
+		if rs.rule.Objective > 0 {
+			v /= 1 - rs.rule.Objective
+		}
+		rs.value = v
+		breach := v > rs.rule.Threshold
+		if rs.rule.Less {
+			breach = v < rs.rule.Threshold
+		}
+		switch {
+		case breach && rs.state == AlertInactive:
+			e.transition(rs, AlertPending, nowSec)
+			fallthrough
+		case breach && rs.state == AlertPending:
+			if nowSec-rs.sinceSec >= int64(rs.rule.ForSeconds) {
+				e.transition(rs, AlertFiring, nowSec)
+				rs.firedTotal++
+			}
+		case !breach && rs.state != AlertInactive:
+			e.transition(rs, AlertInactive, nowSec)
+		}
+	}
+}
+
+// transition records a state change into the history ring. Caller holds mu.
+func (e *AlertEngine) transition(rs *ruleState, to AlertState, atSec int64) {
+	t := AlertTransition{
+		Rule:    rs.rule.Name,
+		From:    rs.state.String(),
+		To:      to.String(),
+		AtUnix:  atSec,
+		Value:   rs.value,
+		Expr:    rs.rule.Expr(),
+		Resolve: rs.state == AlertFiring && to == AlertInactive,
+	}
+	if len(e.history) < alertHistoryCap {
+		e.history = append(e.history, t)
+	} else {
+		e.history[e.seq%alertHistoryCap] = t
+	}
+	e.seq++
+	rs.state = to
+	rs.sinceSec = atSec
+}
+
+// Start evaluates on a ticker until Stop. Safe to call once per engine.
+func (e *AlertEngine) Start(every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	e.mu.Lock()
+	if e.stop != nil {
+		e.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	e.stop = stop
+	e.mu.Unlock()
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.Evaluate()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker started by Start.
+func (e *AlertEngine) Stop() {
+	e.mu.Lock()
+	if e.stop != nil {
+		close(e.stop)
+		e.stop = nil
+	}
+	e.mu.Unlock()
+}
+
+// AlertStatus is one rule's exported state.
+type AlertStatus struct {
+	Name       string  `json:"name"`
+	Expr       string  `json:"expr"`
+	Severity   string  `json:"severity,omitempty"`
+	State      string  `json:"state"`
+	SinceUnix  int64   `json:"since_unix,omitempty"`
+	Value      float64 `json:"value"`
+	Threshold  float64 `json:"threshold"`
+	FiredTotal uint64  `json:"fired_total"`
+}
+
+// AlertsJSON is the /debug/alerts document.
+type AlertsJSON struct {
+	NowUnix int64             `json:"now_unix"`
+	Firing  int               `json:"firing"`
+	Rules   []AlertStatus     `json:"rules"`
+	History []AlertTransition `json:"history"`
+}
+
+// Snapshot exports every rule's current state plus the transition history
+// (oldest first).
+func (e *AlertEngine) Snapshot() AlertsJSON {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	doc := AlertsJSON{NowUnix: e.now() / 1e9, Rules: make([]AlertStatus, 0, len(e.rules))}
+	for _, rs := range e.rules {
+		st := AlertStatus{
+			Name:       rs.rule.Name,
+			Expr:       rs.rule.Expr(),
+			Severity:   rs.rule.Severity,
+			State:      rs.state.String(),
+			Value:      rs.value,
+			Threshold:  rs.rule.Threshold,
+			FiredTotal: rs.firedTotal,
+		}
+		if rs.state != AlertInactive {
+			st.SinceUnix = rs.sinceSec
+		}
+		if rs.state == AlertFiring {
+			doc.Firing++
+		}
+		doc.Rules = append(doc.Rules, st)
+	}
+	doc.History = make([]AlertTransition, 0, len(e.history))
+	if e.seq > alertHistoryCap {
+		start := e.seq % alertHistoryCap
+		doc.History = append(doc.History, e.history[start:]...)
+		doc.History = append(doc.History, e.history[:start]...)
+	} else {
+		doc.History = append(doc.History, e.history...)
+	}
+	return doc
+}
+
+// FiringPage reports whether any page-severity rule is currently firing —
+// the condition that flips /readyz to 503.
+func (e *AlertEngine) FiringPage() bool {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rs := range e.rules {
+		if rs.state == AlertFiring && rs.rule.Severity == "page" {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON renders the alerts document.
+func (e *AlertEngine) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.Snapshot())
+}
+
+// Handle mounts GET /debug/alerts.
+func (e *AlertEngine) Handle(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/alerts", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		e.WriteJSON(w)
+	})
+}

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("high_p99: p99_cycles > 5e6 for 10s over 30s severity page")
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	want := Rule{Name: "high_p99", Metric: "p99_cycles", Threshold: 5e6,
+		ForSeconds: 10, WindowSeconds: 30, Severity: "page"}
+	if r != want {
+		t.Fatalf("rule = %+v, want %+v", r, want)
+	}
+	if got := r.Expr(); got != "p99_cycles > 5e+06 for 10s over 30s severity page" {
+		t.Fatalf("Expr = %q", got)
+	}
+
+	b, err := ParseRule("err_burn: burn error_rate slo 0.99 < 14 for 5s")
+	if err != nil {
+		t.Fatalf("ParseRule burn: %v", err)
+	}
+	if b.Metric != "error_rate" || b.Objective != 0.99 || !b.Less || b.Threshold != 14 || b.ForSeconds != 5 {
+		t.Fatalf("burn rule = %+v", b)
+	}
+	// Expr output must round-trip through ParseRule.
+	rt, err := ParseRule(b.Name + ": " + b.Expr())
+	if err != nil || rt != b {
+		t.Fatalf("Expr round-trip: %+v err=%v", rt, err)
+	}
+
+	for _, bad := range []string{
+		"no colon here",
+		"x: nonsense_metric > 1",
+		"x: qps >= 1",              // unsupported operator
+		"x: qps > abc",             // bad threshold
+		"x: qps > 1 for ten",       // bad duration
+		"x: qps > 1 banana",        // trailing junk
+		"x: burn qps > 1",          // burn without slo
+		"x: burn qps slo 1.5 > 1",  // objective out of range
+		": qps > 1",                // empty name
+		"x: qps",                   // missing operator
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Fatalf("ParseRule(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestAlertStateMachine drives pending → firing → resolved with a shared
+// fake clock: a latency regression pushes windowed p99 over threshold, the
+// rule goes pending, fires after the hold, then resolves when the window
+// drains.
+func TestAlertStateMachine(t *testing.T) {
+	clk := newFakeClock(10_000)
+	w := NewWindowsAt(30, clk.Now)
+	eng, err := NewAlertEngineAt(w, clk.Now, Rule{
+		Name: "hot", Metric: "p99_cycles", Threshold: 1e6,
+		ForSeconds: 3, WindowSeconds: 10, Severity: "page",
+	})
+	if err != nil {
+		t.Fatalf("NewAlertEngineAt: %v", err)
+	}
+
+	state := func() string { return eng.Snapshot().Rules[0].State }
+
+	// Healthy traffic: inactive.
+	w.Record(WindowSample{Cycles: 10_000})
+	eng.Evaluate()
+	if got := state(); got != "inactive" {
+		t.Fatalf("healthy: state = %s", got)
+	}
+	if eng.FiringPage() {
+		t.Fatal("healthy: FiringPage true")
+	}
+
+	// Latency regression: breach → pending, not yet firing.
+	w.Record(WindowSample{Cycles: 500_000_000})
+	eng.Evaluate()
+	if got := state(); got != "pending" {
+		t.Fatalf("first breach: state = %s, want pending", got)
+	}
+
+	// Sustained past ForSeconds: firing.
+	clk.AdvanceSec(3)
+	w.Record(WindowSample{Cycles: 500_000_000})
+	eng.Evaluate()
+	if got := state(); got != "firing" {
+		t.Fatalf("sustained breach: state = %s, want firing", got)
+	}
+	if !eng.FiringPage() {
+		t.Fatal("firing page rule: FiringPage false")
+	}
+	snap := eng.Snapshot()
+	if snap.Firing != 1 || snap.Rules[0].FiredTotal != 1 {
+		t.Fatalf("firing snapshot = %+v", snap.Rules[0])
+	}
+
+	// The regression ages out of the 10s window: resolved.
+	clk.AdvanceSec(15)
+	w.Record(WindowSample{Cycles: 10_000})
+	eng.Evaluate()
+	if got := state(); got != "inactive" {
+		t.Fatalf("after recovery: state = %s, want inactive", got)
+	}
+	if eng.FiringPage() {
+		t.Fatal("recovered: FiringPage still true")
+	}
+
+	// History recorded inactive→pending→firing→inactive, with the final
+	// transition marked as a resolve.
+	hist := eng.Snapshot().History
+	if len(hist) != 3 {
+		t.Fatalf("history has %d transitions: %+v", len(hist), hist)
+	}
+	wantTo := []string{"pending", "firing", "inactive"}
+	for i, tr := range hist {
+		if tr.To != wantTo[i] || tr.Rule != "hot" {
+			t.Fatalf("history[%d] = %+v, want to=%s", i, tr, wantTo[i])
+		}
+	}
+	if !hist[2].Resolve {
+		t.Fatal("final transition not marked resolved")
+	}
+}
+
+// TestAlertForZeroFiresImmediately: ForSeconds == 0 skips pending dwell —
+// the first breaching evaluation fires.
+func TestAlertForZeroFiresImmediately(t *testing.T) {
+	clk := newFakeClock(50)
+	w := NewWindowsAt(10, clk.Now)
+	eng, err := NewAlertEngineAt(w, clk.Now,
+		Rule{Name: "instant", Metric: "qps", Threshold: 0.01, WindowSeconds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(WindowSample{Cycles: 1})
+	eng.Evaluate()
+	if got := eng.Snapshot().Rules[0].State; got != "firing" {
+		t.Fatalf("for=0 first breach: state = %s, want firing", got)
+	}
+}
+
+// TestAlertBurnRate: the compared value is metric / (1 - objective) — a 5%
+// error rate against a 99% SLO burns 5x the budget.
+func TestAlertBurnRate(t *testing.T) {
+	clk := newFakeClock(300)
+	w := NewWindowsAt(20, clk.Now)
+	eng, err := NewAlertEngineAt(w, clk.Now, Rule{
+		Name: "burn", Metric: "error_rate", Objective: 0.99,
+		Threshold: 4, WindowSeconds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 19 ok + 1 error = 5% error rate → burn 5.0 > 4: fires.
+	for i := 0; i < 19; i++ {
+		w.Record(WindowSample{Cycles: 100})
+	}
+	w.Record(WindowSample{Err: true})
+	eng.Evaluate()
+	st := eng.Snapshot().Rules[0]
+	if st.State != "firing" {
+		t.Fatalf("burn 5x: state = %s, want firing", st.State)
+	}
+	if st.Value < 4.99 || st.Value > 5.01 {
+		t.Fatalf("burn value = %g, want ~5", st.Value)
+	}
+}
+
+func TestAlertLessComparison(t *testing.T) {
+	clk := newFakeClock(400)
+	w := NewWindowsAt(10, clk.Now)
+	eng, err := NewAlertEngineAt(w, clk.Now,
+		Rule{Name: "starved", Metric: "qps", Less: true, Threshold: 0.5, WindowSeconds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Evaluate() // zero traffic < 0.5
+	if got := eng.Snapshot().Rules[0].State; got != "firing" {
+		t.Fatalf("less-than rule on idle window: state = %s, want firing", got)
+	}
+	for i := 0; i < 10; i++ {
+		w.Record(WindowSample{Cycles: 1})
+	}
+	eng.Evaluate()
+	if got := eng.Snapshot().Rules[0].State; got != "inactive" {
+		t.Fatalf("traffic restored: state = %s, want inactive", got)
+	}
+}
+
+func TestAlertEngineStartStop(t *testing.T) {
+	w := NewWindows(10)
+	eng, err := NewAlertEngine(w, Rule{Name: "idle", Metric: "qps", Less: true, Threshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start(time.Millisecond)
+	eng.Start(time.Millisecond) // second Start is a no-op, not a second ticker
+	deadline := time.Now().Add(2 * time.Second)
+	for eng.Snapshot().Rules[0].State != "firing" {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never evaluated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.Stop()
+	eng.Stop() // idempotent
+}
+
+func TestAlertsHandle(t *testing.T) {
+	clk := newFakeClock(600)
+	w := NewWindowsAt(10, clk.Now)
+	eng, err := NewAlertEngineAt(w, clk.Now,
+		Rule{Name: "r1", Metric: "qps", Threshold: 100, Severity: "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Evaluate()
+	mux := http.NewServeMux()
+	eng.Handle(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var doc AlertsJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/alerts not JSON: %v\n%s", err, body)
+	}
+	if doc.NowUnix != 600 || len(doc.Rules) != 1 || doc.Rules[0].Name != "r1" || doc.Firing != 0 {
+		t.Fatalf("alerts doc = %+v", doc)
+	}
+	if doc.History == nil {
+		t.Fatal("history must marshal as [], not null")
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	clk := newFakeClock(700)
+	w := NewWindowsAt(10, clk.Now)
+	eng, err := NewAlertEngineAt(w, clk.Now,
+		Rule{Name: "starve", Metric: "qps", Less: true, Threshold: 0.5, Severity: "page", WindowSeconds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHealth("v-test", "ROW,COL", eng)
+	mux := http.NewServeMux()
+	h.Handle(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, map[string]any) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: body not JSON: %v", path, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	// Liveness is unconditional; readiness starts false.
+	if code, body := get("/healthz"); code != 200 || body["version"] != "v-test" {
+		t.Fatalf("/healthz = %d %v", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before SetReady = %d, want 503", code)
+	}
+
+	h.SetReady(true)
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz after SetReady = %d, want 200", code)
+	}
+
+	// A firing page-severity alert flips readiness off.
+	eng.Evaluate() // idle window breaches the less-than qps rule
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body["page_firing"] != true {
+		t.Fatalf("/readyz with page firing = %d %v, want 503", code, body)
+	}
+
+	// Alerts-free health still works (nil engine).
+	h2 := NewHealth("v2", "ROW", nil)
+	h2.SetReady(true)
+	if !h2.Ready() {
+		t.Fatal("nil-alerts health not ready")
+	}
+}
+
+func TestPublishBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	PublishBuildInfo(reg, "1.2.3", "ROW,COL")
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{"rfabric_build_info", `version="1.2.3"`, `engines="ROW,COL"`, `go="go`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("build info exposition missing %q:\n%s", want, out)
+		}
+	}
+	PublishBuildInfo(nil, "x", "y") // nil registry must not panic
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Health is the liveness/readiness surface of a serving process:
+//
+//	GET /healthz — liveness: 200 as long as the process responds, with
+//	               version and uptime in the body.
+//	GET /readyz  — readiness: 200 once SetReady(true) and no page-severity
+//	               alert is firing; 503 otherwise. Load balancers and CI
+//	               smoke checks key off the status code.
+type Health struct {
+	version    string
+	engines    string
+	startNanos int64
+	ready      atomic.Bool
+	alerts     *AlertEngine // optional; nil means readiness ignores alerts
+	now        func() int64
+}
+
+// NewHealth builds the health surface. alerts may be nil.
+func NewHealth(version, engines string, alerts *AlertEngine) *Health {
+	now := func() int64 { return time.Now().UnixNano() }
+	return &Health{version: version, engines: engines, startNanos: now(), alerts: alerts, now: now}
+}
+
+// SetReady flips readiness (off until called with true).
+func (h *Health) SetReady(r bool) { h.ready.Store(r) }
+
+// Ready reports the readiness verdict /readyz serves.
+func (h *Health) Ready() bool { return h.ready.Load() && !h.alerts.FiringPage() }
+
+// healthBody is the JSON both endpoints serve.
+type healthBody struct {
+	Status        string `json:"status"`
+	Version       string `json:"version,omitempty"`
+	Engines       string `json:"engines,omitempty"`
+	Go            string `json:"go"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	FiringAlerts  int    `json:"firing_alerts"`
+	PageFiring    bool   `json:"page_firing,omitempty"`
+}
+
+func (h *Health) body(status string) healthBody {
+	b := healthBody{
+		Status:        status,
+		Version:       h.version,
+		Engines:       h.engines,
+		Go:            runtime.Version(),
+		UptimeSeconds: (h.now() - h.startNanos) / 1e9,
+	}
+	if h.alerts != nil {
+		snap := h.alerts.Snapshot()
+		b.FiringAlerts = snap.Firing
+		b.PageFiring = h.alerts.FiringPage()
+	}
+	return b
+}
+
+// Handle mounts /healthz and /readyz.
+func (h *Health) Handle(mux *http.ServeMux) {
+	writeBody := func(w http.ResponseWriter, code int, b healthBody) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(b)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeBody(w, http.StatusOK, h.body("ok"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		if h.Ready() {
+			writeBody(w, http.StatusOK, h.body("ready"))
+			return
+		}
+		writeBody(w, http.StatusServiceUnavailable, h.body("unavailable"))
+	})
+}
+
+// PublishBuildInfo sets the rfabric_build_info gauge to 1 with identity
+// labels (version, engine set, Go toolchain), the conventional *_build_info
+// pattern that lets every scrape identify the binary it came from.
+func PublishBuildInfo(reg *Registry, version, engines string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("rfabric_build_info", Labels{
+		"version": version,
+		"engines": engines,
+		"go":      runtime.Version(),
+	}).Set(1)
+}

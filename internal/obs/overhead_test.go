@@ -84,6 +84,71 @@ func TestDisabledStatStoreIsFree(t *testing.T) {
 	}
 }
 
+// TestDisabledWindowsIsFree pins the sliding-window off-switch: a nil or
+// disabled Windows must cost the query path one atomic load and zero
+// allocations — and an *enabled* Record must not allocate either, since it
+// folds into fixed-size buckets.
+func TestDisabledWindowsIsFree(t *testing.T) {
+	w := NewWindows(10)
+	w.SetDisabled(true)
+	var nilW *Windows
+	sample := WindowSample{Cycles: 1234, BytesDRAM: 64, CacheLoads: 10, CacheMisses: 1}
+	if n := testing.AllocsPerRun(100, func() {
+		if w.Enabled() || nilW.Enabled() {
+			t.Fatal("capture gate open on disabled/nil Windows")
+		}
+		// Even a caller that skipped the gate must not allocate.
+		w.Record(sample)
+		nilW.Record(sample)
+	}); n != 0 {
+		t.Errorf("disabled Windows path allocates %.1f times per run, want 0", n)
+	}
+	if got := w.Snapshot(0).Queries; got != 0 {
+		t.Errorf("disabled Windows recorded %d queries, want 0", got)
+	}
+
+	w.SetDisabled(false)
+	if n := testing.AllocsPerRun(100, func() {
+		w.Record(sample)
+	}); n != 0 {
+		t.Errorf("enabled Record allocates %.1f times per run, want 0", n)
+	}
+	if got := w.Snapshot(0).Queries; got == 0 {
+		t.Error("re-enabled Windows lost its records")
+	}
+}
+
+// TestHeapAllocBytesDoesNotAllocate pins the sampling primitive itself: the
+// pooled runtime/metrics read must not allocate on the steady path, or the
+// act of measuring per-query allocations would pollute the measurement.
+func TestHeapAllocBytesDoesNotAllocate(t *testing.T) {
+	HeapAllocBytes() // warm the pool
+	if n := testing.AllocsPerRun(100, func() { HeapAllocBytes() }); n != 0 {
+		t.Errorf("HeapAllocBytes allocates %.1f times per run, want 0", n)
+	}
+}
+
+// BenchmarkDisabledWindowsRecord measures the per-query cost with windows
+// attached but disabled: one atomic load.
+func BenchmarkDisabledWindowsRecord(b *testing.B) {
+	w := NewWindows(10)
+	w.SetDisabled(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Record(WindowSample{Cycles: 1})
+	}
+}
+
+// BenchmarkWindowsRecord measures the enabled per-query fold: stripe lock +
+// bucket update, no allocation.
+func BenchmarkWindowsRecord(b *testing.B) {
+	w := NewWindows(60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Record(WindowSample{Cycles: uint64(i), BytesDRAM: 64})
+	}
+}
+
 // BenchmarkDisabledCounterAdd measures the hot-path cost the engines pay
 // per publish when a registry is attached but disabled: one atomic load.
 func BenchmarkDisabledCounterAdd(b *testing.B) {

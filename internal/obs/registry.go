@@ -190,10 +190,16 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.buckets[i]++
+	h.buckets[bucketIndex(h.bounds, v)]++
 	h.count++
 	h.sum += v
+}
+
+// bucketIndex returns the bucket a sample lands in: the first bound >= v,
+// or the overflow slot past the last bound. Shared by Histogram and the
+// sliding-window buckets so both count on the same grid.
+func bucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
 }
 
 // Count returns how many samples were observed.
@@ -218,7 +224,15 @@ func (h *Histogram) Sum() float64 {
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.count == 0 {
+	return bucketQuantile(h.bounds, h.buckets, h.count, q)
+}
+
+// bucketQuantile is the quantile estimate over one bucket layout — the
+// single implementation Histogram.Quantile and the sliding-window merges
+// share, so a windowed p99 agrees exactly with a Histogram fed the same
+// samples.
+func bucketQuantile(bounds []float64, buckets []uint64, count uint64, q float64) float64 {
+	if count == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -227,9 +241,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(h.count)
+	rank := q * float64(count)
 	var cum float64
-	for i, n := range h.buckets {
+	for i, n := range buckets {
 		if n == 0 {
 			continue
 		}
@@ -238,16 +252,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 			cum = next
 			continue
 		}
-		if i >= len(h.bounds) {
+		if i >= len(bounds) {
 			// Overflow bucket: no upper bound to interpolate toward.
-			return h.bounds[len(h.bounds)-1]
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := h.bounds[i]
+		hi := bounds[i]
 		return lo + (hi-lo)*((rank-cum)/float64(n))
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }

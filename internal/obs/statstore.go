@@ -38,6 +38,7 @@ type stmtStats struct {
 	errors      uint64
 	slow        uint64
 	totalCycles uint64
+	allocBytes  uint64
 	rowsRet     uint64
 	rowsScan    uint64
 	bytesDRAM   uint64
@@ -84,6 +85,7 @@ type StatSample struct {
 	Slow        bool
 	Cycles      uint64
 	WallNanos   int64
+	AllocBytes  uint64 // heap allocated during the call (process-wide delta)
 	RowsRet     int64
 	RowsScan    int64
 	BytesDRAM   uint64
@@ -127,6 +129,7 @@ func (s *StatStore) Record(sm StatSample) {
 		st.slow++
 	}
 	st.totalCycles += sm.Cycles
+	st.allocBytes += sm.AllocBytes
 	st.rowsRet += uint64(sm.RowsRet)
 	st.rowsScan += uint64(sm.RowsScan)
 	st.bytesDRAM += sm.BytesDRAM
@@ -202,6 +205,7 @@ type StatementRecord struct {
 	P95Cycles   float64           `json:"p95_cycles"`
 	P99Cycles   float64           `json:"p99_cycles"`
 	P99WallNs   float64           `json:"p99_wall_ns,omitempty"`
+	MeanAlloc   float64           `json:"mean_alloc_bytes,omitempty"`
 	RowsRet     uint64            `json:"rows_returned"`
 	RowsScan    uint64            `json:"rows_scanned"`
 	BytesDRAM   uint64            `json:"bytes_from_dram"`
@@ -245,6 +249,7 @@ func (s *StatStore) Snapshot() []StatementRecord {
 		}
 		if ok := st.calls - st.errors; ok > 0 {
 			rec.MeanCycles = float64(st.totalCycles) / float64(ok)
+			rec.MeanAlloc = float64(st.allocBytes) / float64(ok)
 		}
 		for eng, n := range st.engines {
 			rec.Engines[eng] = n

@@ -217,7 +217,12 @@ type Trace struct {
 	// TotalCycles is the run's Breakdown.TotalCycles, the number the root
 	// span's AttributedCycles reconciles against.
 	TotalCycles uint64 `json:"total_cycles"`
-	Root        *Span  `json:"root"`
+	// WallNanos and AllocBytes are the run's real wall-clock duration and
+	// heap-allocation delta — the host-side cost riding alongside the
+	// modeled cycles (zero on traces captured before these were recorded).
+	WallNanos  int64  `json:"wall_ns,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	Root       *Span  `json:"root"`
 	// Timeline is the optional cycle-sampled hardware time series recorded
 	// alongside the span tree (WithTimeline trace option).
 	Timeline *Timeline `json:"timeline,omitempty"`

@@ -1,0 +1,324 @@
+package rfabric
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rfabric/internal/obs"
+	"rfabric/internal/tpch"
+)
+
+// DB-level tests of the sliding-window telemetry and the alert lifecycle:
+// the windows see exactly what the query path ran (successes, failures,
+// modeled cycles, real wall-clock and allocation deltas), and an injected
+// latency regression drives an alert rule through pending → firing →
+// resolved on a shared fake clock.
+
+// telemetryClock is the hand-advanced nanosecond clock the windows and the
+// alert engine share in these tests.
+type telemetryClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+func (c *telemetryClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ns
+}
+
+func (c *telemetryClock) AdvanceSec(s int64) {
+	c.mu.Lock()
+	c.ns += s * 1e9
+	c.mu.Unlock()
+}
+
+func telemetryDB(t *testing.T, rows int) *DB {
+	t.Helper()
+	db, err := Open(DefaultConfig())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	tbl, err := db.CreateTable("lineitem", tpch.LineitemSchema(), rows)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := tpch.Generate(tbl, rows, 1); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return db
+}
+
+func TestDBWindowsCaptureQueries(t *testing.T) {
+	db := telemetryDB(t, 2000)
+	clk := &telemetryClock{ns: 1000e9}
+	win := obs.NewWindowsAt(60, clk.Now)
+	db.SetWindows(win)
+	if db.Windows() != win {
+		t.Fatal("Windows accessor lost the aggregator")
+	}
+
+	res, err := db.Query("SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if _, err := db.Execute("BOGUS", "lineitem", tpch.Q6()); err == nil {
+		t.Fatal("bogus engine kind succeeded")
+	}
+
+	snap := win.Snapshot(0)
+	if snap.Queries != 2 || snap.Errors != 1 {
+		t.Fatalf("queries/errors = %d/%d, want 2/1", snap.Queries, snap.Errors)
+	}
+	if snap.MeanCycles != float64(res.Breakdown.TotalCycles) {
+		t.Fatalf("windowed mean cycles %g != the one success's %d", snap.MeanCycles, res.Breakdown.TotalCycles)
+	}
+	if snap.MeanWallNanos <= 0 {
+		t.Fatalf("mean wall ns = %g, want > 0 (real clock captured)", snap.MeanWallNanos)
+	}
+	if snap.MeanAllocBytes <= 0 {
+		t.Fatalf("mean alloc bytes = %g, want > 0 (a parsed query allocates)", snap.MeanAllocBytes)
+	}
+	if snap.DRAMBytesPerSec <= 0 {
+		t.Fatalf("dram bytes/s = %g, want > 0", snap.DRAMBytesPerSec)
+	}
+
+	pts := win.Series(0)
+	if len(pts) != 1 || pts[0].Queries != 2 || pts[0].Errors != 1 {
+		t.Fatalf("series = %+v", pts)
+	}
+	// A small table can serve entirely from cache (zero DRAM fills), but the
+	// hierarchy must have seen demand loads.
+	if pts[0].CacheLoads == 0 {
+		t.Fatal("windows recorded no cache loads")
+	}
+}
+
+// TestDBWindowedQuantileMatchesHistogram is the DB-level half of the
+// acceptance criterion: feed the same per-query modeled cycles the windows
+// recorded into a registry Histogram and the windowed p99 must agree
+// exactly — both sides share the bucket grid and the interpolation.
+func TestDBWindowedQuantileMatchesHistogram(t *testing.T) {
+	db := telemetryDB(t, 2000)
+	clk := &telemetryClock{ns: 2000e9}
+	win := obs.NewWindowsAt(60, clk.Now)
+	db.SetWindows(win)
+
+	reg := obs.NewRegistry()
+	h := reg.Histogram("cmp_cycles", nil)
+	queries := []string{
+		"SELECT COUNT(*) FROM lineitem WHERE l_quantity < 40",
+		"SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 10",
+		"SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity < 2",
+		"SELECT AVG(l_discount) FROM lineitem WHERE l_tax < 0.04",
+	}
+	for i, q := range queries {
+		for _, kind := range []EngineKind{RM, ROW} {
+			res, err := db.QueryOn(kind, q)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", q, kind, err)
+			}
+			h.Observe(float64(res.Breakdown.TotalCycles))
+		}
+		if i%2 == 1 {
+			clk.AdvanceSec(1)
+		}
+	}
+
+	snap := win.Snapshot(0)
+	if snap.Queries != uint64(2*len(queries)) {
+		t.Fatalf("windows saw %d queries, want %d", snap.Queries, 2*len(queries))
+	}
+	for _, c := range []struct {
+		name string
+		q    float64
+		got  float64
+	}{
+		{"p50", 0.50, snap.P50Cycles},
+		{"p95", 0.95, snap.P95Cycles},
+		{"p99", 0.99, snap.P99Cycles},
+	} {
+		if want := h.Quantile(c.q); c.got != want {
+			t.Fatalf("windowed %s = %g, Histogram.Quantile = %g — must match exactly", c.name, c.got, want)
+		}
+	}
+}
+
+// TestLatencyRegressionAlertLifecycle injects a latency regression into a
+// live DB and proves the full alert state machine: healthy traffic keeps
+// the rule inactive; a sustained regression walks it pending → firing
+// (flipping /readyz through FiringPage); recovery resolves it, with the
+// resolve recorded in the firing history.
+func TestLatencyRegressionAlertLifecycle(t *testing.T) {
+	db := telemetryDB(t, 24_000)
+	clk := &telemetryClock{ns: 5000e9}
+	win := obs.NewWindowsAt(120, clk.Now)
+	db.SetWindows(win)
+
+	// The healthy workload scans a tiny table; the regression is a full scan
+	// of the large one — ~50x the rows, so the p99 cycle jump dominates the
+	// bucket quantile's within-bucket error (one power-of-4 bucket).
+	small, err := db.CreateTable("orders", tpch.OrdersSchema(), 500)
+	if err != nil {
+		t.Fatalf("orders: %v", err)
+	}
+	if err := tpch.GenerateOrders(small, 500, 1); err != nil {
+		t.Fatalf("generate orders: %v", err)
+	}
+	cheap := "SELECT COUNT(*) FROM orders WHERE o_custkey < 100"
+	expensive := "SELECT SUM(l_extendedprice), AVG(l_discount) FROM lineitem WHERE l_quantity < 100"
+	cheapRes, err := db.Query(cheap)
+	if err != nil {
+		t.Fatalf("cheap query: %v", err)
+	}
+	expRes, err := db.Query(expensive)
+	if err != nil {
+		t.Fatalf("expensive query: %v", err)
+	}
+	cheapCyc := float64(cheapRes.Breakdown.TotalCycles)
+	expCyc := float64(expRes.Breakdown.TotalCycles)
+	// The windowed p99 is a bucket estimate: it may read up to 4x the cheap
+	// cost (top of cheap's bucket) and as low as a quarter of the expensive
+	// cost (bottom of its bucket). A 16x gap keeps the threshold separable.
+	if expCyc < 16*cheapCyc {
+		t.Fatalf("regression not expensive enough to alert on: cheap=%g expensive=%g", cheapCyc, expCyc)
+	}
+	threshold := math.Sqrt(cheapCyc * expCyc)
+	clk.AdvanceSec(30) // drain the calibration traffic out of the rule window
+
+	eng, err := obs.NewAlertEngineAt(win, clk.Now, obs.Rule{
+		Name: "latency_regression", Metric: "p99_cycles", Threshold: threshold,
+		ForSeconds: 5, WindowSeconds: 20, Severity: "page",
+	})
+	if err != nil {
+		t.Fatalf("alert engine: %v", err)
+	}
+	health := NewHealth(eng)
+	health.SetReady(true)
+
+	state := func() string { return eng.Snapshot().Rules[0].State }
+
+	// Phase 1 — healthy: cheap queries only.
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(cheap); err != nil {
+			t.Fatal(err)
+		}
+		clk.AdvanceSec(1)
+	}
+	eng.Evaluate()
+	if got := state(); got != "inactive" {
+		t.Fatalf("healthy traffic: state = %s, want inactive (p99 %g vs threshold %g)",
+			got, win.Snapshot(20).P99Cycles, threshold)
+	}
+	if !health.Ready() {
+		t.Fatal("healthy: not ready")
+	}
+
+	// Phase 2 — regression lands: first breach goes pending, not firing.
+	if _, err := db.Query(expensive); err != nil {
+		t.Fatal(err)
+	}
+	eng.Evaluate()
+	if got := state(); got != "pending" {
+		t.Fatalf("first breach: state = %s, want pending", got)
+	}
+	if !health.Ready() {
+		t.Fatal("pending alert must not flip readiness")
+	}
+
+	// Phase 3 — regression sustained past the hold: firing, readiness off.
+	for i := 0; i < 6; i++ {
+		clk.AdvanceSec(1)
+		if _, err := db.Query(expensive); err != nil {
+			t.Fatal(err)
+		}
+		eng.Evaluate()
+	}
+	if got := state(); got != "firing" {
+		t.Fatalf("sustained regression: state = %s, want firing", got)
+	}
+	if health.Ready() {
+		t.Fatal("firing page alert must flip /readyz off")
+	}
+	if got := eng.Snapshot().Rules[0].FiredTotal; got != 1 {
+		t.Fatalf("fired_total = %d, want 1", got)
+	}
+
+	// Phase 4 — regression fixed: slow samples age out of the 20s window
+	// while cheap traffic continues; the alert resolves and readiness
+	// returns.
+	clk.AdvanceSec(25)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(cheap); err != nil {
+			t.Fatal(err)
+		}
+		eng.Evaluate()
+		clk.AdvanceSec(1)
+	}
+	if got := state(); got != "inactive" {
+		t.Fatalf("after recovery: state = %s, want inactive (p99 %g)", got, win.Snapshot(20).P99Cycles)
+	}
+	if !health.Ready() {
+		t.Fatal("recovered: readiness must return")
+	}
+
+	// The history tells the whole story, ending in a resolve.
+	hist := eng.Snapshot().History
+	if len(hist) < 3 {
+		t.Fatalf("history too short: %+v", hist)
+	}
+	last := hist[len(hist)-1]
+	if last.To != "inactive" || !last.Resolve {
+		t.Fatalf("final transition = %+v, want resolved inactive", last)
+	}
+	sawFiring := false
+	for _, tr := range hist {
+		if tr.To == "firing" && tr.Rule == "latency_regression" {
+			sawFiring = true
+		}
+	}
+	if !sawFiring {
+		t.Fatalf("history never fired: %+v", hist)
+	}
+}
+
+// TestDBWindowsJoinAndTracedPaths: the join entry point and the traced
+// entry point feed the same windows, and traces carry the new wall/alloc
+// fields.
+func TestDBWindowsJoinAndTracedPaths(t *testing.T) {
+	db := telemetryDB(t, 2000)
+	clk := &telemetryClock{ns: 9000e9}
+	win := obs.NewWindowsAt(60, clk.Now)
+	db.SetWindows(win)
+
+	orders, err := db.CreateTable("orders", tpch.OrdersSchema(), 500)
+	if err != nil {
+		t.Fatalf("orders: %v", err)
+	}
+	if err := tpch.GenerateOrders(orders, 500, 1); err != nil {
+		t.Fatalf("generate orders: %v", err)
+	}
+
+	if _, err := db.Query(
+		"SELECT COUNT(*) FROM lineitem JOIN orders ON l_orderkey = o_orderkey WHERE l_quantity < 30"); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if win.Snapshot(0).Queries != 1 {
+		t.Fatal("join path did not reach the windows")
+	}
+
+	_, trace, err := db.QueryTraced("SELECT COUNT(*) FROM lineitem WHERE l_quantity < 25")
+	if err != nil {
+		t.Fatalf("traced: %v", err)
+	}
+	if trace.WallNanos <= 0 {
+		t.Fatalf("trace wall ns = %d, want > 0", trace.WallNanos)
+	}
+	if trace.AllocBytes == 0 {
+		t.Fatal("trace alloc bytes = 0, want > 0")
+	}
+	if win.Snapshot(0).Queries != 2 {
+		t.Fatal("traced path did not reach the windows")
+	}
+}
