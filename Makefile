@@ -20,9 +20,10 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Scalar-vs-vectorized wall-clock comparison on the TPC-H scan benchmarks.
+# Scalar-vs-vectorized wall-clock comparison on the TPC-H scan benchmarks,
+# plus the warm/cold group-cache pair.
 bench-wallclock:
-	$(GO) test ./internal/engine -run '^$$' -bench Wallclock -benchmem
+	$(GO) test ./internal/engine -run '^$$' -bench 'Wallclock|Sequence' -benchmem
 
 vet:
 	$(GO) vet ./...

@@ -56,8 +56,13 @@ type AuditQuery struct {
 	AutoOptimal bool   `json:"auto_optimal"`
 	// Rechoice is what AUTO would pick re-priced with the selectivity the
 	// run observed (SelOverride) instead of the textbook heuristic.
-	Rechoice  string  `json:"rechoice_with_observed_sel,omitempty"`
-	MaxQError float64 `json:"max_q_error,omitempty"`
+	Rechoice string `json:"rechoice_with_observed_sel,omitempty"`
+	// AutoAfterFeedback is AUTO's choice re-planned with the mean observed
+	// selectivity the statement store accumulated for this fingerprint over
+	// the replay — the automatic feedback path (StatStore → SelOverride)
+	// rather than Rechoice's single-run injection.
+	AutoAfterFeedback string  `json:"auto_after_feedback,omitempty"`
+	MaxQError         float64 `json:"max_q_error,omitempty"`
 }
 
 // AuditReport is the full audit artifact (rfbench -audit).
@@ -187,6 +192,9 @@ func (db *DB) Audit(set []AuditStatement, lineitemRows int, seed int64) (*AuditR
 		if autoSel > 0 {
 			aq.Rechoice = db.rechoice(stmt.SQL, autoSel)
 		}
+		if sel, ok := stats.FeedbackSelectivity(fp); ok {
+			aq.AutoAfterFeedback = db.rechoice(stmt.SQL, sel)
+		}
 		if aq.MaxQError > rep.MaxQError {
 			rep.MaxQError = aq.MaxQError
 		}
@@ -260,7 +268,7 @@ func (db *DB) auditOne(kind EngineKind, text string) AuditRun {
 		return fail(err)
 	}
 	c := db.beginStatement(text, true)
-	res, err := db.run(kind, t, q, sk, c.tracer())
+	res, err := db.run(kind, t, q, sk, c.tracer(), c)
 	if err == nil {
 		c.noteSingle(db, t, q, res)
 	}
@@ -359,6 +367,9 @@ func (r *AuditReport) WriteTable(w io.Writer) {
 			fmt.Fprintf(w, "; with observed selectivity it would choose %s", q.Rechoice)
 		}
 		fmt.Fprintln(w)
+		if q.AutoAfterFeedback != "" {
+			fmt.Fprintf(w, "  after StatStore feedback AUTO plans %s\n", q.AutoAfterFeedback)
+		}
 	}
 }
 

@@ -40,6 +40,13 @@ func TestAuditReplaysAllEnginesAndStatements(t *testing.T) {
 		if q.MaxQError < 1 {
 			t.Errorf("%s: no q-error recorded", q.Name)
 		}
+		// Every replay recorded its observed selectivity, so the feedback
+		// repricing must have produced a verdict for every statement.
+		switch q.AutoAfterFeedback {
+		case "ROW", "COL", "RM", "IDX":
+		default:
+			t.Errorf("%s: AutoAfterFeedback = %q, want a serial engine name", q.Name, q.AutoAfterFeedback)
+		}
 	}
 	// The statement store saw one fingerprint per audit statement (each
 	// replayed len(AuditEngines) times, plus the rechoice repricings which

@@ -10,9 +10,11 @@ import (
 
 // defaultBenchSet is the tier-1 experiment set the CI regression gate runs:
 // the projectivity sweep (the paper's headline figure), the parallel
-// makespan sweep, and the Q3-class hash join, which together cover all
-// three engines, the morsel/shard coordinator, and the join pipeline.
-var defaultBenchSet = []string{"fig5", "par-speedup", "join"}
+// makespan sweep, the Q3-class hash join, and the sequence-aware caching
+// run, which together cover all three engines, the morsel/shard
+// coordinator, the join pipeline, and the persistent group cache's
+// warm/cold contract.
+var defaultBenchSet = []string{"fig5", "par-speedup", "join", "sequence"}
 
 // runBench executes the named experiments (the tier-1 set when none are
 // given), flattens every numeric result leaf into a bench.Record, and writes

@@ -8,9 +8,9 @@
 //	rfbench -bench [-bench-name NAME] [<experiment>...]
 //	rfbench -compare [-tolerance PCT] old.json new.json
 //
-// Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, join, abl-prefetch,
-// abl-buffer, abl-clock, abl-banks, abl-mvcc, abl-pushdown, abl-index,
-// abl-rmc, abl-compress, abl-storage, or "all".
+// Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, join, sequence,
+// abl-prefetch, abl-buffer, abl-clock, abl-banks, abl-mvcc, abl-pushdown,
+// abl-index, abl-rmc, abl-compress, abl-storage, or "all".
 //
 // Flags:
 //
@@ -185,7 +185,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "par-speedup", "join",
+		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "par-speedup", "join", "sequence",
 			"abl-prefetch", "abl-buffer", "abl-clock", "abl-banks",
 			"abl-mvcc", "abl-pushdown", "abl-index", "abl-rmc", "abl-compress", "abl-storage"}
 	}
@@ -262,6 +262,8 @@ func runExperiment(name string, opt experiments.Options) (any, []string, error) 
 		result, err = experiments.ParallelSpeedup(opt, 8, opt.MicroRows, opt.ParWorkers)
 	case "join":
 		result, err = experiments.JoinQ3(opt, opt.MicroRows, opt.ParWorkers)
+	case "sequence":
+		result, err = experiments.Sequence(opt, opt.MicroRows, 8)
 	case "abl-prefetch":
 		result, err = experiments.AblationPrefetchStreams(opt, []int{1, 2, 4, 8, 16})
 	case "abl-buffer":

@@ -79,6 +79,7 @@ func setupServe(rows int, seed int64, slowCycles uint64, ruleTexts []string, log
 	if err := tpch.Generate(tbl, rows, seed); err != nil {
 		return nil, nil, err
 	}
+	db.SetGroupCache(rfabric.DefaultGroupCacheConfig())
 	reg := rfabric.NewRegistry()
 	db.SetObserver(reg)
 	obs.PublishBuildInfo(reg, rfabric.Version, rfabric.EngineSet)

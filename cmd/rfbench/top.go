@@ -156,6 +156,17 @@ func fmtCount(v float64) string {
 	}
 }
 
+// gaugeValue finds a gauge by name in the exported registry (0 when the
+// server doesn't publish it — e.g. the group cache is off).
+func gaugeValue(m obs.ExportJSON, name string) float64 {
+	for _, g := range m.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
 // renderTop draws one dashboard frame. Pure function of the frame — tested
 // without a terminal or a server.
 func renderTop(w io.Writer, baseURL string, f topFrame) {
@@ -175,6 +186,11 @@ func renderTop(w io.Writer, baseURL string, f topFrame) {
 	fmt.Fprintf(w, "  bytes/s dram %-10s cpu %-10s miss%% %-7s cyc/s %-10s\n",
 		fmtCount(s.DRAMBytesPerSec), fmtCount(s.CPUBytesPerSec),
 		fmt.Sprintf("%.1f", s.CacheMissRatio*100), fmtCount(s.CyclesPerSec))
+	fmt.Fprintf(w, "  gcache  hits %-10s miss %-9s hit%% %-8s resident %-10s entries %-8s\n",
+		fmtCount(float64(s.GroupHits)), fmtCount(float64(s.GroupMisses)),
+		fmt.Sprintf("%.1f", s.GroupHitRatio*100),
+		fmtCount(gaugeValue(f.metrics, "rfabric_groupcache_bytes"))+"B",
+		fmtCount(gaugeValue(f.metrics, "rfabric_groupcache_entries")))
 	fmt.Fprintf(w, "  wall    mean %-12s alloc/query %-10s\n\n",
 		time.Duration(s.MeanWallNanos).Round(time.Microsecond), fmtCount(s.MeanAllocBytes)+"B")
 

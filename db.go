@@ -11,6 +11,7 @@ import (
 	"rfabric/internal/cache"
 	"rfabric/internal/colstore"
 	"rfabric/internal/engine"
+	"rfabric/internal/fabric"
 	"rfabric/internal/index"
 	"rfabric/internal/obs"
 	"rfabric/internal/plan"
@@ -46,13 +47,33 @@ type DB struct {
 	stats         *obs.StatStore // nil: no per-statement statistics
 	slow          *obs.SlowLog   // created lazily by SetSlowThreshold
 	slowThreshold atomic.Uint64  // modeled cycles; 0 = slow log disarmed
+
+	// gcache is the sequence-aware column-group cache (nil: off, the
+	// paper's per-query ephemeral behaviour). Set by SetGroupCache; guarded
+	// by mu alongside the catalog it caches over. gcfg carries the feedback
+	// knobs that ride along with it.
+	gcache *fabric.GroupCache
+	gcfg   GroupCacheConfig
+
+	// catalogEpoch counts catalog mutations (CreateTable, CreateIndex,
+	// Insert). Prepared statements record the epoch they compiled under and
+	// recompile when it moves — the planCache's invalidation mechanism.
+	catalogEpoch atomic.Uint64
+
+	gcMu   sync.Mutex // serializes group-cache delta publication
+	lastGC fabric.GroupCacheStats
 }
 
 type dbTable struct {
 	tbl      *Table
 	capacity int
 	col      *colstore.Store // lazily materialized columnar copy
-	idx      *index.BTree    // optional secondary index
+	// colVersion is the table mutation count the columnar copy was built
+	// at; a moved version means the copy is stale and must be rebuilt.
+	// This catches writers that bypass the façade (direct *Table handles),
+	// which Insert's eager `col = nil` cannot see.
+	colVersion uint64
+	idx        *index.BTree // optional secondary index
 }
 
 // Open creates an empty database on a fresh simulated system.
@@ -67,6 +88,68 @@ func Open(cfg Config) (*DB, error) {
 // System exposes the underlying simulated machine (for stats and the
 // lower-level APIs).
 func (db *DB) System() *System { return db.sys }
+
+// GroupCacheConfig parameterizes the sequence-aware column-group cache and
+// the feedback loop that rides along with it.
+type GroupCacheConfig struct {
+	// CapacityBytes bounds the cache by modeled packed bytes (LRU
+	// eviction of unpinned entries). Zero or negative disables the cache.
+	CapacityBytes int64
+	// QErrorEvictThreshold evicts a prepared statement's cached plan when
+	// a run's cycle q-error exceeds it, so mispriced plans are re-planned
+	// with observed-selectivity feedback. Zero or negative disarms
+	// feedback eviction.
+	QErrorEvictThreshold float64
+}
+
+// DefaultGroupCacheConfig is a 64 MB cache with feedback eviction at
+// q-error 2 (estimate off by more than 2x in either direction).
+func DefaultGroupCacheConfig() GroupCacheConfig {
+	return GroupCacheConfig{CapacityBytes: 64 << 20, QErrorEvictThreshold: 2}
+}
+
+// SetGroupCache turns the sequence-aware column-group cache on (or, with a
+// non-positive capacity, off). With the cache on, RM scans keep their packed
+// column groups resident and replay them on later same-shaped queries, AUTO
+// prices resident groups as warm, observed selectivities feed back into
+// planning per statement fingerprint, and mispriced prepared plans are
+// evicted by q-error. Default is off: execution and modeled costs are
+// byte-identical to the per-query ephemeral behaviour.
+func (db *DB) SetGroupCache(cfg GroupCacheConfig) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.gcfg = cfg
+	if cfg.CapacityBytes <= 0 {
+		db.gcache = nil
+		return
+	}
+	db.gcache = fabric.NewGroupCache(cfg.CapacityBytes, db.sys.Arena)
+}
+
+// groupCache returns the cache under the read lock (nil when off).
+func (db *DB) groupCache() *fabric.GroupCache {
+	db.mu.RLock()
+	gc := db.gcache
+	db.mu.RUnlock()
+	return gc
+}
+
+// feedbackThreshold returns the armed q-error eviction threshold, or 0 when
+// feedback is off (no group cache, or threshold disarmed).
+func (db *DB) feedbackThreshold() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.gcache == nil || db.gcfg.QErrorEvictThreshold <= 0 {
+		return 0
+	}
+	return db.gcfg.QErrorEvictThreshold
+}
+
+// GroupCacheStats snapshots the group cache's counters and occupancy.
+// All-zero when the cache is off.
+func (db *DB) GroupCacheStats() fabric.GroupCacheStats {
+	return db.groupCache().Stats()
+}
 
 // TableOption configures CreateTable.
 type TableOption func(*tableOpts)
@@ -105,6 +188,7 @@ func (db *DB) CreateTable(name string, schema *Schema, capacity int, opts ...Tab
 		return nil, err
 	}
 	db.tables[name] = &dbTable{tbl: tbl, capacity: capacity}
+	db.catalogEpoch.Add(1)
 	return tbl, nil
 }
 
@@ -160,6 +244,8 @@ func (db *DB) Insert(name string, vals ...Value) error {
 				t.idx.Insert(db.sys.Hier, v.Int, row)
 			}
 		}
+		db.catalogEpoch.Add(1)
+		db.gcache.Invalidate(t.tbl)
 	}
 	return err
 }
@@ -185,6 +271,7 @@ func (db *DB) CreateIndex(tableName, column string) (*index.BTree, error) {
 		return nil, err
 	}
 	t.idx = idx
+	db.catalogEpoch.Add(1)
 	return idx, nil
 }
 
@@ -268,7 +355,7 @@ func (db *DB) queryOn(kind EngineKind, query string, c *stmtCtx) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.run(kind, t, q, sk, c.tracer())
+	res, err := db.run(kind, t, q, sk, c.tracer(), c)
 	if err == nil {
 		c.noteSingle(db, t, q, res)
 	}
@@ -281,7 +368,7 @@ func (db *DB) Execute(kind EngineKind, tableName string, q Query) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return db.run(kind, t, q, engine.Sinks{}, nil)
+	return db.run(kind, t, q, engine.Sinks{}, nil, nil)
 }
 
 // winCapture is the real-time side of one run — wall-clock and heap
@@ -291,6 +378,7 @@ type winCapture struct {
 	on         bool
 	wallStart  time.Time
 	allocStart uint64
+	gcStart    fabric.GroupCacheStats
 }
 
 // winBegin marks the start of a run for the windows. Costs nothing when the
@@ -299,7 +387,9 @@ func (db *DB) winBegin() winCapture {
 	if !db.win.Enabled() {
 		return winCapture{}
 	}
-	return winCapture{on: true, wallStart: time.Now(), allocStart: obs.HeapAllocBytes()}
+	wc := winCapture{on: true, wallStart: time.Now(), allocStart: obs.HeapAllocBytes()}
+	wc.gcStart = db.groupCache().Stats()
+	return wc
 }
 
 // winEnd folds a finished run into the sliding windows: modeled cycles and
@@ -324,7 +414,27 @@ func (db *DB) winEnd(wc winCapture, hierStart cache.Stats, res *Result, err erro
 		s.BytesDRAM = res.Breakdown.BytesFromDRAM
 		s.BytesCPU = res.Breakdown.BytesToCPU
 	}
+	if gc := db.groupCache(); gc != nil {
+		gd := gc.Stats().Delta(wc.gcStart)
+		s.GroupHits, s.GroupMisses = gd.Hits, gd.Misses
+	}
 	db.win.Record(s)
+}
+
+// publishGroupCache folds the group cache's counter movement since the last
+// publication into the registry. The delta is serialized under gcMu so
+// concurrent finishing queries never double-count.
+func (db *DB) publishGroupCache() {
+	gc := db.groupCache()
+	if gc == nil {
+		return
+	}
+	db.gcMu.Lock()
+	cur := gc.Stats()
+	d := cur.Delta(db.lastGC)
+	db.lastGC = cur
+	db.gcMu.Unlock()
+	d.Publish(db.reg, nil)
 }
 
 // run is the measured entry point: it snapshots the simulated hardware
@@ -332,12 +442,12 @@ func (db *DB) winEnd(wc winCapture, hierStart cache.Stats, res *Result, err erro
 // the observer registry and the sliding windows. AUTO's recursion goes
 // through execute directly, so a query publishes exactly once no matter how
 // it was routed.
-func (db *DB) run(kind EngineKind, t *dbTable, q Query, sk engine.Sinks, tr *obs.Tracer) (*Result, error) {
+func (db *DB) run(kind EngineKind, t *dbTable, q Query, sk engine.Sinks, tr *obs.Tracer, c *stmtCtx) (*Result, error) {
 	regOn := db.reg != nil && !db.reg.Disabled()
 	if !regOn && !db.win.Enabled() {
 		// With no observer — or disabled ones — the query path carries no
 		// observability work at all beyond these checks (two atomic loads).
-		res, err := db.execute(kind, t, q, tr)
+		res, err := db.execute(kind, t, q, tr, c)
 		if err == nil {
 			applySinks(res, sk, tr)
 		}
@@ -347,7 +457,7 @@ func (db *DB) run(kind EngineKind, t *dbTable, q Query, sk engine.Sinks, tr *obs
 	memStart := db.sys.Mem.Stats()
 	hierStart := db.sys.Hier.Stats()
 	fabStart := db.sys.Fab.Stats()
-	res, err := db.execute(kind, t, q, tr)
+	res, err := db.execute(kind, t, q, tr, c)
 	if err == nil {
 		applySinks(res, sk, tr)
 	}
@@ -376,6 +486,7 @@ func (db *DB) run(kind EngineKind, t *dbTable, q Query, sk engine.Sinks, tr *obs
 	db.sys.Mem.Stats().Delta(memStart).Publish(db.reg, labels)
 	db.sys.Hier.Stats().Delta(hierStart).Publish(db.reg, labels)
 	db.sys.Fab.Stats().Delta(fabStart).Publish(db.reg, labels)
+	db.publishGroupCache()
 	return res, err
 }
 
@@ -383,24 +494,38 @@ func (db *DB) run(kind EngineKind, t *dbTable, q Query, sk engine.Sinks, tr *obs
 // handing it to the shared pipeline (engine.Run). Only two paths sit outside
 // that shape: AUTO, which prices the physical plan first and recurses with
 // the chosen source stamped in, and PAR, the morsel executor that runs the
-// RM source on private System clones.
-func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Result, error) {
+// RM source on private System clones. The statement context, when present,
+// carries the fingerprint the feedback loop keys observed selectivities on.
+func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer, c *stmtCtx) (*Result, error) {
 	switch kind {
 	case AUTO:
 		db.mu.RLock()
 		store, idx := t.col, t.idx
 		db.mu.RUnlock()
-		opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
+		opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx,
+			Cache: db.groupCache()}
 		root := engine.PlanOf(q, t.tbl.Name())
 		sp := tr.Begin("plan")
+		// Feedback: with the group cache on and history for this statement
+		// fingerprint, plan with the observed selectivity instead of the
+		// textbook heuristics — the StatStore half of the replanning loop.
+		if c != nil && opt.Cache != nil {
+			if sel, ok := db.stats.FeedbackSelectivity(c.fp); ok {
+				opt.SelOverride = sel
+				sp.SetAttr("feedback_sel", fmt.Sprintf("%.3f", sel))
+			}
+		}
 		p, err := opt.ChoosePlan(root)
 		if err != nil {
 			tr.End()
 			return nil, fmt.Errorf("rfabric: optimizing query: %w", err)
 		}
 		sp.SetAttr("chosen", p.Chosen)
+		if est := root.Scan().Est; est != nil && est.Warm {
+			sp.SetAttr("warm", "true")
+		}
 		tr.End()
-		return db.execute(EngineKind(p.Chosen), t, q, tr)
+		return db.execute(EngineKind(p.Chosen), t, q, tr, c)
 	case PAR:
 		var cfg engine.ParallelConfig
 		if db.par != nil {
@@ -410,7 +535,7 @@ func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Re
 		return e.Execute(q)
 	case RM:
 		if db.par != nil {
-			return db.execute(PAR, t, q, tr)
+			return db.execute(PAR, t, q, tr, c)
 		}
 	}
 	src, err := db.source(kind, t, tr)
@@ -425,7 +550,7 @@ func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer) (*Re
 func (db *DB) source(kind EngineKind, t *dbTable, tr *obs.Tracer) (engine.Source, error) {
 	switch kind {
 	case RM:
-		return &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}, nil
+		return &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, Cache: db.groupCache()}, nil
 	case ROW:
 		return &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}, nil
 	case "IDX":
@@ -448,24 +573,30 @@ func (db *DB) source(kind EngineKind, t *dbTable, tr *obs.Tracer) (engine.Source
 }
 
 // columnarCopy returns the table's columnar copy, materializing it on first
-// use (the duplication the paper removes — kept as the COL baseline).
-// Double-checked under the DB lock so a concurrent catalog writer cannot
-// race the lazy build.
+// use (the duplication the paper removes — kept as the COL baseline) and
+// rebuilding it whenever the table's mutation version has moved since the
+// build — writes through Insert and writes through a raw *Table handle both
+// invalidate. Double-checked under the DB lock so a concurrent catalog
+// writer cannot race the lazy build.
 func (db *DB) columnarCopy(t *dbTable) (*colstore.Store, error) {
 	db.mu.RLock()
-	store := t.col
+	store, built := t.col, t.colVersion
 	db.mu.RUnlock()
-	if store != nil {
+	if store != nil && built == t.tbl.Version() {
 		return store, nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if t.col == nil {
+	if t.col == nil || t.colVersion != t.tbl.Version() {
+		// Snapshot the version before copying: a write that lands during
+		// the build leaves the version ahead, forcing a rebuild next time.
+		ver := t.tbl.Version()
 		store, err := colstore.FromTable(t.tbl, db.sys.Arena)
 		if err != nil {
 			return nil, fmt.Errorf("rfabric: materializing columnar copy: %w", err)
 		}
 		t.col = store
+		t.colVersion = ver
 	}
 	return t.col, nil
 }
@@ -533,6 +664,7 @@ func (db *DB) runJoin(kind EngineKind, jp *engine.JoinPlan, sk engine.Sinks, tr 
 	db.sys.Mem.Stats().Delta(memStart).Publish(db.reg, labels)
 	db.sys.Hier.Stats().Delta(hierStart).Publish(db.reg, labels)
 	db.sys.Fab.Stats().Delta(fabStart).Publish(db.reg, labels)
+	db.publishGroupCache()
 	return res, err
 }
 
@@ -629,7 +761,8 @@ func (db *DB) priceJoinSide(t *dbTable, side *engine.JoinSide) (EngineKind, erro
 	db.mu.RLock()
 	store, idx := t.col, t.idx
 	db.mu.RUnlock()
-	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
+	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx,
+		Cache: db.groupCache()}
 	priced := engine.PlanOf(side.Query, side.Table)
 	pc, err := opt.ChoosePlan(priced)
 	if err != nil {
@@ -663,7 +796,8 @@ func (db *DB) joinSource(kind EngineKind, t *dbTable, side *engine.JoinSide, tr 
 	var src engine.Source
 	switch kind {
 	case RM:
-		src = &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true}
+		src = &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true,
+			Cache: db.groupCache()}
 	case ROW:
 		src = &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true}
 	case "IDX":

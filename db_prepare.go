@@ -26,6 +26,12 @@ type Prepared struct {
 	query Query
 	sinks engine.Sinks
 	text  string
+	// fp is the statement's normalized fingerprint — the key feedback
+	// eviction matches against. epoch is the catalog epoch the fragment
+	// compiled under; a moved epoch means the catalog changed (DDL or a
+	// write) and the cached fragment is stale.
+	fp    uint64
+	epoch uint64
 }
 
 // PlanCacheStats reports fragment-cache behaviour.
@@ -36,6 +42,13 @@ type PlanCacheStats struct {
 	// CompileCyclesSpent is the total modeled compilation time; a cache hit
 	// avoids CompileCycles of it.
 	CompileCyclesSpent uint64
+	// Invalidations counts stale fragments dropped because the catalog
+	// epoch moved under them (DDL or write paths).
+	Invalidations uint64
+	// FeedbackEvictions counts fragments evicted because a run's cycle
+	// q-error exceeded the configured threshold — the replanning half of
+	// the feedback loop.
+	FeedbackEvictions uint64
 }
 
 type planCache struct {
@@ -52,9 +65,16 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 	if db.plans == nil {
 		db.plans = &planCache{frags: map[string]*Prepared{}}
 	}
+	epoch := db.catalogEpoch.Load()
 	if p, ok := db.plans.frags[query]; ok {
-		db.plans.stats.Hits++
-		return p, nil
+		if p.epoch == epoch {
+			db.plans.stats.Hits++
+			return p, nil
+		}
+		// The catalog moved under the fragment (DDL or a write): drop it
+		// and recompile against the current schema and contents.
+		delete(db.plans.frags, query)
+		db.plans.stats.Invalidations++
 	}
 	db.plans.stats.Misses++
 	db.plans.stats.CompileCyclesSpent += CompileCycles
@@ -75,10 +95,31 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{db: db, table: st.Table, query: q, sinks: sk, text: query}
+	_, fp := sql.Fingerprint(query)
+	p := &Prepared{db: db, table: st.Table, query: q, sinks: sk, text: query,
+		fp: fp, epoch: epoch}
 	db.plans.frags[query] = p
 	db.plans.stats.Resident = len(db.plans.frags)
 	return p, nil
+}
+
+// evictPlan drops every cached fragment with the given statement
+// fingerprint — feedback eviction for plans whose pricing proved wrong. The
+// next Prepare recompiles, and AUTO replans it with observed-selectivity
+// feedback from the statement store.
+func (db *DB) evictPlan(fp uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.plans == nil {
+		return
+	}
+	for text, p := range db.plans.frags {
+		if p.fp == fp {
+			delete(db.plans.frags, text)
+			db.plans.stats.FeedbackEvictions++
+		}
+	}
+	db.plans.stats.Resident = len(db.plans.frags)
 }
 
 // Run executes the fragment on the chosen path. Runs record into the DB's
@@ -90,7 +131,7 @@ func (p *Prepared) Run(kind EngineKind) (*Result, error) {
 		return nil, fmt.Errorf("%w (dropped since preparation)", err)
 	}
 	c := p.db.beginStatement(p.text, true)
-	res, err := p.db.run(kind, t, p.query, p.sinks, c.tracer())
+	res, err := p.db.run(kind, t, p.query, p.sinks, c.tracer(), c)
 	if err == nil {
 		c.noteSingle(p.db, t, p.query, res)
 	}

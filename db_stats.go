@@ -101,7 +101,7 @@ func (c *stmtCtx) noteSingle(db *DB, t *dbTable, q Query, res *Result) {
 	if c == nil || !c.record || res == nil {
 		return
 	}
-	c.est = db.estimateFor(t, q, res.Engine)
+	c.est = db.estimateObserved(c, t, q, res)
 	if res.RowsScanned > 0 {
 		c.actSel = float64(res.RowsPassed) / float64(res.RowsScanned)
 		c.hasSel = c.est != nil
@@ -190,6 +190,16 @@ func (c *stmtCtx) finish(db *DB, res *Result, err error, trace *Trace) {
 			sm.ActSelectivity = c.actSel
 		}
 		db.stats.Record(sm)
+
+		// Feedback eviction: when the run's pricing missed by more than
+		// the armed q-error threshold, drop the statement's cached plan so
+		// the next preparation replans with observed-selectivity feedback.
+		if err == nil && sm.EstCycles > 0 && cycles > 0 {
+			if th := db.feedbackThreshold(); th > 0 &&
+				plan.QError(sm.EstCycles, float64(cycles)) > th {
+				db.evictPlan(c.fp)
+			}
+		}
 	}
 
 	if isSlow && db.slow != nil {

@@ -155,7 +155,7 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 		defer db.sys.DetachTimeline()
 	}
 	wallStart, allocStart := time.Now(), obs.HeapAllocBytes()
-	res, err := db.run(o.kind, t, q, sk, tr)
+	res, err := db.run(o.kind, t, q, sk, tr, c)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -165,7 +165,7 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 	// operator span with its est/act rows — EXPLAIN ANALYZE proper.
 	scan := chain.Scan()
 	scan.Source = res.Engine
-	scan.Est = db.estimateFor(t, q, res.Engine)
+	scan.Est = db.estimateObserved(c, t, q, res)
 	scan.Act = &plan.Act{
 		RowsScanned: res.RowsScanned,
 		RowsPassed:  res.RowsPassed,
@@ -326,6 +326,44 @@ func (db *DB) estimateFor(t *dbTable, q Query, eng string) *plan.Est {
 		Cycles:      e.Cycles,
 		Selectivity: e.Selectivity,
 		Rows:        float64(t.tbl.NumRows()),
+	}
+}
+
+// estimateObserved prices the access path a finished run actually used,
+// under the same conditions the planner saw. Two details separate it from
+// the cold estimateFor: the group cache is consulted only when the run
+// really replayed a warm group — pricing after the run would otherwise see
+// the group the run itself just installed and mislabel a cold run as warm,
+// poisoning the q-error feedback — and the statement's feedback selectivity
+// is applied when the loop is armed, so a converged estimate stops paying
+// the heuristics' misprediction.
+func (db *DB) estimateObserved(c *stmtCtx, t *dbTable, q Query, res *Result) *plan.Est {
+	if res == nil {
+		return nil
+	}
+	db.mu.RLock()
+	store, idx := t.col, t.idx
+	gc := db.gcache
+	db.mu.RUnlock()
+	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
+	if res.CacheWarm {
+		opt.Cache = gc
+	}
+	if c != nil && gc != nil {
+		if sel, ok := db.stats.FeedbackSelectivity(c.fp); ok {
+			opt.SelOverride = sel
+		}
+	}
+	e, ok := opt.EstimateFor(res.Engine, q)
+	if !ok {
+		return nil
+	}
+	return &plan.Est{
+		Engine:      e.Engine,
+		Cycles:      e.Cycles,
+		Selectivity: e.Selectivity,
+		Rows:        float64(t.tbl.NumRows()),
+		Warm:        e.Warm,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"rfabric/internal/colstore"
 	"rfabric/internal/expr"
+	"rfabric/internal/fabric"
 	"rfabric/internal/geometry"
 	"rfabric/internal/index"
 	"rfabric/internal/table"
@@ -33,6 +34,9 @@ type Estimate struct {
 	Available bool
 	// Reason explains unavailability.
 	Reason string
+	// Warm marks an RM estimate priced against a resident column group in
+	// the fabric group cache: buffer replay instead of DRAM gathers.
+	Warm bool
 }
 
 // Plan is the optimizer's decision.
@@ -94,6 +98,10 @@ type Optimizer struct {
 	// audit uses to ask "what would you have chosen knowing the real
 	// selectivity?". Zero means use the heuristics.
 	SelOverride float64
+	// Cache, when set, lets the RM formula price a resident column group
+	// as warm: the producer streams packed bytes out of the persistent
+	// buffer instead of gathering from DRAM. Nil always prices cold.
+	Cache *fabric.GroupCache
 }
 
 // selectivity returns the selectivity this optimizer plans with: the
@@ -268,6 +276,21 @@ func (o *Optimizer) estimateRM(q Query) Estimate {
 	producer += (chunks + 1) * float64(cfg.Fabric.RefillCycles)
 	fabricFloor := n * gatherPerRow / (cfg.DRAM.BandwidthBytesPerCycle * float64(cfg.DRAM.FabricPorts))
 
+	// Warm pricing: with the group resident, the producer replays already
+	// packed bytes across the datapath at beat rate plus one refill
+	// handshake per cached chunk — no DRAM gathers, no row-rate packing,
+	// no fabric-port bandwidth floor. The DB's RM path never pushes
+	// selection, so the probe keys on projection geometry alone.
+	warm := false
+	if o.Cache != nil {
+		if info, ok := o.Cache.Peek(o.Tbl, geom, q.Snapshot, nil); ok {
+			warm = true
+			producer = float64(info.Bytes)/float64(cfg.Fabric.BeatBytes)*ratio +
+				float64(info.Chunks)*float64(cfg.Fabric.RefillCycles)
+			fabricFloor = 0
+		}
+	}
+
 	// Consumer: vectorized over packed rows; selection short-circuits on
 	// the first failing predicate (assume ~1.3 evaluated on average when
 	// selective), survivors consume.
@@ -281,7 +304,7 @@ func (o *Optimizer) estimateRM(q Query) Estimate {
 	consumer += n * packed / lineBytes * float64(cfg.Cache.L2.HitCycles+cfg.Cache.FabricHitCycles)
 
 	cycles := maxf(maxf(producer, consumer), fabricFloor)
-	return Estimate{Engine: "RM", Cycles: cycles, Selectivity: sel, Available: true}
+	return Estimate{Engine: "RM", Cycles: cycles, Selectivity: sel, Available: true, Warm: warm}
 }
 
 // estimateGatherBytes mirrors the fabric's stride coalescing to predict
@@ -332,6 +355,9 @@ func (p *Plan) String() string {
 	for _, e := range p.Estimates {
 		if e.Available {
 			s += fmt.Sprintf(" | %s≈%.0f sel=%.3f", e.Engine, e.Cycles, e.Selectivity)
+			if e.Warm {
+				s += " warm"
+			}
 		} else {
 			s += fmt.Sprintf(" | %s(unavailable)", e.Engine)
 		}

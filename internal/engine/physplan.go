@@ -99,6 +99,7 @@ func (o *Optimizer) ChoosePlan(root *plan.Node) (*Plan, error) {
 		Cycles:      chosen.Cycles,
 		Selectivity: chosen.Selectivity,
 		Rows:        float64(o.Tbl.NumRows()),
+		Warm:        chosen.Warm,
 	}
 	return p, nil
 }

@@ -61,6 +61,7 @@ func (s *scan) begin() *pipeRun {
 // finishRun closes the measured window: breakdown, final timeline tick,
 // span attribution.
 func (s *scan) finishRun(pr *pipeRun, res *Result, pipeline, producer uint64) (*Result, error) {
+	res.CacheWarm = s.warm
 	if s.pipelined {
 		fabD := s.sys.Fab.Stats().Delta(pr.fabStart)
 		res.Breakdown = pipelineBreakdown(s.sys, pr.memStart, pr.hierStart, pr.compute, pipeline, producer, fabD.BytesShipped)

@@ -57,6 +57,11 @@ type Result struct {
 	// Groups holds grouped results sorted by key.
 	Groups    []GroupRow
 	Breakdown Breakdown
+	// CacheWarm reports that the run consumed a resident column group out
+	// of the fabric group cache instead of gathering from DRAM (RM engine
+	// with a GroupCache attached only). The logical result is identical
+	// either way; only the modeled cost differs.
+	CacheWarm bool
 }
 
 // EquivalentTo reports whether two results agree logically: same pass

@@ -41,6 +41,13 @@ type RMEngine struct {
 	// exists for equivalence tests and wall-clock benchmarks.
 	ForceScalar bool
 
+	// Cache, when set, makes column groups persistent across queries: a
+	// scan first tries to replay a resident group (buffer hits instead of
+	// DRAM gathers), and on a miss records the chunks it delivers so the
+	// next same-shaped query runs warm. Nil preserves the paper's
+	// per-query ephemeral behaviour exactly.
+	Cache *fabric.GroupCache
+
 	// scratch is the engine-owned batch workspace, allocated on first
 	// vectorized execution and reused so steady-state scans allocate nothing
 	// per batch.
@@ -81,33 +88,135 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 	if err != nil {
 		return nil, err
 	}
-	var opts []fabric.ViewOption
-	if q.Snapshot != nil {
-		opts = append(opts, fabric.WithSnapshot(*q.Snapshot))
+
+	// Direct aggregation pushdown ships only aggregate results — there is
+	// no column group to cache or replay, so it bypasses the group cache.
+	directAgg := false
+	var aggSpecs []expr.AggSpec
+	if e.PushAggregation && len(q.GroupBy) == 0 && len(q.Aggregates) > 0 && e.PushSelection {
+		aggSpecs, directAgg = pushableAggs(q.Aggregates)
 	}
+
+	// The group cache key includes the predicates the fabric evaluated: a
+	// pushed selection changes which rows the packed group contains.
+	var pushedPreds expr.Conjunction
 	if e.PushSelection && len(q.Selection) > 0 {
-		opts = append(opts, fabric.WithSelection(q.Selection))
+		pushedPreds = q.Selection
 	}
-	cfg := sp.AddChild("fabric.configure")
-	ev, err := e.Sys.Fab.Configure(e.Tbl, geom, opts...)
-	if err != nil {
-		return nil, err
-	}
-	cfg.SetAttr("columns", fmt.Sprint(geom.Columns()))
-	cfg.SetAttr("packed_width", fmt.Sprint(ev.PackedWidth()))
 
 	s := &scan{sch: sch}
+	lineBytes := int64(e.Sys.Hier.LineBytes())
 
-	if e.PushAggregation && len(q.GroupBy) == 0 && len(q.Aggregates) > 0 && e.PushSelection {
-		if specs, ok := pushableAggs(q.Aggregates); ok {
+	var entry *fabric.GroupEntry
+	if e.Cache != nil && !directAgg {
+		entry, _ = e.Cache.Acquire(e.Tbl, geom, q.Snapshot, pushedPreds)
+	}
+
+	var packed int
+	if entry != nil {
+		// Warm path: the group is resident — no ephemeral view, no DRAM
+		// gathers. Chunks replay out of the persistent delivery buffer at
+		// datapath beat rate, filling hierarchy lines from the fabric side
+		// exactly like a cold delivery so the consumer's accounting (and
+		// the logical result) is byte-identical.
+		packed = entry.PackedWidth()
+		sp.SetAttr("group_cache", "hit")
+		sp.SetAttr("columns", fmt.Sprint(geom.Columns()))
+		sp.SetAttr("packed_width", fmt.Sprint(packed))
+		s.warm = true
+		cache, data, base := e.Cache, entry.Data(), entry.BaseAddr()
+		chunks := entry.Chunks()
+		s.segs = func(*pipeRun) segIter {
+			i := 0
+			released := false
+			return func() (segment, bool) {
+				if i >= len(chunks) {
+					if !released {
+						released = true
+						cache.Release(entry)
+					}
+					return segment{}, false
+				}
+				ch := chunks[i]
+				i++
+				producer := e.Sys.Fab.ReplayChunk(ch.Rows, ch.Len)
+				addr := base + int64(ch.Off)
+				lines := (ch.Len + int(lineBytes) - 1) / int(lineBytes)
+				for l := 0; l < lines; l++ {
+					e.Sys.Hier.FillFromFabric(addr + int64(l)*lineBytes)
+				}
+				return segment{
+					data:       data[ch.Off : ch.Off+ch.Len],
+					baseAddr:   addr,
+					stride:     packed,
+					rows:       ch.Rows,
+					sourceRows: int64(ch.SourceRows),
+					producer:   producer,
+				}, true
+			}
+		}
+	} else {
+		var opts []fabric.ViewOption
+		if q.Snapshot != nil {
+			opts = append(opts, fabric.WithSnapshot(*q.Snapshot))
+		}
+		if len(pushedPreds) > 0 {
+			opts = append(opts, fabric.WithSelection(pushedPreds))
+		}
+		cfg := sp.AddChild("fabric.configure")
+		ev, err := e.Sys.Fab.Configure(e.Tbl, geom, opts...)
+		if err != nil {
+			return nil, err
+		}
+		cfg.SetAttr("columns", fmt.Sprint(geom.Columns()))
+		cfg.SetAttr("packed_width", fmt.Sprint(ev.PackedWidth()))
+
+		if directAgg {
 			sp.SetAttr("pushdown", "aggregation")
 			s.direct = func() (*Result, error) {
-				return runPushedAgg(e.Sys, e.Tracer, sp, e.Name(), q, ev, specs)
+				return runPushedAgg(e.Sys, e.Tracer, sp, e.Name(), q, ev, aggSpecs)
 			}
 			return s, nil
 		}
+
+		packed = ev.PackedWidth()
+		var rec *fabric.GroupRecorder
+		if e.Cache != nil {
+			sp.SetAttr("group_cache", "miss")
+			rec = e.Cache.NewRecorder(e.Tbl, geom, q.Snapshot, pushedPreds, packed, int(lineBytes))
+		}
+
+		// Each fabric chunk is one pipeline segment; delivering it fills
+		// the hierarchy's lines from the fabric side and carries the
+		// producer's cycles for the max(producer, consumer) pipeline
+		// accounting. Chunk data overlays one rotating delivery window, so
+		// the recorder copies each chunk before the next overwrites it.
+		s.segs = func(*pipeRun) segIter {
+			ev.Reset()
+			return func() (segment, bool) {
+				ch, ok := ev.Next()
+				if !ok {
+					rec.Install()
+					return segment{}, false
+				}
+				rec.Add(ch.Data, ch.Rows, ch.SourceRows)
+				lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
+				for i := 0; i < lines; i++ {
+					e.Sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
+				}
+				return segment{
+					data:       ch.Data,
+					baseAddr:   ch.BaseAddr,
+					stride:     packed,
+					rows:       ch.Rows,
+					sourceRows: int64(ch.SourceRows),
+					producer:   ch.ProducerCycles,
+				}, true
+			}
+		}
 	}
-	if e.PushSelection && len(q.Selection) > 0 {
+
+	if len(pushedPreds) > 0 {
 		sp.SetAttr("pushdown", "selection")
 	}
 
@@ -126,7 +235,6 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 	// column (only the geometry's columns are ever fetched) — packed rows
 	// are accessed exactly like Fig. 3's cg[i].field: row-wise over a dense
 	// single stream.
-	packed := ev.PackedWidth()
 	offs := make([]int, sch.NumColumns())
 	for i, c := range geom.Columns() {
 		offs[c] = geom.PackedOffset(i)
@@ -134,32 +242,6 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 	s.colAt = func(seg *segment, row, col int) (int64, []byte) {
 		off := row*packed + offs[col]
 		return seg.baseAddr + int64(off), seg.data[off:]
-	}
-
-	// Each fabric chunk is one pipeline segment; delivering it fills the
-	// hierarchy's lines from the fabric side and carries the producer's
-	// cycles for the max(producer, consumer) pipeline accounting.
-	lineBytes := int64(e.Sys.Hier.LineBytes())
-	s.segs = func(*pipeRun) segIter {
-		ev.Reset()
-		return func() (segment, bool) {
-			ch, ok := ev.Next()
-			if !ok {
-				return segment{}, false
-			}
-			lines := (len(ch.Data) + int(lineBytes) - 1) / int(lineBytes)
-			for i := 0; i < lines; i++ {
-				e.Sys.Hier.FillFromFabric(ch.BaseAddr + int64(i)*lineBytes)
-			}
-			return segment{
-				data:       ch.Data,
-				baseAddr:   ch.BaseAddr,
-				stride:     packed,
-				rows:       ch.Rows,
-				sourceRows: int64(ch.SourceRows),
-				producer:   ch.ProducerCycles,
-			}, true
-		}
 	}
 
 	if !e.ForceScalar {

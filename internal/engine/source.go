@@ -120,6 +120,7 @@ type scan struct {
 	// Behavior flags.
 	tickPerRow bool // advance the timeline clock per row (demand paths)
 	pipelined  bool // per-segment producer/consumer pipeline accounting (RM)
+	warm       bool // segments replay a cached column group (sets Result.CacheWarm)
 
 	// mvccTbl, when non-nil, makes the pipeline touch each row's version
 	// header; with q.Snapshot set it also pays the software visibility

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rfabric/internal/engine"
+	"rfabric/internal/fabric"
 	"rfabric/internal/geometry"
 	"rfabric/internal/sql"
 	"rfabric/internal/table"
@@ -119,6 +120,53 @@ func BenchmarkParScanWallclock(b *testing.B) {
 			Par:           engine.ParallelConfig{Workers: 8},
 			PushSelection: true, ForceScalar: fs}
 	}, sys.ResetState)
+}
+
+// BenchmarkSequenceCold and BenchmarkSequenceWarm measure the group cache's
+// host-time effect on a repeated Q6-class scan: cold rebuilds the ephemeral
+// view every iteration (no cache), warm replays the resident group after one
+// priming run. The modeled-cycle savings are pinned by the sequence
+// experiment; these report the wall-clock and allocation side.
+func BenchmarkSequenceCold(b *testing.B) {
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	tbl := benchLineitem(b, sys)
+	eng := &engine.RMEngine{Tbl: tbl, Sys: sys}
+	q := tpch.Q6()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys.ResetState()
+		b.StartTimer()
+		if _, err := eng.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequenceWarm(b *testing.B) {
+	sys := engine.MustSystem(engine.DefaultSystemConfig())
+	tbl := benchLineitem(b, sys)
+	cache := fabric.NewGroupCache(64<<20, sys.Arena)
+	eng := &engine.RMEngine{Tbl: tbl, Sys: sys, Cache: cache}
+	q := tpch.Q6()
+	if _, err := eng.Execute(q); err != nil { // prime the group
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys.ResetState()
+		b.StartTimer()
+		res, err := eng.Execute(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheWarm {
+			b.Fatal("warm benchmark ran cold")
+		}
+	}
 }
 
 // BenchmarkJoinQ3Wallclock measures the hash-join pipeline end to end: the

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSequenceWarmBeatsCold(t *testing.T) {
+	r, err := Sequence(quickOptions(), 24_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.CheckShape() {
+		t.Error(v)
+	}
+	if len(r.Steps) != 6 {
+		t.Fatalf("got %d steps, want 6", len(r.Steps))
+	}
+	// The warm total must beat cold by a real margin, not rounding noise.
+	if ratio := float64(r.ColdTotalCycles) / float64(r.WarmTotalCycles); ratio < 1.05 {
+		t.Errorf("warm speedup %.3fx is not a measurable saving", ratio)
+	}
+	// The warm join replays both sides out of the buffer: DRAM traffic must
+	// collapse, not merely shrink.
+	if r.JoinWarmDRAMBytes*2 >= r.JoinColdDRAMBytes {
+		t.Errorf("warm join still moved %d of %d cold DRAM bytes",
+			r.JoinWarmDRAMBytes, r.JoinColdDRAMBytes)
+	}
+
+	var b bytes.Buffer
+	r.WriteTable(&b)
+	for _, want := range []string{"Sequence-aware caching", "scan totals", "Q3-class join", "group cache:"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("sequence table lacks %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestSequenceDeterministic(t *testing.T) {
+	a, err := Sequence(quickOptions(), 12_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequence(quickOptions(), 12_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ColdTotalCycles != b.ColdTotalCycles || a.WarmTotalCycles != b.WarmTotalCycles ||
+		a.JoinColdCycles != b.JoinColdCycles || a.JoinWarmCycles != b.JoinWarmCycles {
+		t.Fatalf("sequence runs diverged: %+v vs %+v", a, b)
+	}
+}

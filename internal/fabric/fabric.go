@@ -176,3 +176,25 @@ func (e *Engine) DRAM() *dram.Module { return e.mem }
 func (e *Engine) computeCPUCycles(fabricCycles uint64) uint64 {
 	return fabricCycles * uint64(e.cfg.ClockRatio)
 }
+
+// ReplayChunk charges the delivery of one cached column-group chunk out of a
+// persistent buffer and returns its producer cycles. A replay streams already
+// packed bytes across the datapath — it pays the beat-rate shipping cost and
+// the refill handshake but no DRAM gathers, no visibility or predicate
+// checks, and no row-rate packing, which is exactly the warm/cold asymmetry
+// the group cache exists to exploit. Counters move accordingly: shipped
+// bytes/lines/rows and compute advance, gather- and scan-side counters do
+// not.
+func (e *Engine) ReplayChunk(rows, chunkBytes int) uint64 {
+	beats := uint64((chunkBytes + e.cfg.BeatBytes - 1) / e.cfg.BeatBytes)
+	compute := e.computeCPUCycles(beats)
+	producer := compute + uint64(e.cfg.RefillCycles)
+	e.tl.FabricChunk(compute, producer-compute)
+	e.stats.RowsShipped += uint64(rows)
+	e.stats.BytesShipped += uint64(chunkBytes)
+	lineBytes := e.mem.LineBytes()
+	e.stats.LinesShipped += uint64((chunkBytes + lineBytes - 1) / lineBytes)
+	e.stats.ComputeCycles += compute
+	e.stats.Chunks++
+	return producer
+}

@@ -34,3 +34,19 @@ func (s Stats) Publish(reg *obs.Registry, labels obs.Labels) {
 	reg.Counter("rfabric_fabric_chunks_total", labels).Add(s.Chunks)
 	reg.Counter("rfabric_fabric_aggregates_total", labels).Add(s.Aggregates)
 }
+
+// Publish adds this group-cache snapshot (typically a Delta) into the
+// registry: rfabric_groupcache_* counters for the cache's traffic plus
+// occupancy gauges for resident bytes and entries.
+func (s GroupCacheStats) Publish(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("rfabric_groupcache_hits_total", labels).Add(s.Hits)
+	reg.Counter("rfabric_groupcache_misses_total", labels).Add(s.Misses)
+	reg.Counter("rfabric_groupcache_installs_total", labels).Add(s.Installs)
+	reg.Counter("rfabric_groupcache_evictions_total", labels).Add(s.Evictions)
+	reg.Counter("rfabric_groupcache_invalidations_total", labels).Add(s.Invalidations)
+	reg.Gauge("rfabric_groupcache_bytes", labels).Set(float64(s.BytesCached))
+	reg.Gauge("rfabric_groupcache_entries", labels).Set(float64(s.Entries))
+}

@@ -172,6 +172,29 @@ func qError(est, act float64) float64 {
 	return act / est
 }
 
+// FeedbackSelectivity returns the mean observed selectivity recorded for a
+// statement fingerprint — the value feedback-driven planning feeds into the
+// optimizer's SelOverride. ok is false when the store is nil/disabled or no
+// call for this fingerprint carried a selectivity observation.
+func (s *StatStore) FeedbackSelectivity(fp uint64) (float64, bool) {
+	if s == nil || s.disabled.Load() {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[fp]
+	if !ok || st.selSamples == 0 {
+		return 0, false
+	}
+	sel := st.selActSum / float64(st.selSamples)
+	// The optimizer treats a zero override as "no override"; floor the fed
+	// value at the planner's own minimum selectivity instead.
+	if sel < 0.005 {
+		sel = 0.005
+	}
+	return sel, true
+}
+
 // Len returns the number of distinct statements recorded.
 func (s *StatStore) Len() int {
 	if s == nil {

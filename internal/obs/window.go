@@ -65,6 +65,10 @@ type WindowSample struct {
 	// fills during the run, for the windowed miss ratio.
 	CacheLoads  uint64
 	CacheMisses uint64
+	// GroupHits / GroupMisses are the fabric group cache's lookups during
+	// the run (zero when the cache is off), for the windowed hit ratio.
+	GroupHits   uint64
+	GroupMisses uint64
 }
 
 // windowBucket accumulates one second of samples. Fixed-size on purpose:
@@ -81,6 +85,8 @@ type windowBucket struct {
 	bytesCPU    uint64
 	cacheLoads  uint64
 	cacheMisses uint64
+	groupHits   uint64
+	groupMisses uint64
 	lat         [latBuckets]uint64 // modeled-cycle histogram, defaultBounds grid
 }
 
@@ -101,6 +107,8 @@ func (b *windowBucket) add(s *WindowSample, slo uint64) {
 	b.bytesCPU += s.BytesCPU
 	b.cacheLoads += s.CacheLoads
 	b.cacheMisses += s.CacheMisses
+	b.groupHits += s.GroupHits
+	b.groupMisses += s.GroupMisses
 	b.lat[bucketIndex(defaultBounds, float64(s.Cycles))]++
 }
 
@@ -116,6 +124,8 @@ func (b *windowBucket) merge(o *windowBucket) {
 	b.bytesCPU += o.bytesCPU
 	b.cacheLoads += o.cacheLoads
 	b.cacheMisses += o.cacheMisses
+	b.groupHits += o.groupHits
+	b.groupMisses += o.groupMisses
 	for i := range b.lat {
 		b.lat[i] += o.lat[i]
 	}
@@ -234,6 +244,11 @@ type WindowSnapshot struct {
 	CPUBytesPerSec  float64 `json:"cpu_bytes_per_sec"`
 	CacheMissRatio  float64 `json:"cache_miss_ratio"`
 
+	// Group-cache traffic in the window (zero when the cache is off).
+	GroupHits     uint64  `json:"group_hits,omitempty"`
+	GroupMisses   uint64  `json:"group_misses,omitempty"`
+	GroupHitRatio float64 `json:"group_hit_ratio,omitempty"`
+
 	MeanWallNanos  float64 `json:"mean_wall_ns"`
 	MeanAllocBytes float64 `json:"mean_alloc_bytes"`
 }
@@ -284,6 +299,10 @@ func (w *Windows) Snapshot(windowSeconds int) WindowSnapshot {
 	if m.cacheLoads > 0 {
 		snap.CacheMissRatio = float64(m.cacheMisses) / float64(m.cacheLoads)
 	}
+	snap.GroupHits, snap.GroupMisses = m.groupHits, m.groupMisses
+	if lookups := m.groupHits + m.groupMisses; lookups > 0 {
+		snap.GroupHitRatio = float64(m.groupHits) / float64(lookups)
+	}
 	var count uint64
 	for _, n := range m.lat {
 		count += n
@@ -306,6 +325,8 @@ type WindowPoint struct {
 	CPUBytes    uint64  `json:"cpu_bytes"`
 	CacheLoads  uint64  `json:"cache_loads"`
 	CacheMisses uint64  `json:"cache_misses"`
+	GroupHits   uint64  `json:"group_hits,omitempty"`
+	GroupMisses uint64  `json:"group_misses,omitempty"`
 	WallNanos   int64   `json:"wall_ns"`
 	AllocBytes  uint64  `json:"alloc_bytes"`
 }
@@ -362,6 +383,8 @@ func (w *Windows) Series(windowSeconds int) []WindowPoint {
 			CPUBytes:    b.bytesCPU,
 			CacheLoads:  b.cacheLoads,
 			CacheMisses: b.cacheMisses,
+			GroupHits:   b.groupHits,
+			GroupMisses: b.groupMisses,
 			WallNanos:   b.wallNanos,
 			AllocBytes:  b.allocBytes,
 		})

@@ -154,6 +154,9 @@ type Est struct {
 	Cycles      float64
 	Selectivity float64
 	Rows        float64
+	// Warm marks an RM estimate priced against a resident fabric group-
+	// cache entry (buffer replay) rather than a cold DRAM gather.
+	Warm bool
 }
 
 // EstRowsOut is the predicted output cardinality of the side's Filter (its
@@ -518,8 +521,12 @@ func (c *Node) describe(sch *geometry.Schema) string {
 		// after an EXPLAIN ANALYZE run — what actually happened, so the
 		// cost-model error is visible per access path.
 		if c.Est != nil {
-			s += fmt.Sprintf(" est[%s≈%.0f sel=%.3f rows=%.0f]",
-				c.Est.Engine, c.Est.Cycles, c.Est.Selectivity, c.Est.Rows)
+			warm := ""
+			if c.Est.Warm {
+				warm = " warm"
+			}
+			s += fmt.Sprintf(" est[%s≈%.0f sel=%.3f rows=%.0f%s]",
+				c.Est.Engine, c.Est.Cycles, c.Est.Selectivity, c.Est.Rows, warm)
 		}
 		if c.Act != nil {
 			s += fmt.Sprintf(" act[cycles=%d sel=%.3f rows=%d]",

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"rfabric/internal/geometry"
 )
@@ -55,6 +56,14 @@ type Table struct {
 	rows     int
 	baseAddr int64
 	view     bool // read-only slice of another table's rows
+
+	// version counts mutations (Append, AppendRaw, SetEndTS, Update) so
+	// layers that cache derived layouts — the fabric group cache, the DB's
+	// columnar copy — can detect staleness even when a writer holds the raw
+	// *Table handle and bypasses the façade. Read/written atomically: the
+	// façade serializes mutation, but cached-layout validity checks run on
+	// concurrent read paths.
+	version uint64
 }
 
 // New creates an empty table with the given schema.
@@ -121,6 +130,15 @@ func (t *Table) RowAddr(i int) int64 { return t.baseAddr + int64(i)*int64(t.stri
 // IsView reports whether the table is a read-only slice of another table.
 func (t *Table) IsView() bool { return t.view }
 
+// Version returns the mutation counter: it advances on every Append,
+// AppendRaw, SetEndTS, and Update, so a cached derived layout recorded at
+// version v is stale exactly when Version() != v. Views report 0 — they are
+// immutable windows whose parent carries the counter.
+func (t *Table) Version() uint64 { return atomic.LoadUint64(&t.version) }
+
+// bumpVersion marks one mutation.
+func (t *Table) bumpVersion() { atomic.AddUint64(&t.version, 1) }
+
 // Slice returns a read-only view of rows [start, end). The view shares the
 // parent's bytes and keeps the parent's simulated addresses, so engines see
 // the same physical placement they would scanning that range in place. Views
@@ -186,6 +204,7 @@ func (t *Table) Append(beginTS uint64, vals ...Value) (int, error) {
 	}
 	idx := t.rows
 	t.rows++
+	t.bumpVersion()
 	return idx, nil
 }
 
@@ -217,6 +236,7 @@ func (t *Table) AppendRaw(beginTS uint64, payload []byte) (int, error) {
 	copy(row[t.payloadOff():], payload)
 	idx := t.rows
 	t.rows++
+	t.bumpVersion()
 	return idx, nil
 }
 
@@ -286,6 +306,7 @@ func (t *Table) SetEndTS(i int, ts uint64) error {
 		return fmt.Errorf("table %s: row %d already ended at %d", t.name, i, cur)
 	}
 	binary.LittleEndian.PutUint64(row[8:16], ts)
+	t.bumpVersion()
 	return nil
 }
 
