@@ -39,7 +39,11 @@ type AuditRun struct {
 	QError float64 `json:"q_error,omitempty"`
 	EstSel float64 `json:"est_selectivity,omitempty"`
 	ActSel float64 `json:"act_selectivity,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	// Offload names the fabric offload program the run carried ("agg",
+	// "group-agg", "dict-scan", "semi-join", combinations); empty when the
+	// run consumed packed chunks CPU-side.
+	Offload string `json:"offload,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // AuditQuery is one statement's replay across all engines plus the
@@ -233,6 +237,7 @@ func (db *DB) auditOne(kind EngineKind, text string) AuditRun {
 		db.fillJoinEstimates(kind, jp)
 		run.Ran = res.Engine
 		run.ActCycles = res.Breakdown.TotalCycles
+		run.Offload = res.Offload
 		total, priced := 0.0, true
 		side := func(n *plan.Node) {
 			if n == nil || n.Est == nil {
@@ -278,6 +283,7 @@ func (db *DB) auditOne(kind EngineKind, text string) AuditRun {
 	}
 	run.Ran = res.Engine
 	run.ActCycles = res.Breakdown.TotalCycles
+	run.Offload = res.Offload
 	if est := db.estimateFor(t, q, res.Engine); est != nil {
 		run.EstCycles = est.Cycles
 		run.EstSel = est.Selectivity

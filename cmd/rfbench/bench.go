@@ -10,11 +10,12 @@ import (
 
 // defaultBenchSet is the tier-1 experiment set the CI regression gate runs:
 // the projectivity sweep (the paper's headline figure), the parallel
-// makespan sweep, the Q3-class hash join, and the sequence-aware caching
-// run, which together cover all three engines, the morsel/shard
-// coordinator, the join pipeline, and the persistent group cache's
-// warm/cold contract.
-var defaultBenchSet = []string{"fig5", "par-speedup", "join", "sequence"}
+// makespan sweep, the Q3-class hash join, the sequence-aware caching run,
+// and the operator-offload ablation, which together cover all three
+// engines, the morsel/shard coordinator, the join pipeline, the persistent
+// group cache's warm/cold contract, and the offload layer's bytes-moved and
+// cycle reductions.
+var defaultBenchSet = []string{"fig5", "par-speedup", "join", "sequence", "abl-offload"}
 
 // runBench executes the named experiments (the tier-1 set when none are
 // given), flattens every numeric result leaf into a bench.Record, and writes

@@ -10,7 +10,7 @@
 //
 // Experiments: fig5, fig6a, fig6b, fig7a, fig7b, par-speedup, join, sequence,
 // abl-prefetch, abl-buffer, abl-clock, abl-banks, abl-mvcc, abl-pushdown,
-// abl-index, abl-rmc, abl-compress, abl-storage, or "all".
+// abl-index, abl-rmc, abl-compress, abl-storage, abl-offload, or "all".
 //
 // Flags:
 //
@@ -187,7 +187,8 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"fig5", "fig6a", "fig6b", "fig7a", "fig7b", "par-speedup", "join", "sequence",
 			"abl-prefetch", "abl-buffer", "abl-clock", "abl-banks",
-			"abl-mvcc", "abl-pushdown", "abl-index", "abl-rmc", "abl-compress", "abl-storage"}
+			"abl-mvcc", "abl-pushdown", "abl-index", "abl-rmc", "abl-compress", "abl-storage",
+			"abl-offload"}
 	}
 
 	if *jsonOut {
@@ -284,6 +285,8 @@ func runExperiment(name string, opt experiments.Options) (any, []string, error) 
 		result, err = experiments.AblationCompression(opt, opt.MicroRows/4)
 	case "abl-storage":
 		result, err = experiments.AblationStorage(opt, opt.MicroRows/4)
+	case "abl-offload":
+		result, err = experiments.AblationOffload(opt, opt.MicroRows/2)
 	default:
 		return nil, nil, fmt.Errorf("unknown experiment (try fig5, fig6a, fig7a, fig7b, par-speedup, join, abl-*, or all)")
 	}

@@ -55,6 +55,12 @@ type DB struct {
 	gcache *fabric.GroupCache
 	gcfg   GroupCacheConfig
 
+	// offload enables the fabric operator-offload layer (selection,
+	// projection, grouped aggregation, and Bloom-filtered join probes run
+	// near memory). Set by SetOffload; default off, preserving the
+	// CPU-consumes-packed-chunks behaviour byte-for-byte.
+	offload bool
+
 	// catalogEpoch counts catalog mutations (CreateTable, CreateIndex,
 	// Insert). Prepared statements record the epoch they compiled under and
 	// recompile when it moves — the planCache's invalidation mechanism.
@@ -124,6 +130,27 @@ func (db *DB) SetGroupCache(cfg GroupCacheConfig) {
 		return
 	}
 	db.gcache = fabric.NewGroupCache(cfg.CapacityBytes, db.sys.Arena)
+}
+
+// SetOffload turns the fabric operator-offload layer on or off. With it on,
+// RM scans push selection and whole offloadable aggregations (grouped or
+// not) into the fabric and ship only reduced results, join probes are
+// pre-filtered near data against build-side Bloom filters, and AUTO prices
+// the offloaded shape. The logical results are bit-identical either way;
+// only where the work runs — and therefore bytes-to-CPU and modeled
+// cycles — changes. Default is off.
+func (db *DB) SetOffload(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.offload = on
+}
+
+// offloadOn returns the offload flag under the read lock.
+func (db *DB) offloadOn() bool {
+	db.mu.RLock()
+	on := db.offload
+	db.mu.RUnlock()
+	return on
 }
 
 // groupCache returns the cache under the read lock (nil when off).
@@ -503,7 +530,7 @@ func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer, c *s
 		store, idx := t.col, t.idx
 		db.mu.RUnlock()
 		opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx,
-			Cache: db.groupCache()}
+			Cache: db.groupCache(), Offload: db.offloadOn()}
 		root := engine.PlanOf(q, t.tbl.Name())
 		sp := tr.Begin("plan")
 		// Feedback: with the group cache on and history for this statement
@@ -550,7 +577,8 @@ func (db *DB) execute(kind EngineKind, t *dbTable, q Query, tr *obs.Tracer, c *s
 func (db *DB) source(kind EngineKind, t *dbTable, tr *obs.Tracer) (engine.Source, error) {
 	switch kind {
 	case RM:
-		return &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, Cache: db.groupCache()}, nil
+		return &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, Cache: db.groupCache(),
+			Offload: db.offloadOn()}, nil
 	case ROW:
 		return &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr}, nil
 	case "IDX":
@@ -736,7 +764,7 @@ func (db *DB) executeJoin(kind EngineKind, p *engine.JoinPlan, tr *obs.Tracer) (
 			cfg = *db.par
 		}
 		e := &engine.ParallelJoinExec{Plan: p, ProbeTbl: probeT.tbl, Sys: db.sys,
-			Par: cfg, Builds: builds, Tracer: tr, Reg: db.reg}
+			Par: cfg, Builds: builds, Offload: db.offloadOn(), Tracer: tr, Reg: db.reg}
 		return e.Execute()
 	}
 
@@ -762,7 +790,7 @@ func (db *DB) priceJoinSide(t *dbTable, side *engine.JoinSide) (EngineKind, erro
 	store, idx := t.col, t.idx
 	db.mu.RUnlock()
 	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx,
-		Cache: db.groupCache()}
+		Cache: db.groupCache(), Offload: db.offloadOn()}
 	priced := engine.PlanOf(side.Query, side.Table)
 	pc, err := opt.ChoosePlan(priced)
 	if err != nil {
@@ -797,7 +825,7 @@ func (db *DB) joinSource(kind EngineKind, t *dbTable, side *engine.JoinSide, tr 
 	switch kind {
 	case RM:
 		src = &engine.RMEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true,
-			Cache: db.groupCache()}
+			Cache: db.groupCache(), Offload: db.offloadOn()}
 	case ROW:
 		src = &engine.RowEngine{Tbl: t.tbl, Sys: db.sys, Tracer: tr, ForceScalar: true}
 	case "IDX":

@@ -165,6 +165,7 @@ func (db *DB) runTraced(o traceOpts, t *dbTable, q Query, sk engine.Sinks, text 
 	// operator span with its est/act rows — EXPLAIN ANALYZE proper.
 	scan := chain.Scan()
 	scan.Source = res.Engine
+	scan.Offload = res.Offload
 	scan.Est = db.estimateObserved(c, t, q, res)
 	scan.Act = &plan.Act{
 		RowsScanned: res.RowsScanned,
@@ -273,6 +274,9 @@ func annotatePlanSpans(pairs []opSpan, res *Result, sch *Schema) {
 			if n.Source != "" {
 				sp.SetAttr("source", n.Source)
 			}
+			if n.Offload != "" {
+				sp.SetAttr("offload", n.Offload)
+			}
 			if n.Est != nil {
 				sp.SetAttr("est_rows", f0(n.Est.Rows))
 				sp.SetAttr("est_cycles", f0(n.Est.Cycles))
@@ -345,7 +349,8 @@ func (db *DB) estimateObserved(c *stmtCtx, t *dbTable, q Query, res *Result) *pl
 	store, idx := t.col, t.idx
 	gc := db.gcache
 	db.mu.RUnlock()
-	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx}
+	opt := &engine.Optimizer{Tbl: t.tbl, Sys: db.sys, Store: store, Index: idx,
+		Offload: db.offloadOn()}
 	if res.CacheWarm {
 		opt.Cache = gc
 	}
@@ -364,6 +369,7 @@ func (db *DB) estimateObserved(c *stmtCtx, t *dbTable, q Query, res *Result) *pl
 		Selectivity: e.Selectivity,
 		Rows:        float64(t.tbl.NumRows()),
 		Warm:        e.Warm,
+		Offloaded:   e.Offloaded,
 	}
 }
 

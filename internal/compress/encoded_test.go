@@ -1,9 +1,10 @@
-package compress
+package compress_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"rfabric/internal/compress"
 	"rfabric/internal/dram"
 	"rfabric/internal/engine"
 	"rfabric/internal/fabric"
@@ -11,7 +12,7 @@ import (
 	"rfabric/internal/table"
 )
 
-func encodedFixture(t *testing.T, rows int) (*table.Table, *EncodedTable, *engine.System) {
+func encodedFixture(t *testing.T, rows int) (*table.Table, *compress.EncodedTable, *engine.System) {
 	t.Helper()
 	sys := engine.MustSystem(engine.DefaultSystemConfig())
 	sch := geometry.MustSchema(
@@ -33,7 +34,7 @@ func encodedFixture(t *testing.T, rows int) (*table.Table, *EncodedTable, *engin
 			table.Str(notes[rng.Intn(len(notes))]),
 		)
 	}
-	enc, err := EncodeTableDict(src, []int{1, 3}, sys.Arena.Alloc(int64(rows*sch.RowBytes())))
+	enc, err := compress.EncodeTableDict(src, []int{1, 3}, sys.Arena.Alloc(int64(rows*sch.RowBytes())))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,20 +120,20 @@ func TestEncodeTableValidation(t *testing.T) {
 	arena := dram.MustArena(0, 64)
 	plain := table.MustNew("t", sch)
 	plain.MustAppend(0, table.I64(1))
-	if _, err := EncodeTableDict(plain, nil, arena.Alloc(64)); err == nil {
+	if _, err := compress.EncodeTableDict(plain, nil, arena.Alloc(64)); err == nil {
 		t.Error("empty column list accepted")
 	}
-	if _, err := EncodeTableDict(plain, []int{5}, arena.Alloc(64)); err == nil {
+	if _, err := compress.EncodeTableDict(plain, []int{5}, arena.Alloc(64)); err == nil {
 		t.Error("out-of-range column accepted")
 	}
-	if _, err := EncodeTableDict(plain, []int{0, 0}, arena.Alloc(64)); err == nil {
+	if _, err := compress.EncodeTableDict(plain, []int{0, 0}, arena.Alloc(64)); err == nil {
 		t.Error("duplicate column accepted")
 	}
 	mv := table.MustNew("m", sch, table.WithMVCC())
-	if _, err := EncodeTableDict(mv, []int{0}, arena.Alloc(64)); err == nil {
+	if _, err := compress.EncodeTableDict(mv, []int{0}, arena.Alloc(64)); err == nil {
 		t.Error("MVCC table accepted")
 	}
-	if _, err := EncodeTableDict(nil, []int{0}, 0); err == nil {
+	if _, err := compress.EncodeTableDict(nil, []int{0}, 0); err == nil {
 		t.Error("nil table accepted")
 	}
 }

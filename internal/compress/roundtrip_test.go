@@ -1,0 +1,283 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Edge-case round trips the property tests' random inputs rarely hit: empty
+// columns, single-run RLE, and a dictionary whose cardinality spills the
+// 1-byte and 2-byte code widths.
+
+func TestEmptyInputRoundTrips(t *testing.T) {
+	if d := EncodeDelta(nil); d.Rows() != 0 || len(d.DecodeAll()) != 0 {
+		t.Errorf("delta: empty input decoded to %d rows", len(d.DecodeAll()))
+	}
+	dc, err := EncodeDict(nil, 4)
+	if err != nil {
+		t.Fatalf("dict: empty input rejected: %v", err)
+	}
+	if dc.Rows() != 0 || dc.Cardinality() != 0 || len(dc.DecodeAll()) != 0 {
+		t.Errorf("dict: rows=%d card=%d", dc.Rows(), dc.Cardinality())
+	}
+	set, entries := dc.MatchCodes(func([]byte) bool { return true })
+	if set.Len() != 0 || entries != 0 {
+		t.Errorf("dict: empty dictionary matched %d codes over %d entries", set.Len(), entries)
+	}
+	rc, err := EncodeRLE(nil, 8)
+	if err != nil {
+		t.Fatalf("rle: empty input rejected: %v", err)
+	}
+	if rc.Rows() != 0 || rc.Runs() != 0 || len(rc.DecodeAll()) != 0 {
+		t.Errorf("rle: rows=%d runs=%d", rc.Rows(), rc.Runs())
+	}
+	if sc := rc.ScanRuns(func([]byte) bool { return true }); sc.MatchedRows != 0 || sc.RunsEvaluated != 0 {
+		t.Errorf("rle: empty column scanned %+v", sc)
+	}
+	hb, err := EncodeHuffman(nil, 256)
+	if err != nil {
+		t.Fatalf("huffman: empty input rejected: %v", err)
+	}
+	if out, err := hb.DecodeAll(); err != nil || len(out) != 0 {
+		t.Errorf("huffman: empty decode = %d bytes, %v", len(out), err)
+	}
+	if out, err := DecodeLZ77(EncodeLZ77(nil)); err != nil || len(out) != 0 {
+		t.Errorf("lz77: empty decode = %d bytes, %v", len(out), err)
+	}
+}
+
+func TestRLESingleRunColumn(t *testing.T) {
+	const rows, width = 1000, 4
+	data := bytes.Repeat([]byte{7, 7, 7, 7}, rows)
+	c, err := EncodeRLE(data, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs() != 1 {
+		t.Fatalf("constant column encoded to %d runs", c.Runs())
+	}
+	if !bytes.Equal(c.DecodeAll(), data) {
+		t.Error("single-run round trip failed")
+	}
+	// Predicate work is one run evaluation for a thousand rows.
+	sc := c.ScanRuns(func(v []byte) bool { return v[0] == 7 })
+	if sc.RunsEvaluated != 1 || sc.MatchedRows != rows {
+		t.Errorf("ScanRuns = %+v, want 1 run / %d rows", sc, rows)
+	}
+	ranges, evaluated := c.MatchRuns(func(v []byte) bool { return v[0] == 7 })
+	if evaluated != 1 || len(ranges) != 1 || ranges[0] != [2]int{0, rows} {
+		t.Errorf("MatchRuns = %v over %d runs", ranges, evaluated)
+	}
+	if ranges, _ := c.MatchRuns(func(v []byte) bool { return false }); ranges != nil {
+		t.Errorf("non-matching predicate returned ranges %v", ranges)
+	}
+}
+
+// TestDictFullCardinalitySpill drives the dictionary across its code-width
+// boundaries: 257 distinct values force 2-byte codes, 65537 force 4-byte
+// codes, and an all-distinct column must still round-trip even though
+// encoding it saves nothing.
+func TestDictFullCardinalitySpill(t *testing.T) {
+	distinct := func(rows int) []byte {
+		data := make([]byte, rows*4)
+		for r := 0; r < rows; r++ {
+			binary.LittleEndian.PutUint32(data[r*4:], uint32(r))
+		}
+		return data
+	}
+	cases := []struct {
+		rows, codeWidth int
+	}{
+		{256, 1},
+		{257, 2},
+		{1 << 16, 2},
+		{1<<16 + 1, 4},
+	}
+	for _, c := range cases {
+		data := distinct(c.rows)
+		dc, err := EncodeDict(data, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc.Cardinality() != c.rows {
+			t.Errorf("%d rows: cardinality %d", c.rows, dc.Cardinality())
+		}
+		if dc.CodeWidth() != c.codeWidth {
+			t.Errorf("%d distinct values: code width %d, want %d", c.rows, dc.CodeWidth(), c.codeWidth)
+		}
+		if !dc.Equal(data) {
+			t.Errorf("%d rows: full-cardinality round trip failed", c.rows)
+		}
+		// Full cardinality is the worst case: the dictionary holds every
+		// value plus a code per row, strictly larger than the raw column.
+		if dc.EncodedSize() <= len(data) {
+			t.Errorf("%d rows: encoded %d <= raw %d — spilled dictionary cannot shrink", c.rows, dc.EncodedSize(), len(data))
+		}
+	}
+}
+
+func TestMatchCodesCodeDomain(t *testing.T) {
+	// 4 distinct 2-byte values, many rows each.
+	var data []byte
+	for r := 0; r < 400; r++ {
+		data = append(data, byte(r%4), 0xEE)
+	}
+	dc, err := EncodeDict(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, entries := dc.MatchCodes(func(entry []byte) bool { return entry[0] < 2 })
+	if entries != 4 {
+		t.Errorf("decoded %d entries, want 4 — decode cost must be per entry, not per row", entries)
+	}
+	if set.Len() != 2 {
+		t.Errorf("matched %d codes, want 2", set.Len())
+	}
+	// The set agrees with a per-row decode.
+	for r := 0; r < dc.Rows(); r++ {
+		code, err := dc.CodeAt(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := dc.At(r)
+		if got, want := set.Contains(code), v[0] < 2; got != want {
+			t.Fatalf("row %d: code %d containment %v, value qualifies %v", r, code, got, want)
+		}
+	}
+	if _, err := dc.CodeAt(-1); err == nil {
+		t.Error("negative row accepted")
+	}
+	if _, err := dc.CodeAt(dc.Rows()); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+func TestCodeSetEdge(t *testing.T) {
+	var nilSet *CodeSet
+	if nilSet.Contains(0) || nilSet.Len() != 0 {
+		t.Error("nil set claims membership")
+	}
+	s := &CodeSet{}
+	s.Add(-1)
+	if s.Len() != 0 {
+		t.Error("negative code added")
+	}
+	s.Add(3)
+	s.Add(3)
+	s.Add(200)
+	if s.Len() != 2 || !s.Contains(3) || !s.Contains(200) || s.Contains(4) || s.Contains(-1) {
+		t.Errorf("set after adds: len=%d", s.Len())
+	}
+}
+
+// Native fuzz targets for every codec: encode/decode must be lossless for
+// arbitrary bytes (and arbitrary widths for the fixed-width codecs). `go
+// test` runs the seed corpus; `go test -fuzz Fuzz<name>` explores.
+
+func FuzzLZ77RoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 5000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecodeLZ77(EncodeLZ77(data))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 64)
+	f.Add([]byte("mississippi"), 4)
+	f.Add(bytes.Repeat([]byte{9}, 300), 256)
+	f.Fuzz(func(t *testing.T, data []byte, blockLen int) {
+		if blockLen <= 0 || blockLen > 1<<16 {
+			t.Skip()
+		}
+		hb, err := EncodeHuffman(data, blockLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := hb.DecodeAll()
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzRLERoundTrip(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 2, 3}, 1)
+	f.Add([]byte{}, 4)
+	f.Fuzz(func(t *testing.T, data []byte, width int) {
+		if width <= 0 || width > 64 || len(data)%width != 0 {
+			t.Skip()
+		}
+		c, err := EncodeRLE(data, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c.DecodeAll(), data) {
+			t.Fatal("round trip mismatch")
+		}
+		// ScanRuns over "always true" must credit every row.
+		if sc := c.ScanRuns(func([]byte) bool { return true }); sc.MatchedRows != c.Rows() {
+			t.Fatalf("ScanRuns credited %d of %d rows", sc.MatchedRows, c.Rows())
+		}
+	})
+}
+
+func FuzzDictRoundTrip(f *testing.F) {
+	f.Add([]byte{5, 5, 6, 6}, 2)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, width int) {
+		if width <= 0 || width > 64 || len(data)%width != 0 {
+			t.Skip()
+		}
+		dc, err := EncodeDict(data, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dc.Equal(data) {
+			t.Fatal("round trip mismatch")
+		}
+		// Code-domain predicate agrees with value-domain on every row.
+		set, _ := dc.MatchCodes(func(entry []byte) bool {
+			return len(entry) > 0 && entry[0]&1 == 1
+		})
+		for r := 0; r < dc.Rows(); r++ {
+			code, _ := dc.CodeAt(r)
+			v, _ := dc.At(r)
+			if set.Contains(code) != (v[0]&1 == 1) {
+				t.Fatalf("row %d: code/value predicate disagreement", r)
+			}
+		}
+	})
+}
+
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		values := make([]int64, len(raw)/8)
+		for i := range values {
+			values[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		d := EncodeDelta(values)
+		got := d.DecodeAll()
+		if len(got) != len(values) {
+			t.Fatalf("decoded %d values, want %d", len(got), len(values))
+		}
+		for i := range values {
+			if got[i] != values[i] {
+				t.Fatalf("value %d: %d != %d", i, got[i], values[i])
+			}
+		}
+	})
+}

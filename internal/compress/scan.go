@@ -1,0 +1,134 @@
+package compress
+
+import (
+	"fmt"
+
+	"rfabric/internal/table"
+)
+
+// Scan-without-decompress: predicate evaluation over the encoded form of a
+// column instead of its decoded rows. RLE evaluates once per run, dictionary
+// encoding once per distinct entry — the §III-D observation that the encoded
+// representation is often far smaller than the data, so a near-data engine
+// can resolve a predicate by touching the dictionary (or the run headers)
+// and never reconstruct the column. The decode work these scans do perform
+// is reported back to the caller so it can be charged where it ran (the
+// fabric, for offloaded scans).
+
+// CodeSet is the set of dictionary codes whose entries satisfy a predicate —
+// the translated, code-domain form of a value-domain predicate. Membership
+// tests are O(1) bit probes, which is what lets a scan filter dictionary-
+// encoded rows without decoding a single one.
+type CodeSet struct {
+	bits []uint64
+	n    int
+}
+
+// Add inserts a code.
+func (s *CodeSet) Add(code int) {
+	if code < 0 {
+		return
+	}
+	w := code >> 6
+	for len(s.bits) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	mask := uint64(1) << uint(code&63)
+	if s.bits[w]&mask == 0 {
+		s.bits[w] |= mask
+		s.n++
+	}
+}
+
+// Contains reports membership.
+func (s *CodeSet) Contains(code int) bool {
+	if s == nil || code < 0 {
+		return false
+	}
+	w := code >> 6
+	if w >= len(s.bits) {
+		return false
+	}
+	return s.bits[w]&(1<<uint(code&63)) != 0
+}
+
+// Len returns the number of codes in the set.
+func (s *CodeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// MatchCodes evaluates pred once per distinct dictionary entry and returns
+// the qualifying code set plus the number of entries decoded — the whole
+// decode cost of filtering the column, however many rows reference each
+// entry.
+func (d *DictColumn) MatchCodes(pred func(entry []byte) bool) (*CodeSet, int) {
+	set := &CodeSet{}
+	card := d.Cardinality()
+	for id := 0; id < card; id++ {
+		if pred(d.dict[id*d.width : (id+1)*d.width]) {
+			set.Add(id)
+		}
+	}
+	return set, card
+}
+
+// CodeAt returns row r's dictionary code without decoding the value.
+func (d *DictColumn) CodeAt(r int) (int, error) {
+	if r < 0 || r >= d.rows {
+		return 0, fmt.Errorf("compress: row %d out of range [0,%d)", r, d.rows)
+	}
+	return int(getCode(d.codes[r*d.codeWidth:], d.codeWidth)), nil
+}
+
+// RunScan is the outcome of one predicate pass over an RLE column's runs.
+type RunScan struct {
+	// MatchedRows is how many rows the predicate selects.
+	MatchedRows int
+	// RunsEvaluated is how many run values were decoded and tested — the
+	// scan's whole decode cost, independent of row count.
+	RunsEvaluated int
+}
+
+// ScanRuns evaluates pred once per run and credits every row of a matching
+// run, never reconstructing the column.
+func (c *RLEColumn) ScanRuns(pred func(value []byte) bool) RunScan {
+	var out RunScan
+	for _, run := range c.runs {
+		out.RunsEvaluated++
+		if pred(run.value) {
+			out.MatchedRows += run.count
+		}
+	}
+	return out
+}
+
+// MatchRuns returns the qualifying row ranges [start, start+count) in row
+// order, for callers that need positions rather than a count.
+func (c *RLEColumn) MatchRuns(pred func(value []byte) bool) (ranges [][2]int, runsEvaluated int) {
+	for _, run := range c.runs {
+		runsEvaluated++
+		if pred(run.value) {
+			ranges = append(ranges, [2]int{run.cum, run.count})
+		}
+	}
+	return ranges, runsEvaluated
+}
+
+// MatchCodes translates a value-domain predicate over an encoded column into
+// its code-domain set: pred sees each dictionary entry decoded to the
+// original column type, and the returned set holds the codes whose entries
+// qualify. entries is the number of dictionary entries decoded.
+func (e *EncodedTable) MatchCodes(col int, pred func(v table.Value) bool) (set *CodeSet, entries int, err error) {
+	d, ok := e.Dicts[col]
+	if !ok {
+		return nil, 0, fmt.Errorf("compress: column %d is not dictionary-encoded", col)
+	}
+	def := e.src.Column(col)
+	set, entries = d.MatchCodes(func(raw []byte) bool {
+		return pred(table.DecodeColumn(def, raw))
+	})
+	return set, entries, nil
+}

@@ -80,6 +80,7 @@ func equivalenceTrial(t *testing.T, rng *rand.Rand, mvcc bool) {
 		&RowEngine{Tbl: tbl, Sys: sys},
 		&RMEngine{Tbl: tbl, Sys: sys},
 		&RMEngine{Tbl: tbl, Sys: sys, PushSelection: true, PushAggregation: pushAgg},
+		&RMEngine{Tbl: tbl, Sys: sys, Offload: true},
 		&ParallelEngine{
 			Tbl: tbl, Sys: sys,
 			Par:           ParallelConfig{Workers: 1 + rng.Intn(8), MorselRows: 16 + rng.Intn(96)},
@@ -105,7 +106,15 @@ func equivalenceTrial(t *testing.T, rng *rand.Rand, mvcc bool) {
 			baseline = r
 			continue
 		}
-		if err := baseline.EquivalentTo(r, 1e-9); err != nil {
+		// The offload layer's contract is stronger than float-epsilon
+		// equivalence: a fabric-side fold must reproduce the CPU-side result
+		// bit-for-bit (same float adds in the same row order), so the
+		// offloading RM path is held to zero tolerance against ROW.
+		tol := 1e-9
+		if rm, ok := e.(*RMEngine); ok && rm.Offload {
+			tol = 0
+		}
+		if err := baseline.EquivalentTo(r, tol); err != nil {
 			t.Fatalf("%s disagrees with %s: %v\nquery: %+v\nrows=%d mvcc=%v snapshot=%v",
 				r.Engine, baseline.Engine, err, q, rows, mvcc, snapshot)
 		}

@@ -75,6 +75,9 @@ func invariantTrial(t *testing.T, rng *rand.Rand) {
 		{"RM+push", false, func(tr *obs.Tracer) (*Result, error) {
 			return (&RMEngine{Tbl: tbl, Sys: sys, PushSelection: true, PushAggregation: true, Tracer: tr}).Execute(q)
 		}},
+		{"RM+offload", false, func(tr *obs.Tracer) (*Result, error) {
+			return (&RMEngine{Tbl: tbl, Sys: sys, Offload: true, Tracer: tr}).Execute(q)
+		}},
 	}
 	if _, _, constrained := indexBounds(q.Selection, 0); constrained {
 		idx, err := index.Build(tbl, 0, sys.Arena)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"rfabric/internal/expr"
+	"rfabric/internal/fabric"
 	"rfabric/internal/geometry"
 	"rfabric/internal/obs"
 	"rfabric/internal/plan"
@@ -418,6 +419,29 @@ func buildJoinTables(p *JoinPlan, builds []Source) ([]map[string][][]table.Value
 	return tables, results, nil
 }
 
+// probeSemiJoin builds the fabric-side Bloom pre-filter for an offloaded
+// probe scan from stage 0's finished hash table: every build key enters the
+// filter, and the fabric drops probe rows whose key cannot be present before
+// they ship. Stage 0's probe key is always probe-local (FromJoinPlan
+// validates ProbeKey < Offsets[1]), so it addresses the probe table
+// directly. The filter is populated during the build side's existing
+// HashBuildCycles pass — inserting into a Bloom filter rides the same
+// per-row hashing work, so no extra cycles are charged.
+func probeSemiJoin(p *JoinPlan, tables []map[string][][]table.Value) *fabric.SemiJoin {
+	if len(p.Stages) == 0 || len(tables) == 0 {
+		return nil
+	}
+	bl := fabric.NewBloom(len(tables[0]))
+	for k := range tables[0] {
+		bl.Add([]byte(k))
+	}
+	return &fabric.SemiJoin{
+		Col:    p.Stages[0].ProbeKey,
+		Key:    joinKeyTo,
+		Filter: bl,
+	}
+}
+
 // newJoinProber returns the probe-side sink: for each probe row it walks
 // the stages in order, looking up each stage's hash table by the combined
 // row's probe-key value, and folds every fully matched combined row into
@@ -499,6 +523,16 @@ func (e *JoinExec) Execute() (*Result, error) {
 		return nil, err
 	}
 
+	// An offloaded RM probe gets the build side's Bloom filter pushed into
+	// the fabric: probe chunks are pre-filtered near data, so rows that
+	// cannot join never cross to the CPU.
+	if rm, ok := e.Probe.(*RMEngine); ok && rm.Offload && rm.SemiJoin == nil {
+		if semi := probeSemiJoin(p, tables); semi != nil {
+			rm.SemiJoin = semi
+			sp.SetAttr("probe_filter", "bloom")
+		}
+	}
+
 	var fold uint64
 	cons := newConsumer(p.Consume, p.Schema, &fold)
 	probeRes, err := runSink(e.Probe, p.Probe.Query, "probe", newJoinProber(p, tables, cons, &fold))
@@ -508,6 +542,7 @@ func (e *JoinExec) Execute() (*Result, error) {
 
 	res := cons.finish(name, probeRes.RowsScanned)
 	res.Breakdown = probeRes.Breakdown
+	res.Offload = probeRes.Offload
 	stampSideAct(p.Probe.Node, probeRes)
 	for k, br := range buildRes {
 		res.RowsScanned += br.RowsScanned
@@ -543,6 +578,11 @@ type ParallelJoinExec struct {
 	Par      ParallelConfig
 	Builds   []Source // build sources over the shared System, in stage order
 
+	// Offload runs each morsel's probe scan in offload mode with the build
+	// side's Bloom filter pushed into the worker's fabric, pre-filtering
+	// probe chunks near data.
+	Offload bool
+
 	Tracer *obs.Tracer
 	Reg    *obs.Registry
 }
@@ -561,6 +601,15 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 	tables, buildRes, err := buildJoinTables(p, e.Builds)
 	if err != nil {
 		return nil, err
+	}
+
+	// The Bloom filter is built once and shared read-only by every worker's
+	// fabric; the Key closure is stateless, so concurrent probes are safe.
+	var semi *fabric.SemiJoin
+	if e.Offload {
+		if semi = probeSemiJoin(p, tables); semi != nil {
+			sp.SetAttr("probe_filter", "bloom")
+		}
 	}
 
 	rows := e.ProbeTbl.NumRows()
@@ -598,7 +647,7 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 				if tracers != nil {
 					tr = tracers[i]
 				}
-				parts[i], passed[i], errs[i] = e.runMorsel(tables, i, par.MorselRows, rows, tr)
+				parts[i], passed[i], errs[i] = e.runMorsel(tables, semi, i, par.MorselRows, rows, tr)
 			}
 		}()
 	}
@@ -611,6 +660,9 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 	res, err := mergePartials("PAR", p.Consume, parts, workers)
 	if err != nil {
 		return nil, err
+	}
+	if len(parts) > 0 {
+		res.Offload = parts[0].Offload
 	}
 	probeTotal := res.Breakdown.TotalCycles
 	if p.Probe.Node != nil {
@@ -666,7 +718,7 @@ func (e *ParallelJoinExec) Execute() (*Result, error) {
 // runMorsel probes one probe-table slice on a fresh System clone, folding
 // matches into a morsel-private consumer whose partial the coordinator
 // merges in morsel order.
-func (e *ParallelJoinExec) runMorsel(tables []map[string][][]table.Value, i, morselRows, totalRows int, tr *obs.Tracer) (*Result, int64, error) {
+func (e *ParallelJoinExec) runMorsel(tables []map[string][][]table.Value, semi *fabric.SemiJoin, i, morselRows, totalRows int, tr *obs.Tracer) (*Result, int64, error) {
 	lo := i * morselRows
 	hi := lo + morselRows
 	if hi > totalRows {
@@ -683,7 +735,7 @@ func (e *ParallelJoinExec) runMorsel(tables []map[string][][]table.Value, i, mor
 	if err != nil {
 		return nil, 0, err
 	}
-	src := &RMEngine{Tbl: slice, Sys: sys, Tracer: tr, ForceScalar: true}
+	src := &RMEngine{Tbl: slice, Sys: sys, Tracer: tr, ForceScalar: true, Offload: e.Offload, SemiJoin: semi}
 	var fold uint64
 	cons := newConsumer(e.Plan.Consume, e.Plan.Schema, &fold)
 	probeRes, err := runSink(src, e.Plan.Probe.Query, "probe", newJoinProber(e.Plan, tables, cons, &fold))

@@ -37,6 +37,11 @@ type Estimate struct {
 	// Warm marks an RM estimate priced against a resident column group in
 	// the fabric group cache: buffer replay instead of DRAM gathers.
 	Warm bool
+	// Offloaded marks an RM estimate priced for a fabric operator offload:
+	// the aggregation folds near memory and only the reduced result ships,
+	// so the consumer term collapses and bytes-to-CPU dominates the
+	// comparison against CPU-side paths.
+	Offloaded bool
 }
 
 // Plan is the optimizer's decision.
@@ -102,6 +107,11 @@ type Optimizer struct {
 	// as warm: the producer streams packed bytes out of the persistent
 	// buffer instead of gathering from DRAM. Nil always prices cold.
 	Cache *fabric.GroupCache
+	// Offload, when set, prices RM's operator-offload path for queries whose
+	// aggregation shape the fabric can run (offloadProgram): the consumer
+	// collapses to reading the reduced result. The same Source-contract
+	// predicate gates execution, so pricing and dispatch cannot disagree.
+	Offload bool
 }
 
 // selectivity returns the selectivity this optimizer plans with: the
@@ -276,13 +286,20 @@ func (o *Optimizer) estimateRM(q Query) Estimate {
 	producer += (chunks + 1) * float64(cfg.Fabric.RefillCycles)
 	fabricFloor := n * gatherPerRow / (cfg.DRAM.BandwidthBytesPerCycle * float64(cfg.DRAM.FabricPorts))
 
+	// Offloaded scans ship no column group, so they bypass the cache both
+	// here and in dispatch.
+	offloaded := false
+	if o.Offload {
+		_, offloaded = offloadProgram(q)
+	}
+
 	// Warm pricing: with the group resident, the producer replays already
 	// packed bytes across the datapath at beat rate plus one refill
 	// handshake per cached chunk — no DRAM gathers, no row-rate packing,
 	// no fabric-port bandwidth floor. The DB's RM path never pushes
 	// selection, so the probe keys on projection geometry alone.
 	warm := false
-	if o.Cache != nil {
+	if o.Cache != nil && !offloaded {
 		if info, ok := o.Cache.Peek(o.Tbl, geom, q.Snapshot, nil); ok {
 			warm = true
 			producer = float64(info.Bytes)/float64(cfg.Fabric.BeatBytes)*ratio +
@@ -303,8 +320,19 @@ func (o *Optimizer) estimateRM(q Query) Estimate {
 	consumer += n * sel * consumeCostPerRow(q)
 	consumer += n * packed / lineBytes * float64(cfg.Cache.L2.HitCycles+cfg.Cache.FabricHitCycles)
 
+	// Offload pricing: selection and the whole fold run fabric-side; the
+	// grouping datapath serializes at AggregateCycles per qualifying row,
+	// and the CPU only reads the reduced result — the packed-line shipping
+	// term (bytes-to-CPU) disappears entirely.
+	if offloaded {
+		if len(q.GroupBy) > 0 {
+			producer += n * sel * float64(cfg.Fabric.AggregateCycles) * ratio
+		}
+		consumer = float64(len(q.GroupBy)+len(q.Aggregates)) * float64(cfg.Cache.L1.HitCycles)
+	}
+
 	cycles := maxf(maxf(producer, consumer), fabricFloor)
-	return Estimate{Engine: "RM", Cycles: cycles, Selectivity: sel, Available: true, Warm: warm}
+	return Estimate{Engine: "RM", Cycles: cycles, Selectivity: sel, Available: true, Warm: warm, Offloaded: offloaded}
 }
 
 // estimateGatherBytes mirrors the fabric's stride coalescing to predict
@@ -357,6 +385,9 @@ func (p *Plan) String() string {
 			s += fmt.Sprintf(" | %s≈%.0f sel=%.3f", e.Engine, e.Cycles, e.Selectivity)
 			if e.Warm {
 				s += " warm"
+			}
+			if e.Offloaded {
+				s += " offload"
 			}
 		} else {
 			s += fmt.Sprintf(" | %s(unavailable)", e.Engine)

@@ -100,6 +100,12 @@ func (o *Optimizer) ChoosePlan(root *plan.Node) (*Plan, error) {
 		Selectivity: chosen.Selectivity,
 		Rows:        float64(o.Tbl.NumRows()),
 		Warm:        chosen.Warm,
+		Offloaded:   chosen.Offloaded,
+	}
+	if chosen.Offloaded {
+		if off, ok := offloadProgram(q); ok {
+			scan.Offload = off.Describe()
+		}
 	}
 	return p, nil
 }

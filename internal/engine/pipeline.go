@@ -9,7 +9,6 @@ import (
 	"rfabric/internal/expr"
 	"rfabric/internal/fabric"
 	"rfabric/internal/geometry"
-	"rfabric/internal/obs"
 	"rfabric/internal/table"
 )
 
@@ -62,6 +61,10 @@ func (s *scan) begin() *pipeRun {
 // span attribution.
 func (s *scan) finishRun(pr *pipeRun, res *Result, pipeline, producer uint64) (*Result, error) {
 	res.CacheWarm = s.warm
+	if s.offload != "" {
+		res.Offload = s.offload
+		s.sp.SetAttr("offload", s.offload)
+	}
 	if s.pipelined {
 		fabD := s.sys.Fab.Stats().Delta(pr.fabStart)
 		res.Breakdown = pipelineBreakdown(s.sys, pr.memStart, pr.hierStart, pr.compute, pipeline, producer, fabD.BytesShipped)
@@ -289,29 +292,3 @@ func colBitmapSelect(pr *pipeRun, sys *System, store *colstore.Store, sch *geome
 	return sel
 }
 
-// runPushedAgg is the direct mode behind RM's aggregation pushdown: the
-// fabric computes plain-column aggregates and ships only the results, so
-// there is no pipeline to drive — just the producer's time and a handful of
-// shipped bytes.
-func runPushedAgg(sys *System, tracer *obs.Tracer, sp *obs.Span, name string, q Query, ev *fabric.Ephemeral, specs []expr.AggSpec) (*Result, error) {
-	memStart := sys.Mem.Stats()
-	hierStart := sys.Hier.Stats()
-	agg, err := ev.Aggregate(specs)
-	if err != nil {
-		return nil, err
-	}
-	tk := newTicker(tracer)
-	tk.advance(agg.ProducerCycles)
-	res := &Result{
-		Engine:      name,
-		RowsScanned: int64(agg.RowsScanned),
-		RowsPassed:  int64(agg.RowsQualified),
-		Aggs:        make([]table.Value, len(agg.Values)),
-	}
-	for i, v := range agg.Values {
-		res.Aggs[i] = normalizeAggValue(q.Aggregates[i].Kind, v)
-	}
-	res.Breakdown = pipelineBreakdown(sys, memStart, hierStart, 0, agg.ProducerCycles, agg.ProducerCycles, uint64(len(agg.Values)*8))
-	finishPipelineSpan(sp, sys, memStart, hierStart, res)
-	return res, nil
-}

@@ -62,6 +62,11 @@ type Result struct {
 	// with a GroupCache attached only). The logical result is identical
 	// either way; only the modeled cost differs.
 	CacheWarm bool
+	// Offload names the fabric operator program this run pushed near memory
+	// ("agg", "group-agg", "semi-join", "dict-scan", or combinations); empty
+	// when every operator ran CPU-side. The logical result is identical
+	// either way; only where the work was charged differs.
+	Offload string
 }
 
 // EquivalentTo reports whether two results agree logically: same pass

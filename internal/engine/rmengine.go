@@ -31,6 +31,19 @@ type RMEngine struct {
 	// and ships only the results (§IV-B). Derived aggregate expressions
 	// always run on the CPU.
 	PushAggregation bool
+	// Offload enables the full operator-offload layer: selection,
+	// projection, grouped aggregation, and any attached semi-join or
+	// dictionary filters all run fabric-side. It implies PushSelection and
+	// PushAggregation.
+	Offload bool
+
+	// SemiJoin, when set, pre-filters the scan's rows against a build-side
+	// Bloom filter inside the fabric, so probe rows that cannot join never
+	// ship (the join executor attaches this for Bloom-filtered probes).
+	SemiJoin *fabric.SemiJoin
+	// DictFilters push code-domain predicates over dictionary-encoded
+	// columns: rows are filtered by stored code, no CPU-side decompression.
+	DictFilters []fabric.DictFilter
 
 	// Tracer, when set, receives a span for this execution with leaves
 	// that reconcile with the Breakdown. Nil means no tracing overhead.
@@ -89,26 +102,32 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 		return nil, err
 	}
 
-	// Direct aggregation pushdown ships only aggregate results — there is
-	// no column group to cache or replay, so it bypasses the group cache.
-	directAgg := false
-	var aggSpecs []expr.AggSpec
-	if e.PushAggregation && len(q.GroupBy) == 0 && len(q.Aggregates) > 0 && e.PushSelection {
-		aggSpecs, directAgg = pushableAggs(q.Aggregates)
+	pushSel := e.PushSelection || e.Offload
+	pushAgg := e.PushAggregation || e.Offload
+
+	// A whole-query offload ships only reduced results — there is no column
+	// group to cache or replay, so it bypasses the group cache. Grouped and
+	// ungrouped aggregations both qualify; the program descriptor decides.
+	var off *fabric.Offload
+	if pushAgg && pushSel {
+		off, _ = offloadProgram(q)
 	}
 
 	// The group cache key includes the predicates the fabric evaluated: a
-	// pushed selection changes which rows the packed group contains.
+	// pushed selection changes which rows the packed group contains. Semi-
+	// join and dictionary filters change the shipped row set the same way
+	// but are per-query state, so filtered scans bypass the cache too.
 	var pushedPreds expr.Conjunction
-	if e.PushSelection && len(q.Selection) > 0 {
+	if pushSel && len(q.Selection) > 0 {
 		pushedPreds = q.Selection
 	}
+	filtered := e.SemiJoin != nil || len(e.DictFilters) > 0
 
 	s := &scan{sch: sch}
 	lineBytes := int64(e.Sys.Hier.LineBytes())
 
 	var entry *fabric.GroupEntry
-	if e.Cache != nil && !directAgg {
+	if e.Cache != nil && off == nil && !filtered {
 		entry, _ = e.Cache.Acquire(e.Tbl, geom, q.Snapshot, pushedPreds)
 	}
 
@@ -163,6 +182,12 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 		if len(pushedPreds) > 0 {
 			opts = append(opts, fabric.WithSelection(pushedPreds))
 		}
+		for _, f := range e.DictFilters {
+			opts = append(opts, fabric.WithDictFilter(f))
+		}
+		if e.SemiJoin != nil {
+			opts = append(opts, fabric.WithSemiJoin(e.SemiJoin))
+		}
 		cfg := sp.AddChild("fabric.configure")
 		ev, err := e.Sys.Fab.Configure(e.Tbl, geom, opts...)
 		if err != nil {
@@ -171,17 +196,18 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 		cfg.SetAttr("columns", fmt.Sprint(geom.Columns()))
 		cfg.SetAttr("packed_width", fmt.Sprint(ev.PackedWidth()))
 
-		if directAgg {
+		if off != nil {
 			sp.SetAttr("pushdown", "aggregation")
 			s.direct = func() (*Result, error) {
-				return runPushedAgg(e.Sys, e.Tracer, sp, e.Name(), q, ev, aggSpecs)
+				return runOffload(e.Sys, e.Tracer, sp, e.Name(), q, ev, off)
 			}
 			return s, nil
 		}
+		s.offload = e.offloadLabel()
 
 		packed = ev.PackedWidth()
 		var rec *fabric.GroupRecorder
-		if e.Cache != nil {
+		if e.Cache != nil && !filtered {
 			sp.SetAttr("group_cache", "miss")
 			rec = e.Cache.NewRecorder(e.Tbl, geom, q.Snapshot, pushedPreds, packed, int(lineBytes))
 		}
@@ -223,7 +249,7 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 	// When selection is pushed down the CPU sees only qualifying rows and
 	// evaluates no predicates.
 	cpuSel := q.Selection
-	if e.PushSelection {
+	if pushSel {
 		cpuSel = nil
 	}
 	s.cpuSel = cpuSel
@@ -264,33 +290,19 @@ func (e *RMEngine) openScan(q Query, sp *obs.Span) (*scan, error) {
 	return s, nil
 }
 
-// pushableAggs converts aggregate terms to fabric specs when every term is
-// COUNT(*) or a plain-column aggregate — the only shapes simple enough for
-// the hardware.
-func pushableAggs(terms []AggTerm) ([]expr.AggSpec, bool) {
-	specs := make([]expr.AggSpec, len(terms))
-	for i, t := range terms {
-		if t.Arg == nil {
-			specs[i] = expr.AggSpec{Kind: expr.Count}
-			continue
+// offloadLabel names the filter programs attached to a pipelined scan (the
+// whole-query aggregation offload labels itself through its descriptor).
+func (e *RMEngine) offloadLabel() string {
+	label := ""
+	if len(e.DictFilters) > 0 {
+		label = "dict-scan"
+	}
+	if e.SemiJoin != nil {
+		if label != "" {
+			label += "+semi-join"
+		} else {
+			label = "semi-join"
 		}
-		ref, ok := t.Arg.(expr.ColRef)
-		if !ok {
-			return nil, false
-		}
-		specs[i] = expr.AggSpec{Kind: t.Kind, Col: ref.Col}
 	}
-	return specs, true
-}
-
-// normalizeAggValue converts fabric integer aggregates to the float64
-// convention the software engines report, keeping COUNT integral.
-func normalizeAggValue(kind expr.AggKind, v table.Value) table.Value {
-	if kind == expr.Count {
-		return v
-	}
-	if v.Type == geometry.Float64 {
-		return v
-	}
-	return table.F64(float64(v.Int))
+	return label
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"rfabric/internal/expr"
+	"rfabric/internal/fabric"
 	"rfabric/internal/geometry"
 	"rfabric/internal/obs"
 	"rfabric/internal/table"
@@ -118,9 +119,10 @@ type scan struct {
 	fetchCycles uint64 // per first touch of a column in a row
 
 	// Behavior flags.
-	tickPerRow bool // advance the timeline clock per row (demand paths)
-	pipelined  bool // per-segment producer/consumer pipeline accounting (RM)
-	warm       bool // segments replay a cached column group (sets Result.CacheWarm)
+	tickPerRow bool   // advance the timeline clock per row (demand paths)
+	pipelined  bool   // per-segment producer/consumer pipeline accounting (RM)
+	warm       bool   // segments replay a cached column group (sets Result.CacheWarm)
+	offload    string // fabric operator program label (sets Result.Offload)
 
 	// mvccTbl, when non-nil, makes the pipeline touch each row's version
 	// header; with q.Snapshot set it also pays the software visibility
@@ -158,4 +160,102 @@ type scan struct {
 	// and breakdown reconcile like any other scan. Sink scans report
 	// RowsPassed (rows delivered) but no checksum/aggregates.
 	sink func(pr *pipeRun, fetch func(col int) table.Value)
+}
+
+// offloadProgram converts a query's aggregation shape into a fabric operator
+// program when every term is COUNT(*) or a plain-column aggregate — the only
+// shapes simple enough for the hardware datapath. Grouped and ungrouped
+// shapes both qualify; derived aggregate expressions do not. This lives on
+// the Source contract (not inside one engine) so any access path — and the
+// optimizer pricing them — sees the same definition of "offloadable".
+func offloadProgram(q Query) (*fabric.Offload, bool) {
+	if len(q.Aggregates) == 0 {
+		return nil, false
+	}
+	specs, ok := pushableAggs(q.Aggregates)
+	if !ok {
+		return nil, false
+	}
+	return &fabric.Offload{GroupBy: q.GroupBy, Aggs: specs}, true
+}
+
+// pushableAggs converts aggregate terms to fabric specs when every term is
+// COUNT(*) or a plain-column aggregate.
+func pushableAggs(terms []AggTerm) ([]expr.AggSpec, bool) {
+	specs := make([]expr.AggSpec, len(terms))
+	for i, t := range terms {
+		if t.Arg == nil {
+			specs[i] = expr.AggSpec{Kind: expr.Count}
+			continue
+		}
+		ref, ok := t.Arg.(expr.ColRef)
+		if !ok {
+			return nil, false
+		}
+		specs[i] = expr.AggSpec{Kind: t.Kind, Col: ref.Col}
+	}
+	return specs, true
+}
+
+// normalizeAggValue converts fabric integer aggregates to the float64
+// convention the software engines report, keeping COUNT integral.
+func normalizeAggValue(kind expr.AggKind, v table.Value) table.Value {
+	if kind == expr.Count {
+		return v
+	}
+	if v.Type == geometry.Float64 {
+		return v
+	}
+	return table.F64(float64(v.Int))
+}
+
+// runOffload is the direct mode behind an offloaded aggregation: the fabric
+// runs the whole program (selection, projection, grouping, folding) and
+// ships only the reduced result, so there is no pipeline to drive — just
+// the producer's time and the result bytes. Grouped fold states convert
+// through the same accumulator logic the CPU consumer uses, so the Result
+// is bit-identical to a CPU-side execution of the same query.
+func runOffload(sys *System, tracer *obs.Tracer, sp *obs.Span, name string, q Query, ev *fabric.Ephemeral, off *fabric.Offload) (*Result, error) {
+	memStart := sys.Mem.Stats()
+	hierStart := sys.Hier.Stats()
+	or, err := ev.RunOffload(off)
+	if err != nil {
+		return nil, err
+	}
+	tk := newTicker(tracer)
+	tk.advance(or.ProducerCycles)
+	res := &Result{
+		Engine:      name,
+		RowsScanned: int64(or.RowsScanned),
+		RowsPassed:  int64(or.RowsQualified),
+		Offload:     off.Describe(),
+	}
+	if !off.Grouped() {
+		res.Aggs = make([]table.Value, len(or.Values))
+		for i, v := range or.Values {
+			res.Aggs[i] = normalizeAggValue(q.Aggregates[i].Kind, v)
+		}
+	} else {
+		res.Groups = make([]GroupRow, len(or.Groups))
+		for i, g := range or.Groups {
+			row := GroupRow{Key: g.Key, Count: g.Rows, Aggs: make([]table.Value, len(g.Accs))}
+			for j, st := range g.Accs {
+				acc := aggAcc{
+					term:  q.Aggregates[j],
+					count: st.Count,
+					sum:   st.Sum,
+					min:   st.Min,
+					max:   st.Max,
+					any:   st.Any,
+				}
+				row.Aggs[j] = acc.result()
+			}
+			res.Groups[i] = row
+		}
+		sortGroups(res.Groups)
+	}
+	sp.SetAttr("offload", off.Describe())
+	res.Breakdown = pipelineBreakdown(sys, memStart, hierStart, 0, or.ProducerCycles, or.ProducerCycles, uint64(or.ResultBytes))
+	finishPipelineSpan(sp, sys, memStart, hierStart, res)
+	return res, nil
 }

@@ -102,3 +102,16 @@ func TestFigure7ScalesLinearly(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationOffloadShape(t *testing.T) {
+	r, err := AblationOffload(quickOptions(), 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.CheckShape() {
+		t.Error(v)
+	}
+	if len(r.Points) != 8 {
+		t.Errorf("got %d grid points, want 8", len(r.Points))
+	}
+}

@@ -14,9 +14,11 @@ import (
 type ViewOption func(*viewOptions)
 
 type viewOptions struct {
-	snapshotTS uint64
-	hasSnap    bool
-	preds      expr.Conjunction
+	snapshotTS  uint64
+	hasSnap     bool
+	preds       expr.Conjunction
+	semi        *SemiJoin
+	dictFilters []DictFilter
 }
 
 // WithSnapshot pins the view to an MVCC snapshot: only row versions with
@@ -29,6 +31,26 @@ func WithSnapshot(ts uint64) ViewOption {
 // qualifying rows are packed and shipped (§IV-B).
 func WithSelection(preds expr.Conjunction) ViewOption {
 	return func(o *viewOptions) { o.preds = preds }
+}
+
+// WithSemiJoin pre-filters the view's rows against a build-side Bloom filter
+// so probe rows that cannot join are dropped before they ship (the Farview
+// near-memory semi-join). Rows whose key can never match (sj.Key returns
+// ok=false) are dropped too.
+func WithSemiJoin(sj *SemiJoin) ViewOption {
+	return func(o *viewOptions) {
+		if sj != nil {
+			o.semi = sj
+		}
+	}
+}
+
+// WithDictFilter pushes a code-domain predicate over a dictionary-encoded
+// column: rows whose stored code is outside the qualifying set are dropped
+// without decoding. The one-time dictionary translation (Entries decodes at
+// DecodeCycles each) is charged to the view's first chunk, fabric-side.
+func WithDictFilter(f DictFilter) ViewOption {
+	return func(o *viewOptions) { o.dictFilters = append(o.dictFilters, f) }
 }
 
 // Ephemeral is a configured non-materialized column-group view of a row
@@ -55,7 +77,16 @@ type Ephemeral struct {
 
 	buf    []byte // reusable chunk buffer, BufferBytes capacity
 	reqs   []dram.GatherReq
-	cursor int // next source row to scan
+	cursor int    // next source row to scan
+	keyBuf []byte // scratch for semi-join key encoding
+
+	// pendingFabricCycles/pendingDecodes hold the one-time dictionary
+	// translation cost from WithDictFilter. They are consumed into the first
+	// chunk rather than charged at Configure time so the cost lands inside
+	// the caller's measured window (pipelines snapshot fabric stats after the
+	// view is configured).
+	pendingFabricCycles uint64
+	pendingDecodes      uint64
 }
 
 // Chunk is one buffer refill worth of packed rows.
@@ -97,6 +128,23 @@ func (e *Engine) Configure(tbl *table.Table, geom *geometry.Geometry, opts ...Vi
 	if err := o.preds.Validate(tbl.Schema()); err != nil {
 		return nil, err
 	}
+	ncols := tbl.Schema().NumColumns()
+	if sj := o.semi; sj != nil {
+		if sj.Col < 0 || sj.Col >= ncols {
+			return nil, fmt.Errorf("fabric: semi-join column %d out of range", sj.Col)
+		}
+		if sj.Key == nil || sj.Filter == nil {
+			return nil, errors.New("fabric: semi-join needs a key encoder and a Bloom filter")
+		}
+	}
+	for _, f := range o.dictFilters {
+		if f.Col < 0 || f.Col >= ncols {
+			return nil, fmt.Errorf("fabric: dictionary filter column %d out of range", f.Col)
+		}
+		if f.Codes == nil {
+			return nil, fmt.Errorf("fabric: dictionary filter on column %d has no code set", f.Col)
+		}
+	}
 
 	ev := &Ephemeral{
 		eng:    e,
@@ -104,6 +152,10 @@ func (e *Engine) Configure(tbl *table.Table, geom *geometry.Geometry, opts ...Vi
 		geom:   geom,
 		opts:   o,
 		packed: geom.PackedWidth(),
+	}
+	for _, f := range o.dictFilters {
+		ev.pendingFabricCycles += uint64(f.Entries) * uint64(e.cfg.DecodeCycles)
+		ev.pendingDecodes += uint64(f.Entries)
 	}
 	ev.buildStrides()
 
@@ -142,6 +194,12 @@ func (ev *Ephemeral) buildStrides() {
 	}
 	for _, c := range ev.opts.preds.Columns() {
 		cols[c] = true
+	}
+	if ev.opts.semi != nil {
+		cols[ev.opts.semi.Col] = true
+	}
+	for _, f := range ev.opts.dictFilters {
+		cols[f.Col] = true
 	}
 	type rng struct{ off, w int }
 	var ranges []rng
@@ -241,7 +299,14 @@ func (ev *Ephemeral) Next() (Chunk, bool) {
 	// Phase 2: visibility + selection + packing, on the real bytes.
 	ev.buf = ev.buf[:0]
 	var fabricCycles uint64
+	// Consume any one-time dictionary translation cost into this chunk.
+	if ev.pendingFabricCycles > 0 {
+		fabricCycles += ev.pendingFabricCycles
+		e.stats.EntriesDecoded += ev.pendingDecodes
+		ev.pendingFabricCycles, ev.pendingDecodes = 0, 0
+	}
 	rowsShipped := 0
+	var semiDropped, codeDropped uint64
 	for r := ev.cursor; r < end; r++ {
 		if ev.tbl.HasMVCC() {
 			fabricCycles += uint64(e.cfg.TSCheckCycles)
@@ -252,6 +317,20 @@ func (ev *Ephemeral) Next() (Chunk, bool) {
 		if len(ev.opts.preds) > 0 {
 			fabricCycles += uint64(len(ev.opts.preds) * e.cfg.PredicateCycles)
 			if !ev.rowQualifies(r) {
+				continue
+			}
+		}
+		if len(ev.opts.dictFilters) > 0 {
+			fabricCycles += uint64(len(ev.opts.dictFilters) * e.cfg.PredicateCycles)
+			if !ev.codesQualify(r) {
+				codeDropped++
+				continue
+			}
+		}
+		if ev.opts.semi != nil {
+			fabricCycles += uint64(e.cfg.PredicateCycles)
+			if !ev.semiQualifies(r) {
+				semiDropped++
 				continue
 			}
 		}
@@ -300,6 +379,8 @@ func (ev *Ephemeral) Next() (Chunk, bool) {
 	e.stats.GatherCycles += gatherCycles
 	e.stats.ComputeCycles += computeCPU
 	e.stats.Chunks++
+	e.stats.RowsSemiFiltered += semiDropped
+	e.stats.RowsCodeFiltered += codeDropped
 
 	return Chunk{
 		Rows:           rowsShipped,
@@ -322,6 +403,36 @@ func (ev *Ephemeral) rowQualifies(r int) bool {
 		}
 	}
 	return true
+}
+
+// codesQualify tests row r's stored dictionary codes against every pushed
+// code set — pure code-domain comparisons, no decode.
+func (ev *Ephemeral) codesQualify(r int) bool {
+	for _, f := range ev.opts.dictFilters {
+		v, err := ev.tbl.Get(r, f.Col)
+		if err != nil {
+			panic(fmt.Sprintf("fabric: code-filter read of validated column failed: %v", err))
+		}
+		if !f.Codes.Contains(int(v.Int)) {
+			return false
+		}
+	}
+	return true
+}
+
+// semiQualifies tests row r's join key against the build-side Bloom filter.
+func (ev *Ephemeral) semiQualifies(r int) bool {
+	sj := ev.opts.semi
+	v, err := ev.tbl.Get(r, sj.Col)
+	if err != nil {
+		panic(fmt.Sprintf("fabric: semi-join read of validated column failed: %v", err))
+	}
+	key, ok := sj.Key(ev.keyBuf[:0], v)
+	ev.keyBuf = key[:0]
+	if !ok {
+		return false
+	}
+	return sj.Filter.MayContain(key)
 }
 
 // Materialize consumes the whole view and returns every packed row as a

@@ -59,6 +59,11 @@ type Config struct {
 	// AggregateCycles is fabric cycles per aggregated value for aggregation
 	// pushdown (§IV-B).
 	AggregateCycles int
+	// DecodeCycles is fabric cycles per compressed-domain entry decoded when
+	// a scan evaluates predicates directly over encoded data (one dictionary
+	// entry or one RLE run value per unit). Charging it here keeps decode
+	// work near memory, off the CPU's bytes-to-CPU bill.
+	DecodeCycles int
 	// RefillCycles is the fixed CPU-cycle cost of one buffer refill
 	// round-trip (reconfigure the gather window, re-arm delivery). It is
 	// what makes very small on-fabric buffers pay for their extra refills
@@ -77,6 +82,7 @@ func DefaultConfig() Config {
 		TSCheckCycles:   0,
 		PredicateCycles: 0,
 		AggregateCycles: 1,
+		DecodeCycles:    1,
 		RefillCycles:    1500,
 	}
 }
@@ -95,7 +101,7 @@ func (c Config) Validate() error {
 	if c.RowsPerCycle <= 0 || c.BeatBytes <= 0 {
 		return fmt.Errorf("fabric: datapath rates must be positive, got rows/cycle=%d beat=%d", c.RowsPerCycle, c.BeatBytes)
 	}
-	if c.TSCheckCycles < 0 || c.PredicateCycles < 0 || c.AggregateCycles < 0 || c.RefillCycles < 0 {
+	if c.TSCheckCycles < 0 || c.PredicateCycles < 0 || c.AggregateCycles < 0 || c.DecodeCycles < 0 || c.RefillCycles < 0 {
 		return fmt.Errorf("fabric: negative cycle cost in %+v", c)
 	}
 	return nil
@@ -113,6 +119,10 @@ type Stats struct {
 	ComputeCycles uint64 // CPU-cycle cost of fabric datapath work
 	Chunks        uint64 // buffer refills
 	Aggregates    uint64 // aggregation-pushdown results produced
+
+	RowsSemiFiltered uint64 // rows dropped by a Bloom semi-join pre-filter
+	RowsCodeFiltered uint64 // rows dropped by a code-domain dictionary filter
+	EntriesDecoded   uint64 // compressed-domain entries decoded fabric-side
 }
 
 // Engine is one fabric device attached to a DRAM module. Ephemeral views

@@ -1,0 +1,259 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"rfabric/internal/compress"
+	"rfabric/internal/expr"
+	"rfabric/internal/geometry"
+	"rfabric/internal/table"
+)
+
+// Offload is a first-class operator program a Source can push into the
+// fabric: selection (carried by the view's options), projection (the view's
+// geometry), then grouped or ungrouped aggregation over the packed rows —
+// the Farview-style generalization of the paper's §IV-B pushdown. Only the
+// reduced result ships toward the CPU.
+type Offload struct {
+	// GroupBy lists schema columns to group on; empty means one global fold.
+	GroupBy []int
+	// Aggs is one folded value per output, in order.
+	Aggs []expr.AggSpec
+}
+
+// Grouped reports whether the program produces per-group rows.
+func (o *Offload) Grouped() bool { return o != nil && len(o.GroupBy) > 0 }
+
+// Describe names the program for plan/span annotations.
+func (o *Offload) Describe() string {
+	if o.Grouped() {
+		return "group-agg"
+	}
+	return "agg"
+}
+
+// DictFilter is a code-domain predicate over a dictionary-encoded column:
+// rows whose stored code is outside Codes are dropped without decoding.
+// Entries is how many dictionary entries were decoded to translate the
+// value-domain predicate (charged fabric-side at DecodeCycles each).
+type DictFilter struct {
+	Col     int
+	Codes   *compress.CodeSet
+	Entries int
+}
+
+// AggState is the fabric-side fold state for one aggregate of one group. It
+// mirrors the CPU consumer's accumulator field-for-field — same float64
+// adds in the same row order — so an offloaded group-by reproduces the
+// CPU-side result bit-for-bit.
+type AggState struct {
+	Kind  expr.AggKind
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Any   bool
+}
+
+// Add folds one value, mirroring the consumer accumulator exactly.
+func (a *AggState) Add(x float64) {
+	a.Count++
+	a.Sum += x
+	if !a.Any || x < a.Min {
+		a.Min = x
+	}
+	if !a.Any || x > a.Max {
+		a.Max = x
+	}
+	a.Any = true
+}
+
+// OffloadGroup is one group's reduced output.
+type OffloadGroup struct {
+	// Key holds the decoded group-by values, in GroupBy order. Char bytes
+	// are copies, safe to retain after the view's buffer rotates.
+	Key []table.Value
+	// Rows is how many qualifying rows fell into the group.
+	Rows int64
+	// Accs holds one fold state per AggSpec, in order.
+	Accs []AggState
+}
+
+// OffloadResult is the outcome of running an Offload program on a view.
+type OffloadResult struct {
+	// Values holds the ungrouped results (one per spec); nil when grouped.
+	Values []table.Value
+	// Groups holds per-group fold states in first-seen order; nil when
+	// ungrouped.
+	Groups []OffloadGroup
+	// RowsScanned and RowsQualified describe the scan behind the result.
+	RowsScanned   int
+	RowsQualified int
+	// ProducerCycles is the full CPU-cycle cost of the fabric-side program;
+	// only the reduced result crosses to the CPU.
+	ProducerCycles uint64
+	// ResultBytes is the size of the shipped result — the entire
+	// bytes-to-CPU bill of the offloaded scan.
+	ResultBytes int
+}
+
+// offloadKey appends v's canonical group-key encoding, byte-identical to the
+// CPU consumer's so group identity cannot diverge between the two paths.
+func offloadKey(dst []byte, v table.Value) []byte {
+	switch v.Type {
+	case geometry.Float64:
+		bits := math.Float64bits(v.Float)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(bits>>(8*uint(i))))
+		}
+	case geometry.Char:
+		b := v.Bytes
+		end := len(b)
+		for end > 0 && b[end-1] == 0 {
+			end--
+		}
+		dst = append(dst, b[:end]...)
+		dst = append(dst, 0xff)
+	default:
+		u := uint64(v.Int)
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(u>>(8*uint(i))))
+		}
+	}
+	return dst
+}
+
+// RunOffload executes the program over the view's selection and snapshot.
+// The base data never crosses toward the CPU: the fabric scans, filters,
+// groups, and folds chunk-at-a-time, and ships only the reduced result.
+func (ev *Ephemeral) RunOffload(off *Offload) (*OffloadResult, error) {
+	if off == nil || len(off.Aggs) == 0 {
+		return nil, fmt.Errorf("fabric: offload program has no aggregates")
+	}
+	if !off.Grouped() {
+		ar, err := ev.Aggregate(off.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		return &OffloadResult{
+			Values:         ar.Values,
+			RowsScanned:    ar.RowsScanned,
+			RowsQualified:  ar.RowsQualified,
+			ProducerCycles: ar.ProducerCycles,
+			ResultBytes:    len(ar.Values) * 8,
+		}, nil
+	}
+
+	sch := ev.tbl.Schema()
+	type colPlan struct {
+		col    int
+		offset int
+		width  int
+	}
+	keyPlans := make([]colPlan, len(off.GroupBy))
+	for i, c := range off.GroupBy {
+		if !ev.geom.Contains(c) {
+			return nil, fmt.Errorf("fabric: group-by column %q not in configured geometry %s",
+				sch.Column(c).Name, ev.geom)
+		}
+		pos := ev.geom.Position(c)
+		keyPlans[i] = colPlan{col: c, offset: ev.geom.PackedOffset(pos), width: sch.Column(c).Width}
+	}
+	aggPlans := make([]colPlan, len(off.Aggs))
+	for i, sp := range off.Aggs {
+		if sp.Kind == expr.Count {
+			aggPlans[i] = colPlan{col: -1}
+			continue
+		}
+		if !ev.geom.Contains(sp.Col) {
+			return nil, fmt.Errorf("fabric: aggregate over column %q not in configured geometry %s",
+				sch.Column(sp.Col).Name, ev.geom)
+		}
+		pos := ev.geom.Position(sp.Col)
+		aggPlans[i] = colPlan{col: sp.Col, offset: ev.geom.PackedOffset(pos), width: sch.Column(sp.Col).Width}
+	}
+
+	e := ev.eng
+	ev.Reset()
+	var producer uint64
+	scanned, qualified := 0, 0
+	groups := make(map[string]*OffloadGroup)
+	var order []*OffloadGroup
+	var keyBuf []byte
+	keyBytes := 0
+
+	for ev.cursor < ev.tbl.NumRows() {
+		ch, ok := ev.Next()
+		if !ok {
+			break
+		}
+		// Undo the shipping accounting Next performed: nothing leaves the
+		// fabric for an offloaded aggregation.
+		e.stats.BytesShipped -= uint64(len(ch.Data))
+		e.stats.LinesShipped -= uint64((len(ch.Data) + e.mem.LineBytes() - 1) / e.mem.LineBytes())
+
+		scanned += ch.SourceRows
+		qualified += ch.Rows
+
+		for r := 0; r < ch.Rows; r++ {
+			row := ch.Data[r*ev.packed : (r+1)*ev.packed]
+			keyBuf = keyBuf[:0]
+			var keyVals []table.Value
+			for _, kp := range keyPlans {
+				v := table.DecodeColumn(sch.Column(kp.col), row[kp.offset:kp.offset+kp.width])
+				keyVals = append(keyVals, v)
+				keyBuf = offloadKey(keyBuf, v)
+			}
+			g, ok := groups[string(keyBuf)]
+			if !ok {
+				g = &OffloadGroup{Key: keyVals, Accs: make([]AggState, len(off.Aggs))}
+				for i := range g.Accs {
+					g.Accs[i].Kind = off.Aggs[i].Kind
+				}
+				groups[string(keyBuf)] = g
+				order = append(order, g)
+				keyBytes += len(keyBuf)
+			}
+			g.Rows++
+			for i := range aggPlans {
+				st := &g.Accs[i]
+				if st.Kind == expr.Count {
+					st.Count++
+					continue
+				}
+				v := table.DecodeColumn(sch.Column(aggPlans[i].col), row[aggPlans[i].offset:aggPlans[i].offset+aggPlans[i].width])
+				x := v.Float
+				if v.Type != geometry.Float64 {
+					x = float64(v.Int)
+				}
+				st.Add(x)
+			}
+		}
+
+		// The grouping datapath hashes each qualifying row's key and routes
+		// it to its fold lane — unlike the global fold, this serializes at
+		// AggregateCycles per row on the fabric clock.
+		groupCPU := e.computeCPUCycles(uint64(ch.Rows) * uint64(e.cfg.AggregateCycles))
+		e.stats.ComputeCycles += groupCPU
+		producer += ch.ProducerCycles + groupCPU
+	}
+
+	// Result assembly: one fold per (group, spec) shipped at the end.
+	finalFold := e.computeCPUCycles(uint64(len(order)*len(off.Aggs)) * uint64(e.cfg.AggregateCycles))
+	e.stats.ComputeCycles += finalFold
+	producer += finalFold
+	e.stats.Aggregates += uint64(len(order) * len(off.Aggs))
+
+	out := &OffloadResult{
+		Groups:         make([]OffloadGroup, len(order)),
+		RowsScanned:    scanned,
+		RowsQualified:  qualified,
+		ProducerCycles: producer,
+		ResultBytes:    keyBytes + len(order)*len(off.Aggs)*8,
+	}
+	for i, g := range order {
+		out.Groups[i] = *g
+	}
+	return out, nil
+}

@@ -15,6 +15,10 @@ func (s Stats) Delta(prev Stats) Stats {
 		ComputeCycles: s.ComputeCycles - prev.ComputeCycles,
 		Chunks:        s.Chunks - prev.Chunks,
 		Aggregates:    s.Aggregates - prev.Aggregates,
+
+		RowsSemiFiltered: s.RowsSemiFiltered - prev.RowsSemiFiltered,
+		RowsCodeFiltered: s.RowsCodeFiltered - prev.RowsCodeFiltered,
+		EntriesDecoded:   s.EntriesDecoded - prev.EntriesDecoded,
 	}
 }
 
@@ -33,6 +37,9 @@ func (s Stats) Publish(reg *obs.Registry, labels obs.Labels) {
 	reg.Counter("rfabric_fabric_compute_cycles_total", labels).Add(s.ComputeCycles)
 	reg.Counter("rfabric_fabric_chunks_total", labels).Add(s.Chunks)
 	reg.Counter("rfabric_fabric_aggregates_total", labels).Add(s.Aggregates)
+	reg.Counter("rfabric_fabric_rows_semi_filtered_total", labels).Add(s.RowsSemiFiltered)
+	reg.Counter("rfabric_fabric_rows_code_filtered_total", labels).Add(s.RowsCodeFiltered)
+	reg.Counter("rfabric_fabric_entries_decoded_total", labels).Add(s.EntriesDecoded)
 }
 
 // Publish adds this group-cache snapshot (typically a Delta) into the

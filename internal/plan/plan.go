@@ -143,6 +143,12 @@ type Node struct {
 	// were never priced or never ran render exactly as before.
 	Est *Est
 	Act *Act
+
+	// Offload names the fabric operator program this Scan pushes near memory
+	// ("agg", "group-agg", "semi-join", "dict-scan", or combinations). Empty
+	// means every operator runs CPU-side and the node renders exactly as
+	// before.
+	Offload string
 }
 
 // Est is the optimizer's priced prediction for one access path: the engine
@@ -157,6 +163,11 @@ type Est struct {
 	// Warm marks an RM estimate priced against a resident fabric group-
 	// cache entry (buffer replay) rather than a cold DRAM gather.
 	Warm bool
+	// Offloaded marks an RM estimate priced for a fabric operator offload:
+	// the consumer side collapses to reading the reduced result, so
+	// bytes-to-CPU is the dominant term that separates it from CPU-side
+	// plans.
+	Offloaded bool
 }
 
 // EstRowsOut is the predicted output cardinality of the side's Filter (its
@@ -517,6 +528,9 @@ func (c *Node) describe(sch *geometry.Schema) string {
 		if c.Snapshot != nil {
 			s += fmt.Sprintf(" @snapshot=%d", *c.Snapshot)
 		}
+		if c.Offload != "" {
+			s += fmt.Sprintf(" offload=%s", c.Offload)
+		}
 		// The pricing block: the estimate this side was planned with, and —
 		// after an EXPLAIN ANALYZE run — what actually happened, so the
 		// cost-model error is visible per access path.
@@ -524,6 +538,9 @@ func (c *Node) describe(sch *geometry.Schema) string {
 			warm := ""
 			if c.Est.Warm {
 				warm = " warm"
+			}
+			if c.Est.Offloaded {
+				warm += " offload"
 			}
 			s += fmt.Sprintf(" est[%s≈%.0f sel=%.3f rows=%.0f%s]",
 				c.Est.Engine, c.Est.Cycles, c.Est.Selectivity, c.Est.Rows, warm)

@@ -73,6 +73,59 @@ func TestExplainGolden(t *testing.T) {
 	}
 }
 
+// TestExplainOffloadGolden pins the EXPLAIN rendering of fabric-offloaded
+// plans: the Scan line's offload=... program descriptor and the " offload"
+// marker inside the estimate block, for each offload shape the dispatch can
+// stamp (ungrouped aggregation, grouped aggregation, Bloom-filtered join
+// probe, and a compressed-domain dict-scan).
+func TestExplainOffloadGolden(t *testing.T) {
+	sch := tpch.LineitemSchema()
+	cases := []struct {
+		name, sql, offload string
+	}{
+		{"agg",
+			"SELECT SUM(l_quantity), COUNT(*) FROM lineitem WHERE l_quantity < 24",
+			"agg"},
+		{"group-agg",
+			"SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem " +
+				"WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag",
+			"group-agg"},
+		{"semi-join",
+			"SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity < 5",
+			"semi-join"},
+		{"dict-scan",
+			"SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity < 5",
+			"dict-scan"},
+	}
+	var b strings.Builder
+	for _, c := range cases {
+		root, err := CompilePlan(c.sql, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan := root.Scan()
+		scan.Source = "RM"
+		scan.Offload = c.offload
+		scan.Est = &plan.Est{Engine: "RM", Cycles: 52000, Selectivity: 0.25,
+			Rows: 4000, Offloaded: true}
+		fmt.Fprintf(&b, "-- offload=%s\nquery: %s\n%s\n\n", c.name, c.sql, root.Explain(sch))
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "explain_offload.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("offload EXPLAIN drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
 // TestExplainAnalyzedGolden pins the priced EXPLAIN rendering: the Scan line
 // with the optimizer's estimate block (est[...]), the run's actuals
 // (act[...]), and the derived q-error, exactly as EXPLAIN ANALYZE and the
